@@ -1,0 +1,327 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* shot-detector metric: histogram vs pixel absdiff (accuracy + speed);
+* prefetch depth: successors at depth 1 vs 2 vs all;
+* condition compilation: parse-once-evaluate-many vs parse-per-eval;
+* compositor layer cache: cached premultiplied layers vs rebuild-per-frame.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.core import fetch_quest_game
+from repro.events.conditions import compile_condition, evaluate, parse_condition
+from repro.graph import Scenario, build_graph
+from repro.net import Channel, StreamSession
+from repro.objects import ImageObject, RectHotspot
+from repro.reporting import format_table
+from repro.runtime import Compositor, GameState, UiLayout
+from repro.video import (
+    DetectorConfig,
+    Frame,
+    FrameSize,
+    VideoReader,
+    detect_shots,
+    generate_clip,
+    random_shot_script,
+    score_detection,
+)
+
+SIZE = FrameSize(160, 120)
+
+
+# ----------------------------------------------------------------------
+# Ablation 1: detector metric
+# ----------------------------------------------------------------------
+
+def test_ablation_detector_metric(benchmark, results_dir):
+    clips = []
+    for seed in (21, 22, 23, 24):
+        rng = np.random.default_rng(seed)
+        clips.append(generate_clip(
+            SIZE, random_shot_script(4, rng, size=SIZE,
+                                     min_duration=12, max_duration=18),
+            seed=seed,
+        ))
+    rows = []
+    f1_by_metric = {}
+    for metric in ("histogram", "pixel"):
+        cfg = DetectorConfig(metric=metric)  # type: ignore[arg-type]
+        t0 = time.perf_counter()
+        f1s = []
+        for clip in clips:
+            detected = detect_shots(clip.frames, cfg)
+            _, _, f1 = score_detection(detected, clip.boundaries, tolerance=2)
+            f1s.append(f1)
+        dt = time.perf_counter() - t0
+        f1_by_metric[metric] = float(np.mean(f1s))
+        rows.append({"metric": metric, "mean_f1": float(np.mean(f1s)),
+                     "seconds": dt})
+    save_result("ablation_detector_metric.txt",
+                format_table(rows, title="Ablation: shot-detector metric"))
+    # Histogram is the default because it is at least as accurate.
+    assert f1_by_metric["histogram"] >= f1_by_metric["pixel"] - 1e-9
+
+    cfg = DetectorConfig(metric="histogram")
+    benchmark(detect_shots, clips[0].frames, cfg)
+
+
+# ----------------------------------------------------------------------
+# Ablation 2: prefetch depth
+# ----------------------------------------------------------------------
+
+def test_ablation_prefetch_depth(benchmark, results_dir):
+    game = fetch_quest_game(n_quests=5, size=SIZE).build()
+    reader = VideoReader(game.container)
+    graph = build_graph(game.scenarios, game.events, game.start)
+    path = [("hub", 15.0)]
+    for k in range(5):
+        path += [(f"place-{k}", 12.0), ("hub", 8.0)]
+
+    rows = []
+    by_depth = {}
+    configs = [("successors", 1), ("successors", 2), ("all", 1)]
+    for policy, depth in configs:
+        session = StreamSession(reader, graph, Channel(300_000, 0.03),
+                                policy=policy, prefetch_depth=depth)
+        stats = session.play_path(path)
+        key = f"{policy}@{depth}" if policy == "successors" else "all"
+        by_depth[key] = stats
+        rows.append({
+            "policy": key,
+            "mean_delay_s": stats.mean_startup_delay,
+            "instant_frac": stats.instant_switch_fraction,
+            "wasted_MB": stats.bytes_wasted / 1e6,
+        })
+    save_result("ablation_prefetch_depth.txt",
+                format_table(rows, title="Ablation: prefetch aggressiveness"))
+    assert (by_depth["successors@2"].mean_startup_delay
+            <= by_depth["successors@1"].mean_startup_delay + 1e-9)
+
+    benchmark(lambda: StreamSession(
+        reader, graph, Channel(300_000, 0.03), policy="successors"
+    ).play_path(path))
+
+
+# ----------------------------------------------------------------------
+# Ablation 3: condition compilation
+# ----------------------------------------------------------------------
+
+class _Ctx:
+    def has_item(self, i): return i == "ram"
+    def item_count(self, i): return 1
+    def get_flag(self, n): return n == "go"
+    def has_visited(self, s): return True
+    def get_score(self): return 42
+    def get_prop(self, o, k): return "broken"
+
+
+SRC = "has('ram') and not flag('done') and prop('pc','state') == 'broken' and score >= 10"
+
+
+def test_ablation_condition_compile_cache(benchmark, results_dir):
+    ctx = _Ctx()
+    n = 3000
+    compiled = compile_condition(SRC)
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        evaluate(parse_condition(SRC), ctx)
+    t_parse_each = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        compiled(ctx)
+    t_compiled = time.perf_counter() - t0
+
+    rows = [
+        {"strategy": "parse_per_eval", "evals": n, "seconds": t_parse_each},
+        {"strategy": "compile_once", "evals": n, "seconds": t_compiled,
+         "speedup": t_parse_each / t_compiled},
+    ]
+    save_result("ablation_condition_cache.txt",
+                format_table(rows, title="Ablation: condition compile-once"))
+    assert t_compiled < t_parse_each
+
+    benchmark(compiled, ctx)
+
+
+# ----------------------------------------------------------------------
+# Ablation 4: compositor layer cache
+# ----------------------------------------------------------------------
+
+def test_ablation_compositor_cache(benchmark, results_dir):
+    layout = UiLayout.default_for(SIZE.width, SIZE.height)
+    base = Frame.blank(SIZE, (70, 70, 90))
+    sc = Scenario("s", "S", 0)
+    rng = np.random.default_rng(4)
+    for k in range(16):
+        sc.add_object(ImageObject(
+            object_id=f"o{k}", name=f"o{k}",
+            hotspot=RectHotspot(float(rng.integers(0, 130)),
+                                float(rng.integers(0, 70)), 24, 18),
+        ))
+    state = GameState("s")
+    reps = 80
+
+    comp = Compositor(layout)
+    comp.compose(base, sc, state)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        comp.compose(base, sc, state)
+    t_cached = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        comp.invalidate()
+        comp.compose(base, sc, state)
+    t_uncached = time.perf_counter() - t0
+
+    rows = [
+        {"strategy": "cached_layers", "fps": reps / t_cached},
+        {"strategy": "rebuild_per_frame", "fps": reps / t_uncached,
+         "slowdown": t_uncached / t_cached},
+    ]
+    save_result("ablation_compositor_cache.txt",
+                format_table(rows, title="Ablation: compositor layer cache"))
+    assert t_cached < t_uncached
+
+    benchmark(comp.compose, base, sc, state)
+
+
+# ----------------------------------------------------------------------
+# Ablation 5: segment-cache eviction policy
+# ----------------------------------------------------------------------
+
+def test_ablation_cache_eviction(benchmark, results_dir):
+    """LRU vs FIFO vs graph-distance eviction on a hub-and-spoke tour.
+
+    The graph policy uses structure only this platform has (the scenario
+    graph); the ablation shows whether that information buys anything
+    over plain recency.
+    """
+    from repro.net import EVICTION_POLICIES, simulate_cached_playback
+    from repro.video import VideoReader
+
+    game = fetch_quest_game(n_quests=4, size=SIZE, noise=4).build()
+    reader = VideoReader(game.container)
+    graph = build_graph(game.scenarios, game.events, game.start)
+    tour = [("hub", 10.0)]
+    for k in range(4):
+        tour += [(f"place-{k}", 10.0), ("hub", 5.0)]
+    tour *= 2  # revisits make caching matter
+    total = sum(e.byte_size for e in reader.index)
+
+    rows = []
+    by_policy = {}
+    for frac in (0.5, 0.75):
+        cap = int(total * frac)
+        for policy in EVICTION_POLICIES:
+            stats = simulate_cached_playback(reader, graph, tour, cap, policy)
+            by_policy[(frac, policy)] = stats
+            rows.append({
+                "capacity": f"{frac:.0%}",
+                "policy": policy,
+                "hit_rate": stats.hit_rate,
+                "refetches": stats.refetches,
+                "evictions": stats.evictions,
+            })
+    save_result("ablation_cache_eviction.txt",
+                format_table(rows, title="Ablation: segment-cache eviction"))
+    for frac in (0.5, 0.75):
+        assert (by_policy[(frac, "lru")].refetches
+                <= by_policy[(frac, "fifo")].refetches)
+
+    benchmark(lambda: simulate_cached_playback(
+        reader, graph, tour, int(total * 0.5), "lru"))
+
+
+# ----------------------------------------------------------------------
+# Ablation 6: template difficulty landscape
+# ----------------------------------------------------------------------
+
+def test_ablation_difficulty_landscape(benchmark, results_dir):
+    """Difficulty estimates across template sizes: the estimator must
+    rank bigger games harder and keep labels stable across seeds."""
+    from repro.core import estimate_difficulty, exploration_game, quiz_game
+
+    small = FrameSize(64, 48)
+    games = {
+        "quest-1": fetch_quest_game(1, size=small).build(),
+        "quest-3": fetch_quest_game(3, size=small).build(),
+        "quiz-2": quiz_game([("Q1?", ["a", "b"], 0), ("Q2?", ["a", "b"], 1)],
+                            size=small).build(),
+        "museum-3": exploration_game(3, size=small).build(),
+    }
+    rows = []
+    scores = {}
+    for name, game in games.items():
+        r = estimate_difficulty(game, n_rollouts=8, max_actions=200)
+        scores[name] = r.score
+        rows.append({
+            "game": name, "solution": r.solution_length,
+            "states": r.states_explored,
+            "distractors": r.distractor_ratio,
+            "random_moves": r.mean_random_moves,
+            "score": r.score, "label": r.label,
+        })
+    save_result("ablation_difficulty.txt",
+                format_table(rows, title="Ablation: template difficulty landscape"))
+    assert scores["quest-3"] > scores["quest-1"]
+    # Label stability across estimator seeds.
+    labels = {
+        estimate_difficulty(games["quest-3"], seed=s, n_rollouts=8,
+                            max_actions=200).label
+        for s in (0, 1, 2)
+    }
+    assert len(labels) == 1
+
+    benchmark.pedantic(
+        lambda: estimate_difficulty(games["quest-1"], n_rollouts=4,
+                                    max_actions=120),
+        rounds=2, iterations=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablation 7: control device vs engagement
+# ----------------------------------------------------------------------
+
+def test_ablation_device_engagement(benchmark, results_dir):
+    """The same cohort on different devices: slower input hardware costs
+    engagement — the mechanical reason §3.1 picks mouse and keyboard."""
+    from repro.students import DEVICE_TIME_FACTORS, sample_profile, simulate_play
+
+    game = fetch_quest_game(3, size=FrameSize(64, 48)).build()
+    rows = []
+    completion = {}
+    for device in sorted(DEVICE_TIME_FACTORS):
+        rng = np.random.default_rng(99)
+        done = 0
+        attn = []
+        for k in range(20):
+            p = sample_profile(f"s{k}", rng)
+            res = simulate_play(game, p, rng, max_seconds=420, device=device)
+            done += res.completed
+            attn.append(res.final_attention)
+        completion[device] = done / 20
+        rows.append({
+            "device": device,
+            "time_factor": DEVICE_TIME_FACTORS[device],
+            "completion": done / 20,
+            "mean_final_attention": float(np.mean(attn)),
+        })
+    save_result("ablation_device_engagement.txt",
+                format_table(rows, title="Ablation: device vs engagement"))
+    assert completion["keyboard_mouse"] >= completion["remote"]
+
+    rng = np.random.default_rng(1)
+    p = sample_profile("bench", rng, archetype="achiever")
+    benchmark.pedantic(
+        lambda: simulate_play(game, p, np.random.default_rng(1),
+                              max_seconds=300),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,174 @@
+"""E5: interactive-TV delivery — branch startup latency vs prefetch.
+
+Regenerates the streaming table: startup delay at branch points for each
+prefetch policy across channel profiles, plus traffic/waste accounting,
+and the control-device interaction-cost table (§2's remote / PDA /
+tablet / keyboard+mouse).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.core import fetch_quest_game
+from repro.graph import build_graph
+from repro.net import Channel, PREFETCH_POLICIES, StreamSession, make_device
+from repro.reporting import format_table
+from repro.video import FrameSize, VideoReader
+
+SIZE = FrameSize(160, 120)
+
+CHANNELS = [
+    ("adsl_2mbit", 250_000, 0.030),
+    ("cable_8mbit", 1_000_000, 0.020),
+    ("lan_100mbit", 12_500_000, 0.002),
+]
+
+
+@pytest.fixture(scope="module")
+def game():
+    # Grainy footage: realistic camera material that does not collapse
+    # under RLE, so segments are megabytes and stalls are visible.
+    return fetch_quest_game(n_quests=4, size=SIZE, title="Streamed",
+                            noise=5).build()
+
+
+@pytest.fixture(scope="module")
+def parts(game):
+    reader = VideoReader(game.container)
+    graph = build_graph(game.scenarios, game.events, game.start)
+    path = [("hub", 20.0)]
+    for k in range(4):
+        path += [(f"place-{k}", 18.0), ("hub", 12.0)]
+    return reader, graph, path
+
+
+def test_e5_policy_table(benchmark, parts, results_dir):
+    reader, graph, path = parts
+    rows = []
+    stats_by = {}
+    for label, bw, lat in CHANNELS:
+        for policy in PREFETCH_POLICIES:
+            session = StreamSession(reader, graph, Channel(bw, lat), policy=policy)
+            stats = session.play_path(path)
+            stats_by[(label, policy)] = stats
+            rows.append({
+                "channel": label,
+                "policy": policy,
+                "mean_delay_s": stats.mean_startup_delay,
+                "max_delay_s": stats.max_startup_delay,
+                "instant_frac": stats.instant_switch_fraction,
+                "fetched_MB": stats.bytes_fetched / 1e6,
+                "wasted_MB": stats.bytes_wasted / 1e6,
+            })
+    save_result("e5_streaming_policies.txt",
+                format_table(rows, title="E5: branch startup latency by prefetch policy"))
+
+    for label, _, _ in CHANNELS:
+        none = stats_by[(label, "none")]
+        succ = stats_by[(label, "successors")]
+        # Prefetch must cut mean delay and raise the instant fraction.
+        assert succ.mean_startup_delay <= none.mean_startup_delay
+        assert succ.instant_switch_fraction >= none.instant_switch_fraction
+    # Faster channels -> lower delays, policy fixed.
+    assert (stats_by[("lan_100mbit", "none")].mean_startup_delay
+            < stats_by[("adsl_2mbit", "none")].mean_startup_delay)
+
+    def run():
+        session = StreamSession(reader, graph, Channel(1_000_000, 0.02),
+                                policy="successors")
+        return session.play_path(path)
+
+    benchmark(run)
+
+
+def test_e5_short_dwell_stresses_prefetch(benchmark, parts, results_dir):
+    """With very short dwells the link has no idle time: prefetch gains
+    shrink — the policy's failure mode, reported honestly."""
+    reader, graph, _ = parts
+    rows = []
+    for dwell in (2.0, 10.0, 30.0):
+        path = [("hub", dwell)]
+        for k in range(4):
+            path += [(f"place-{k}", dwell), ("hub", dwell)]
+        deltas = {}
+        for policy in ("none", "successors"):
+            session = StreamSession(reader, graph, Channel(250_000, 0.03),
+                                    policy=policy)
+            deltas[policy] = session.play_path(path).mean_startup_delay
+        rows.append({
+            "dwell_s": dwell,
+            "none_delay_s": deltas["none"],
+            "successors_delay_s": deltas["successors"],
+            "saving": 1 - deltas["successors"] / deltas["none"]
+            if deltas["none"] else 0.0,
+        })
+    save_result("e5_dwell_sensitivity.txt",
+                format_table(rows, title="E5: prefetch gain vs dwell time"))
+    assert rows[-1]["saving"] >= rows[0]["saving"] - 1e-9
+
+    reader, graph, path = parts
+    benchmark.pedantic(
+        lambda: StreamSession(reader, graph, Channel(250_000, 0.03),
+                              policy="successors").play_path(path),
+        rounds=3, iterations=1,
+    )
+
+
+def test_e5_device_cost_table(benchmark, game, results_dir):
+    """Interaction cost per device for the same activation script."""
+    rng = np.random.default_rng(3)
+    hub = game.scenarios["hub"]
+    targets = [o.object_id for o in hub.objects][:6]
+    rows = []
+    for name in ("keyboard_mouse", "tablet", "pda", "remote"):
+        device = make_device(name)
+        events = 0
+        seconds = 0.0
+        for target in targets:
+            plan = device.activate(hub, target, rng)
+            events += len(plan.events)
+            seconds += plan.seconds
+        rows.append({"device": name, "events": events, "seconds": seconds})
+    save_result("e5_device_costs.txt",
+                format_table(rows, title="E5: device interaction cost (6 activations)"))
+    cost = {r["device"]: r["seconds"] for r in rows}
+    assert cost["keyboard_mouse"] < cost["pda"] < cost["remote"]
+
+    device = make_device("remote")
+    benchmark(lambda: [device.activate(hub, t, rng) for t in targets])
+
+
+def test_e5_progressive_playback(benchmark, parts, results_dir):
+    """Full-download vs progressive playback: startup halves, but when
+    the channel is slower than the content bitrate the difference comes
+    back as mid-playback rebuffering — the table shows both sides."""
+    reader, graph, path = parts
+    rows = []
+    by_mode = {}
+    for label, bw, lat in CHANNELS:
+        for progressive in (False, True):
+            session = StreamSession(reader, graph, Channel(bw, lat),
+                                    policy="none", progressive=progressive)
+            stats = session.play_path(path)
+            mode = "progressive" if progressive else "full_download"
+            by_mode[(label, mode)] = stats
+            rows.append({
+                "channel": label,
+                "mode": mode,
+                "mean_start_s": stats.mean_startup_delay,
+                "rebuffer_s": stats.total_rebuffer_seconds,
+            })
+    save_result("e5_progressive.txt",
+                format_table(rows, title="E5: full-download vs progressive start"))
+    for label, _, _ in CHANNELS:
+        full = by_mode[(label, "full_download")]
+        prog = by_mode[(label, "progressive")]
+        assert prog.mean_startup_delay <= full.mean_startup_delay + 1e-9
+        assert full.total_rebuffer_seconds == 0.0
+
+    benchmark.pedantic(
+        lambda: StreamSession(reader, graph, Channel(250_000, 0.03),
+                              policy="none", progressive=True).play_path(path),
+        rounds=3, iterations=1,
+    )

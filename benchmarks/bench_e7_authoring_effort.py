@@ -1,0 +1,144 @@
+"""E7: "content providers can produce educational games without
+understanding details of computer graphics, video and even flash
+technologies" (§1).
+
+Regenerates the authoring-effort table for the same classroom-repair
+game produced three ways — wizard, raw editors, programmer-scripted —
+and sweeps the expertise weights to show the ranking is insensitive to
+the exact weight choices.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.baselines import build_scripted_classroom_game
+from repro.core import (
+    AuthoringLedger,
+    GameProject,
+    GameWizard,
+    ObjectEditor,
+    ScenarioEditor,
+    solve,
+)
+from repro.core.templates import scene_footage
+from repro.events import AwardBonus, EndGame, SetProperty, ShowText, TakeItem, Trigger
+from repro.objects import RectHotspot
+from repro.reporting import format_table
+from repro.runtime import Dialogue
+from repro.video import FrameSize
+
+SIZE = FrameSize(160, 120)
+
+
+def _wizard_path():
+    wiz = (
+        GameWizard("Fix the Computer", author="teacher")
+        .scene("classroom", "Classroom", scene_footage(SIZE, seed=1))
+        .scene("market", "Market", scene_footage(SIZE, seed=2))
+        .helper("classroom", "teacher", "Teacher", at=(5, 20, 14, 30),
+                lines=["The computer is broken.", "Find a part at the market!"])
+        .prop("classroom", "computer", "Computer", at=(60, 40, 30, 30),
+              description="It will not boot.", properties={"state": "broken"})
+        .item("market", "ram", "RAM module", at=(70, 70, 10, 10))
+        .connect("classroom", "market", "To market", "Back to class")
+        .fetch_quest(item="ram", target="computer",
+                     success_text="The computer boots!", bonus=20, win=True)
+    )
+    return wiz.build(require_valid=False), wiz.ledger
+
+
+def _raw_editor_path():
+    ledger = AuthoringLedger()
+    project = GameProject("Fix the Computer (editors)")
+    scenes = ScenarioEditor(project, ledger)
+    objects = ObjectEditor(project, ledger)
+    scenes.import_footage("c", scene_footage(SIZE, seed=1))
+    scenes.import_footage("m", scene_footage(SIZE, seed=2))
+    scenes.commit_whole("c")
+    scenes.commit_whole("m")
+    scenes.create_scenario("classroom", "Classroom", "c")
+    scenes.create_scenario("market", "Market", "m")
+    objects.place_npc("classroom", "teacher", "Teacher", RectHotspot(5, 20, 14, 30),
+                      dialogue=Dialogue.linear("d", ["The computer is broken."]))
+    objects.place_image("classroom", "computer", "Computer",
+                        RectHotspot(60, 40, 30, 30), description="Broken.")
+    objects.set_property("computer", "state", "broken")
+    objects.place_item("market", "ram", "RAM", RectHotspot(70, 70, 10, 10))
+    objects.link_scenes("classroom", "market", "To market")
+    objects.link_scenes("market", "classroom", "Back")
+    objects.bind("classroom", Trigger.USE_ITEM, object_id="computer",
+                 item_id="ram", once=True,
+                 actions=[SetProperty(object_id="computer", key="state", value="fixed"),
+                          TakeItem(item_id="ram"),
+                          AwardBonus(points=20),
+                          ShowText(text="Fixed!"),
+                          EndGame(outcome="won")])
+    return project.compile(), ledger
+
+
+def test_e7_effort_table(benchmark, results_dir):
+    paths = {
+        "wizard": _wizard_path(),
+        "raw_editors": _raw_editor_path(),
+        "programmer": build_scripted_classroom_game(size=SIZE),
+    }
+    rows = []
+    costs = {}
+    for name, (game, ledger) in paths.items():
+        # Equivalence first: every path must yield a winnable game with
+        # the same minimal solution length.
+        result = solve(game)
+        assert result.winnable, f"{name} path produced an unwinnable game"
+        report = ledger.report()
+        costs[name] = report.weighted_cost
+        rows.append({
+            "workflow": name,
+            "total_ops": report.total_ops,
+            "weighted_cost": report.weighted_cost,
+            "max_skill": report.max_skill_required,
+            "solution_moves": len(result.winning_script),
+            **{f"ops_{s}": report.ops_by_skill.get(s, 0)
+               for s in ("novice", "editor", "programmer", "specialist")},
+        })
+    save_result("e7_authoring_effort.txt",
+                format_table(rows, title="E7: effort to author the classroom game"))
+
+    assert costs["wizard"] < costs["raw_editors"] < costs["programmer"]
+    assert costs["programmer"] / costs["wizard"] > 3.0
+    by_name = {r["workflow"]: r for r in rows}
+    assert by_name["wizard"]["max_skill"] == "novice"
+    assert by_name["programmer"]["max_skill"] == "specialist"
+    # All three produce the same game, structurally.
+    lengths = {r["solution_moves"] for r in rows}
+    assert len(lengths) == 1
+
+    benchmark(_wizard_path)
+
+
+def test_e7_weight_sensitivity(benchmark, results_dir):
+    """Sweep the expertise weights: the ranking must not depend on them."""
+    sweeps = [
+        {"novice": 1, "editor": 1, "programmer": 1, "specialist": 1},     # flat
+        {"novice": 1, "editor": 2, "programmer": 4, "specialist": 8},     # mild
+        {"novice": 1, "editor": 5, "programmer": 50, "specialist": 200},  # steep
+    ]
+    rows = []
+    for weights in sweeps:
+        _, wiz_ledger = _wizard_path()
+        _, raw_ledger = _raw_editor_path()
+        _, dev_ledger = build_scripted_classroom_game(size=SIZE)
+        costs = {}
+        for name, ledger in [("wizard", wiz_ledger), ("raw_editors", raw_ledger),
+                             ("programmer", dev_ledger)]:
+            relabelled = AuthoringLedger(weights={k: float(v) for k, v in weights.items()})
+            for op in ledger.ops:
+                relabelled.record(op.name, op.skill, op.detail)
+            costs[name] = relabelled.report().weighted_cost
+        rows.append({"weights": str(weights), **costs,
+                     "ordering_holds": costs["wizard"] <= costs["raw_editors"]
+                     <= costs["programmer"]})
+    save_result("e7_weight_sensitivity.txt",
+                format_table(rows, title="E7: ranking under weight sweeps"))
+    assert all(r["ordering_holds"] for r in rows)
+
+    benchmark.pedantic(_raw_editor_path, rounds=2, iterations=1)

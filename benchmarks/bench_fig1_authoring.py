@@ -1,0 +1,74 @@
+"""E1 / Figure 1: the authoring-tool interface, regenerated headlessly.
+
+The paper's Fig. 1 is a screenshot of the authoring tool.  This bench
+re-renders the same interface (menu bar, video canvas, segmentation
+strip, scenario list, object palette, property/event panels) from a live
+project, checks its content, and measures the authoring surface's two
+costs: building the worked-example game through the wizard, and
+re-rendering the interface.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.core import GameWizard
+from repro.core.templates import scene_footage
+from repro.reporting import render_authoring_screenshot
+from repro.video import FrameSize
+
+SIZE = FrameSize(160, 120)
+
+
+def _author_classroom_game() -> GameWizard:
+    return (
+        GameWizard("Fix the Computer", author="bench")
+        .scene("classroom", "Classroom", scene_footage(SIZE, seed=1))
+        .scene("market", "Market", scene_footage(SIZE, seed=2))
+        .helper("classroom", "teacher", "Teacher", at=(5, 20, 14, 30),
+                lines=["The computer is broken.", "Find a part at the market!"])
+        .prop("classroom", "computer", "Computer", at=(60, 40, 30, 30),
+              description="It will not boot.", properties={"state": "broken"})
+        .item("market", "ram", "RAM module", at=(70, 70, 10, 10))
+        .connect("classroom", "market", "To market", "Back to class")
+        .fetch_quest(item="ram", target="computer",
+                     success_text="The computer boots!",
+                     bonus=20, reward_name="Repair badge", win=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def wizard():
+    return _author_classroom_game()
+
+
+def test_fig1_screenshot_regenerated(benchmark, wizard, results_dir):
+    """Render Fig. 1 and assert every pane the paper's screenshot shows."""
+    shot = benchmark(render_authoring_screenshot, wizard.project)
+    for pane in (
+        "Interactive VGBL Authoring Tool",
+        "File  Edit  Video  Object  Event  Game  Help",
+        "Video canvas",
+        "Segments (auto-cut)",
+        "Scenarios",
+        "Object palette",
+        "Properties",
+        "Events",
+    ):
+        assert pane in shot, f"Fig. 1 pane missing: {pane!r}"
+    # The worked example's content is visible in the tool.
+    assert "classroom" in shot and "market" in shot
+    assert "use_item(computer)" in shot
+    save_result("fig1_authoring_tool.txt", shot)
+
+
+def test_fig1_authoring_throughput(benchmark):
+    """Wall time to author the complete worked-example game via the wizard
+    (footage synthesis included — the designer's whole loop)."""
+    wizard = benchmark(_author_classroom_game)
+    assert wizard.project.object_count >= 6
+
+
+def test_fig1_validation_latency(benchmark, wizard):
+    """The editor validates on save; that round-trip must stay interactive."""
+    report = benchmark(wizard.check)
+    assert report.ok and report.winnable

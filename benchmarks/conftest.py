@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures: result artifact directory, standard game."""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches drop the tables/figures they regenerate."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(name: str, content: str) -> Path:
+    """Write one regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n=== {name} ===\n{content}")
+    return path

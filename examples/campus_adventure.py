@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""A larger adventure plus a simulated class of students (mini-E6).
+
+Builds a museum-style exploration game with the template generator,
+binds a knowledge map to its delivery points, and runs matched cohorts
+on the game, a linear lesson video, and a slideshow — printing the
+engagement/learning comparison the paper claims but never measures.
+
+Run: ``python examples/campus_adventure.py``
+"""
+
+from repro.baselines import run_comparison
+from repro.core import exploration_game
+from repro.events import Trigger
+from repro.learning import DeliveryPoint, KnowledgeItem, KnowledgeMap
+from repro.reporting import format_table
+
+
+def main() -> None:
+    n_exhibits = 5
+    wizard = exploration_game(n_exhibits=n_exhibits, title="Science Museum")
+    report = wizard.check()
+    print(f"game: winnable={report.winnable}, "
+          f"shortest tour={report.solution_length} moves")
+    game = wizard.build()
+
+    # --- the curriculum: one item per exhibit, delivered on examine ---------
+    kmap = KnowledgeMap()
+    for k in range(n_exhibits):
+        # Delivered actively when the student examines the artifact
+        # (the once-binding that sets seen-k), passively on scene entry.
+        examine_bindings = [
+            b.binding_id
+            for b in game.events
+            if b.trigger == Trigger.EXAMINE and b.object_id == f"artifact-{k}"
+        ]
+        kmap.add(
+            KnowledgeItem(f"k-exhibit-{k}", f"What artifact {k} demonstrates"),
+            [DeliveryPoint(kind="binding", ref=examine_bindings[0]),
+             DeliveryPoint(kind="enter", ref=f"exhibit-{k}")],
+        )
+    kmap.add(
+        KnowledgeItem("k-museum", "How the museum is organised", weight=0.5),
+        [DeliveryPoint(kind="enter", ref="hall")],
+    )
+
+    # --- matched cohorts on three platforms -----------------------------------
+    results = run_comparison(
+        game, kmap, n_students=60, seed=2007, lesson_duration=600.0
+    )
+    rows = [s.as_row() for s in results.values()]
+    print()
+    print(format_table(rows, title="Engagement and learning, matched cohorts (n=60)"))
+
+    vgbl, lin, sli = results["vgbl"], results["linear_video"], results["slideshow"]
+    print()
+    print(f"dropout:   game {vgbl.dropout_rate:.0%}  "
+          f"slides {sli.dropout_rate:.0%}  video {lin.dropout_rate:.0%}")
+    print(f"gain:      game {vgbl.mean_knowledge_gain:.2f}  "
+          f"slides {sli.mean_knowledge_gain:.2f}  video {lin.mean_knowledge_gain:.2f}")
+    assert vgbl.mean_knowledge_gain > lin.mean_knowledge_gain
+    assert vgbl.dropout_rate <= min(sli.dropout_rate, lin.dropout_rate)
+    print("\nthe paper's §2.2 ordering holds: game > traditional e-learning")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""The paper's §3.2 worked example, authored through the raw editors.
+
+"In a classroom in game, the NPC told players a computer was not worked
+and order players to fix it.  Players examine the computer in video
+first and find a broken component inside.  Finally, players move to
+another scenario, markets, to get the components they needed and return
+to classroom and fix the computer."
+
+This example uses the *raw* scenario/object editors (not the wizard) to
+show the full authoring surface, adds the "different feedback" branches
+(wrong component, examining before/after the fix), saves and reloads the
+project, prints the solver's auto-walkthrough, and replays a full
+student session with a session log.
+
+Run: ``python examples/classroom_computer_repair.py``
+"""
+
+import tempfile
+
+from repro.core import (
+    AuthoringLedger,
+    GameProject,
+    ObjectEditor,
+    ScenarioEditor,
+    load_project,
+    save_project,
+    solve,
+    validate,
+)
+from repro.core.templates import scene_footage
+from repro.events import (
+    AwardBonus,
+    EndGame,
+    OpenWeb,
+    SetProperty,
+    ShowText,
+    TakeItem,
+    Trigger,
+)
+from repro.objects import RectHotspot
+from repro.runtime import Dialogue, DialogueChoice, DialogueNode, MouseClick, MouseDrag, SessionRecorder
+from repro.video import FrameSize
+
+
+def author_project() -> GameProject:
+    size = FrameSize(160, 120)
+    ledger = AuthoringLedger()
+    project = GameProject("Classroom Computer Repair", author="course designer")
+    scenes = ScenarioEditor(project, ledger)
+    objects = ObjectEditor(project, ledger)
+
+    # --- scenario editor: footage → scenarios ------------------------------
+    scenes.import_footage("classroom-video", scene_footage(size, seed=11))
+    scenes.import_footage("market-video", scene_footage(size, seed=12))
+    scenes.commit_whole("classroom-video")
+    scenes.commit_whole("market-video")
+    scenes.create_scenario("classroom", "Classroom", "classroom-video")
+    scenes.create_scenario("market", "Market", "market-video")
+    scenes.set_start("classroom")
+
+    # --- object editor: the cast --------------------------------------------
+    # A branching conversation, not just fixed lines: the teacher answers
+    # a question if asked.
+    teacher_talk = Dialogue(
+        "dlg-teacher",
+        nodes=[
+            DialogueNode(
+                "hello",
+                "The classroom computer stopped working. Can you fix it?",
+                [
+                    DialogueChoice("What do I do first?", next_node="advice"),
+                    DialogueChoice("On it!", next_node=None),
+                ],
+            ),
+            DialogueNode(
+                "advice",
+                "Examine the computer to find the broken part, then check "
+                "the market for a replacement.",
+                [DialogueChoice("Thanks!", next_node=None)],
+            ),
+        ],
+        root="hello",
+    )
+    objects.place_npc("classroom", "teacher", "Teacher",
+                      RectHotspot(5, 20, 14, 30), dialogue=teacher_talk)
+    objects.place_image(
+        "classroom", "computer", "Computer", RectHotspot(60, 40, 30, 30),
+        description="The classroom computer.",
+    )
+    objects.set_property("computer", "state", "broken")
+    objects.place_item("market", "ram", "RAM module", RectHotspot(70, 70, 10, 10),
+                       description="A compatible RAM module.")
+    objects.place_item("market", "fan", "Cooling fan", RectHotspot(30, 75, 10, 10),
+                       description="A cooling fan. Probably not the problem.")
+    objects.place_weblink(
+        "market", "spec-sheet", "Memory spec sheet",
+        "https://example.edu/ram-compatibility", RectHotspot(110, 70, 24, 12),
+    )
+    objects.link_scenes("classroom", "market", "To market")
+    objects.link_scenes("market", "classroom", "Back to class")
+
+    # --- events: investigation and the repair, with guarded feedback ---------
+    objects.bind(
+        "classroom", Trigger.EXAMINE, object_id="computer",
+        condition="prop('computer','state') == 'broken'",
+        actions=[ShowText(text="Inside you find a dead RAM module.")],
+    )
+    objects.bind(
+        "classroom", Trigger.EXAMINE, object_id="computer",
+        condition="prop('computer','state') == 'fixed'",
+        actions=[ShowText(text="The computer hums along happily now.")],
+    )
+    objects.bind(
+        "market", Trigger.CLICK, object_id="spec-sheet",
+        actions=[OpenWeb(url="https://example.edu/ram-compatibility")],
+    )
+    objects.bind(
+        "classroom", Trigger.USE_ITEM, object_id="computer", item_id="ram",
+        once=True,
+        actions=[
+            SetProperty(object_id="computer", key="state", value="fixed"),
+            TakeItem(item_id="ram"),
+            AwardBonus(points=20, reward_id=None),
+            ShowText(text="You install the RAM. The computer boots!"),
+            EndGame(outcome="won"),
+        ],
+    )
+    objects.bind(
+        "classroom", Trigger.USE_ITEM, object_id="computer", item_id="fan",
+        actions=[ShowText(text="The fan spins, but the computer stays dead.")],
+    )
+
+    print("authoring effort:", ledger.report().total_ops, "ops,",
+          f"max skill: {ledger.report().max_skill_required}")
+    return project
+
+
+def main() -> None:
+    project = author_project()
+
+    report = validate(project)
+    print(f"validation: errors={len(report.errors)} warnings={len(report.warnings)} "
+          f"winnable={report.winnable}")
+    for issue in report.issues:
+        print("  ", issue)
+
+    # Persistence round-trip, as the authoring tool would do on Save.
+    with tempfile.TemporaryDirectory() as td:
+        save_project(project, td)
+        project = load_project(td)
+    game = project.compile()
+
+    # The solver's auto-generated walkthrough.
+    solution = solve(game)
+    print("\nwalkthrough (auto-generated):")
+    for i, move in enumerate(solution.winning_script, 1):
+        print(f"  {i}. {move.describe()}")
+
+    # A full interactive session with the wrong item first.
+    engine = game.new_engine()
+    engine.start()
+    recorder = SessionRecorder(engine.bus, "demo-student")
+
+    engine.handle_input(MouseClick(10, 30))            # talk to the teacher
+    engine.choose_dialogue(0)                          # "What do I do first?"
+    engine.choose_dialogue(0)                          # "Thanks!"
+    engine.handle_input(MouseClick(70, 50, button="right"))  # examine computer
+    engine.handle_input(MouseClick(1, 1))              # dismiss popup
+    engine.handle_input(MouseClick(95, 12))            # to market
+    engine.handle_input(MouseClick(120, 75))           # read the spec sheet
+    engine.handle_input(MouseClick(1, 1))              # close web popup
+    engine.handle_input(MouseDrag(33, 78, 10, 115))    # take the fan (wrong!)
+    engine.handle_input(MouseDrag(73, 73, 10, 115))    # take the RAM
+    engine.handle_input(MouseClick(95, 12))            # back to class
+    inv = engine.state.inventory
+    # try the fan first: guarded feedback branch
+    fan_slot = [s.item_id for s in inv.slots].index("fan")
+    engine.handle_input(MouseClick(engine.layout.inv_x + fan_slot * engine.layout.slot_w + 2,
+                                   engine.layout.inv_y + 2))
+    engine.handle_input(MouseClick(70, 50))
+    print("\nafter wrong item:", engine.state.popups[-1].content)
+    engine.handle_input(MouseClick(1, 1))
+    # now the RAM
+    ram_slot = [s.item_id for s in inv.slots].index("ram")
+    engine.handle_input(MouseClick(engine.layout.inv_x + ram_slot * engine.layout.slot_w + 2,
+                                   engine.layout.inv_y + 2))
+    engine.handle_input(MouseClick(70, 50))
+    print("outcome:", engine.state.outcome, "score:", engine.state.score,
+          "web visits:", engine.state.web_visits)
+
+    log = recorder.finish(engine.state.play_time, engine.state.outcome,
+                          engine.state.score, len(engine.state.visited))
+    print("session log:", log.to_dict())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Course QA workflow: reference replays, difficulty, localisation.
+
+How a course team keeps an authored game healthy over time:
+
+1. record the teacher's reference playthrough (``InputRecorder``),
+2. gate every edit on replaying it (``replay`` raises on drift),
+3. check the difficulty label stays in the intended band,
+4. localise and prove the translated build is still the same game.
+
+Run: ``python examples/quality_assurance.py``
+"""
+
+from repro.core import (
+    LocalePack,
+    estimate_difficulty,
+    extract_strings,
+    fetch_quest_game,
+    localize_game,
+    missing_translations,
+    solve,
+)
+from repro.core.solver import _apply
+from repro.runtime import InputRecorder, MouseClick, MouseDrag, ReplayMismatch, replay
+from repro.video import FrameSize
+
+SIZE = FrameSize(160, 120)
+
+
+def main() -> None:
+    wizard = fetch_quest_game(n_quests=2, size=SIZE, title="QA Demo")
+    game = wizard.build()
+
+    # --- 1: record the reference playthrough ------------------------------
+    engine = game.new_engine(with_video=False)
+    engine.start()
+    recorder = InputRecorder(engine, game.title)
+
+    def center(scene, obj):
+        return game.scenarios[scene].get_object(obj).hotspot.center()
+
+    recorder.handle_input(MouseClick(*center("hub", "hub-go-place-1")))
+    px, py = center("place-1", "part-1")
+    recorder.handle_input(MouseDrag(px, py, 2, engine.layout.inv_y + 2))
+    recorder.handle_input(MouseClick(*center("place-1", "place-1-go-hub")))
+    recorder.handle_input(MouseClick(engine.layout.inv_x + 2,
+                                     engine.layout.inv_y + 2))
+    recorder.handle_input(MouseClick(*center("hub", "machine-1")))
+    recording = recorder.finish()
+    print(f"reference recorded: {len(recording)} steps, "
+          f"outcome={recording.expected_outcome}, "
+          f"score={recording.expected_score}")
+
+    # --- 2: an edit that breaks the course is caught -----------------------
+    project = wizard.project
+    winning = [b for b in project.events if b.trigger == "use_item"
+               and b.item_id == "part-1"][0]
+    project.events.remove(winning.binding_id)
+    broken = project.compile()
+    try:
+        replay(broken, recording)
+    except ReplayMismatch as exc:
+        print(f"edit gate caught the regression: {exc}")
+    project.events.add(winning)  # revert the bad edit
+    replay(project.compile(), recording)
+    print("after revert: reference replay passes again")
+
+    # --- 3: difficulty stays in band ----------------------------------------
+    report = estimate_difficulty(game, n_rollouts=10, max_actions=200)
+    print(f"difficulty: score={report.score:.1f} label={report.label} "
+          f"(solution {report.solution_length} moves, "
+          f"random player needs ~{report.mean_random_moves:.0f})")
+
+    # --- 4: localisation ------------------------------------------------------
+    strings = extract_strings(game)
+    pack = LocalePack("zh-TW")
+    glossary = {
+        "Hub room": "中央大廳", "Place 0": "場所零", "Place 1": "場所一",
+        "The computer boots!": "電腦開機了！",
+    }
+    for s in strings:
+        pack.add(s, glossary.get(s, f"〈{s}〉"))
+    assert not missing_translations(game, pack)
+    localized = localize_game(game, pack)
+    print(f"localised {len(strings)} strings to {pack.locale}; "
+          f"title: {localized.title!r}")
+    a, b = solve(game), solve(localized)
+    assert len(a.winning_script) == len(b.winning_script)
+    print("localised build is provably the same game "
+          f"({len(b.winning_script)}-move solution preserved)")
+
+
+if __name__ == "__main__":
+    main()

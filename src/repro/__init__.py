@@ -1,0 +1,44 @@
+"""repro — Interactive Video Game-Based Learning (VGBL) platform.
+
+A from-scratch reproduction of Chang, Hsu & Shih, *Using Interactive
+Video Technology for the Development of Game-Based Learning* (ICPP
+Workshops 2007): an authoring tool that turns video footage into
+adventure-style educational games, the runtime gaming platform that
+plays them, and every substrate they rest on (synthetic video stack,
+scenario graph, event system, streaming delivery, simulated-student
+evaluation harness).
+
+Quick tour::
+
+    from repro.core import GameWizard
+    from repro.core.templates import scene_footage
+    from repro.video import FrameSize
+
+    size = FrameSize(160, 120)
+    game = (
+        GameWizard("Fix the Computer")
+        .scene("classroom", "Classroom", scene_footage(size, 1))
+        .scene("market", "Market", scene_footage(size, 2))
+        .helper("classroom", "teacher", "Teacher", at=(5, 20, 14, 30),
+                lines=["The computer is broken.",
+                       "Find a part at the market!"])
+        .prop("classroom", "computer", "Computer", at=(60, 40, 30, 30),
+              description="It will not boot.",
+              properties={"state": "broken"})
+        .item("market", "ram", "RAM module", at=(70, 70, 10, 10))
+        .connect("classroom", "market", "To market", "Back to class")
+        .fetch_quest(item="ram", target="computer",
+                     success_text="The computer boots!",
+                     bonus=20, reward_name="Repair badge", win=True)
+        .build()
+    )
+    engine = game.new_engine()
+    engine.start()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Comparison baselines: linear video lesson, slideshow e-learning, and
+the programmer-built game workflow."""
+
+from .compare import (
+    build_time_map,
+    run_comparison,
+    run_linear_cohort,
+    run_slideshow_cohort,
+)
+from .linear_video import LinearVideoLesson, simulate_watch
+from .scripted_game import build_scripted_classroom_game
+from .slideshow import SlideshowLesson, page_windows, simulate_slideshow
+
+__all__ = [
+    "LinearVideoLesson",
+    "SlideshowLesson",
+    "build_scripted_classroom_game",
+    "build_time_map",
+    "page_windows",
+    "run_comparison",
+    "run_linear_cohort",
+    "run_slideshow_cohort",
+    "simulate_slideshow",
+    "simulate_watch",
+]

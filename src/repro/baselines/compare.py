@@ -1,0 +1,151 @@
+"""The E6 experiment harness: VGBL vs linear video vs slideshow.
+
+Builds three *content-equivalent* lessons from the same knowledge map —
+the same items, taught by the medium's native delivery mechanism — runs
+matched cohorts (same seeds, so the same student profiles face every
+platform), and returns per-platform summaries.  Content equivalence plus
+matched cohorts isolates the platform effect, which is what the paper's
+§2.2 comparison asserts and never measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.project import CompiledGame
+from ..learning.analytics import CohortSummary, OutcomeRecord, summarize
+from ..learning.knowledge import DeliveryPoint, KnowledgeItem, KnowledgeMap
+from ..students.cohort import ExposureReport, _measure_gain
+from ..students.model import sample_profile
+from ..students.player import simulate_play
+from .linear_video import LinearVideoLesson, simulate_watch
+from .slideshow import SlideshowLesson, page_windows, simulate_slideshow
+
+__all__ = [
+    "build_time_map",
+    "run_comparison",
+    "run_linear_cohort",
+    "run_slideshow_cohort",
+]
+
+
+def build_time_map(
+    kmap: KnowledgeMap, duration: float
+) -> KnowledgeMap:
+    """Re-deliver a game knowledge map as evenly-spaced time windows.
+
+    The content-equivalence transform: every item keeps its id/text/
+    weight but is delivered passively in its own slice of the runtime.
+    """
+    items = kmap.items
+    if not items:
+        raise ValueError("knowledge map is empty")
+    out = KnowledgeMap()
+    slice_len = duration / len(items)
+    for i, item in enumerate(items):
+        out.add(
+            item,
+            [DeliveryPoint(kind="time", t0=i * slice_len, t1=(i + 1) * slice_len)],
+        )
+    return out
+
+
+def run_linear_cohort(
+    kmap: KnowledgeMap,
+    duration: float,
+    n_students: int,
+    seed: int,
+) -> Tuple[CohortSummary, List[OutcomeRecord]]:
+    """Cohort on the linear-video lesson (time-window deliveries)."""
+    tmap = build_time_map(kmap, duration)
+    # One shot change per knowledge slice: filmed lesson segments.
+    changes = tuple(
+        (i + 1) * duration / max(1, len(kmap.items))
+        for i in range(max(0, len(kmap.items) - 1))
+    )
+    lesson = LinearVideoLesson(duration=duration, shot_changes=changes)
+    rng = np.random.default_rng(seed)
+    records: List[OutcomeRecord] = []
+    for k in range(n_students):
+        profile = sample_profile(f"lin-{k}", rng)
+        res = simulate_watch(lesson, profile, rng)
+        exposures = tmap.exposures_from_session(
+            entered_scenarios=set(),
+            fired_bindings=set(),
+            examined_objects=set(),
+            dialogue_nodes=set(),
+            watched_seconds=res.time_on_task,
+        )
+        report = ExposureReport(exposures=exposures, mean_attention=res.mean_attention)
+        gain = _measure_gain(profile, tmap, report, rng)
+        records.append(
+            OutcomeRecord(
+                player_id=profile.player_id,
+                platform="linear_video",
+                time_on_task=res.time_on_task,
+                completed=res.completed,
+                dropped_out=res.dropped_out,
+                interactions=res.interactions,
+                knowledge_gain=gain,
+                final_engagement=res.final_attention,
+            )
+        )
+    return summarize(records), records
+
+
+def run_slideshow_cohort(
+    kmap: KnowledgeMap,
+    duration: float,
+    n_students: int,
+    seed: int,
+    seconds_per_page: float = 45.0,
+) -> Tuple[CohortSummary, List[OutcomeRecord]]:
+    """Cohort on the slideshow deck (one knowledge slice per page set)."""
+    n_pages = max(1, int(round(duration / seconds_per_page)))
+    lesson = SlideshowLesson(n_pages=n_pages, seconds_per_page=seconds_per_page)
+    tmap = build_time_map(kmap, lesson.duration)
+    rng = np.random.default_rng(seed)
+    records: List[OutcomeRecord] = []
+    for k in range(n_students):
+        profile = sample_profile(f"sli-{k}", rng)
+        res, exposed_time = simulate_slideshow(lesson, profile, rng)
+        exposures = tmap.exposures_from_session(
+            entered_scenarios=set(),
+            fired_bindings=set(),
+            examined_objects=set(),
+            dialogue_nodes=set(),
+            watched_seconds=exposed_time,
+        )
+        report = ExposureReport(exposures=exposures, mean_attention=res.mean_attention)
+        gain = _measure_gain(profile, tmap, report, rng)
+        records.append(
+            OutcomeRecord(
+                player_id=profile.player_id,
+                platform="slideshow",
+                time_on_task=res.time_on_task,
+                completed=res.completed,
+                dropped_out=res.dropped_out,
+                interactions=res.interactions,
+                knowledge_gain=gain,
+                final_engagement=res.final_attention,
+            )
+        )
+    return summarize(records), records
+
+
+def run_comparison(
+    game: CompiledGame,
+    kmap: KnowledgeMap,
+    n_students: int = 60,
+    seed: int = 2007,
+    lesson_duration: float = 600.0,
+) -> Dict[str, CohortSummary]:
+    """The full E6 comparison; returns platform → summary."""
+    from ..students.cohort import run_vgbl_cohort
+
+    vgbl, _ = run_vgbl_cohort(game, kmap, n_students, seed)
+    linear, _ = run_linear_cohort(kmap, lesson_duration, n_students, seed)
+    slides, _ = run_slideshow_cohort(kmap, lesson_duration, n_students, seed)
+    return {"vgbl": vgbl, "linear_video": linear, "slideshow": slides}

@@ -1,0 +1,97 @@
+"""Baseline 1: the traditional linear video lesson.
+
+§2.1: "Playing order of traditional video is linear; users can only make
+simple decisions to control the flow of video playing."  This baseline
+models exactly that: the student presses play and watches; the only
+interactions are an optional pause/resume pair.  Knowledge is delivered
+by *time windows* (passive exposure); attention follows pure decay with
+a small novelty bump at shot changes (a cut is mildly re-engaging) —
+crucially there is **no responsive feedback**, which is the structural
+difference the paper attributes the engagement gap to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..students.model import AttentionModel, StudentProfile
+from ..students.player import PlayResult
+
+__all__ = ["LinearVideoLesson", "simulate_watch"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinearVideoLesson:
+    """A lesson video: total duration and its shot-change times."""
+
+    duration: float
+    shot_changes: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("lesson duration must be positive")
+        for t in self.shot_changes:
+            if not 0 <= t <= self.duration:
+                raise ValueError(f"shot change at {t} outside the video")
+
+
+def simulate_watch(
+    lesson: LinearVideoLesson,
+    profile: StudentProfile,
+    rng: np.random.Generator,
+    tick: float = 5.0,
+) -> PlayResult:
+    """One student watching the lesson; returns the common PlayResult.
+
+    The student may pause once (probability grows with diligence) which
+    resets a little attention; dropping below the dropout threshold
+    means they stop watching (``time_on_task`` < duration).
+    """
+    attention = AttentionModel(profile)
+    t = 0.0
+    interactions = 0
+    changes = sorted(lesson.shot_changes)
+    next_change = 0
+    paused_once = False
+    trace: List[Tuple[float, float]] = []
+
+    while t < lesson.duration:
+        dt = min(tick, lesson.duration - t)
+        attention.decay(dt)
+        t += dt
+        while next_change < len(changes) and changes[next_change] <= t:
+            attention.event("cut")
+            next_change += 1
+        if (
+            not paused_once
+            and attention.level < 0.45
+            and rng.random() < 0.3 * profile.diligence
+        ):
+            # A diligent student pauses, stretches, resumes.
+            paused_once = True
+            interactions += 2  # pause + resume
+            attention.event("feedback")
+        trace.append((t, attention.level))
+        if attention.dropped_out:
+            break
+
+    watched = t
+    completed = watched >= lesson.duration and not attention.dropped_out
+    return PlayResult(
+        completed=completed,
+        dropped_out=attention.dropped_out,
+        time_on_task=watched,
+        interactions=interactions,
+        final_attention=attention.level,
+        mean_attention=attention.mean_level,
+        score=0,
+        scenarios_visited=1,
+        entered_scenarios=set(),
+        fired_bindings=set(),
+        examined_objects=set(),
+        dialogue_nodes=set(),
+        attention_trace=trace,
+    )

@@ -1,0 +1,175 @@
+"""Baseline 3: the programmer-built game (E7's comparator).
+
+§1: "Most of these systems require programmers and specified domain
+experts to design games with adequate contents together."  This module
+is that workflow, made concrete: the same classroom-repair game the
+wizard builds in a dozen clicks, constructed directly against the data
+model the way a developer integrating a game engine would — every model
+construct charged as a *programmer* operation and every asset-producing
+step (sprites, scene visuals, video handling) as a *specialist* one.
+
+The output game is behaviourally equivalent (same scenarios, events,
+dialogues; the E7 test asserts both are winnable with the same minimal
+script length), so the effort comparison isolates the authoring surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.effort import AuthoringLedger
+from ..core.project import CompiledGame, GameProject
+from ..events import (
+    AwardBonus,
+    EndGame,
+    EventBinding,
+    SetProperty,
+    ShowText,
+    SwitchScenario,
+    TakeItem,
+    Trigger,
+)
+from ..graph import Scenario
+from ..objects import ButtonObject, ImageObject, ItemObject, NPCObject, RectHotspot
+from ..runtime import Dialogue
+from ..video import FrameSize, VideoSegment
+from ..core.templates import scene_footage
+
+__all__ = ["build_scripted_classroom_game"]
+
+
+def build_scripted_classroom_game(
+    size: FrameSize = FrameSize(160, 120),
+    seed: int = 1234,
+) -> Tuple[CompiledGame, AuthoringLedger]:
+    """Hand-code the classroom-repair game; returns (game, effort ledger).
+
+    The op sequence mirrors what the equivalent engine-integration code
+    would contain; compare with
+    :func:`repro.core.templates.fetch_quest_game` (wizard path) and the
+    raw-editor path in the E7 bench.
+    """
+    ledger = AuthoringLedger()
+    r = ledger.record
+
+    project = GameProject(title="Fix the Computer (scripted)", author="developer")
+    r("project_boilerplate", "programmer", "create project, configure codec")
+
+    # --- video handling: a specialist shoots/encodes, a programmer wires ---
+    r("produce_scene_footage", "specialist", "film/encode classroom footage")
+    hub_frames = scene_footage(size, seed)
+    r("produce_scene_footage", "specialist", "film/encode market footage")
+    market_frames = scene_footage(size, seed + 1)
+    r("integrate_video_pipeline", "programmer", "decode/segment/seek wiring")
+    project.import_footage("classroom-video", hub_frames)
+    project.commit_segment(
+        VideoSegment(name="classroom-video", frames=hub_frames)
+    )
+    project.import_footage("market-video", market_frames)
+    project.commit_segment(VideoSegment(name="market-video", frames=market_frames))
+
+    # --- scene graph, objects, sprites -------------------------------------
+    r("code_scene_classes", "programmer", "Scenario construction code")
+    classroom = Scenario("classroom", "Classroom", 0)
+    market = Scenario("market", "Market", 1)
+
+    r("draw_sprite", "specialist", "computer sprite")
+    computer = ImageObject(
+        object_id="computer",
+        name="Computer",
+        hotspot=RectHotspot(60, 40, 30, 30),
+        description="The classroom computer. It will not boot.",
+        properties={"state": "broken"},
+    )
+    r("code_object_wiring", "programmer", "mount computer + hotspot maths")
+    classroom.add_object(computer)
+
+    r("draw_sprite", "specialist", "RAM sprite")
+    ram = ItemObject(
+        object_id="ram",
+        name="RAM module",
+        hotspot=RectHotspot(70, 70, 10, 10),
+        description="A compatible RAM module.",
+    )
+    r("code_object_wiring", "programmer", "mount RAM + pickup logic")
+    market.add_object(ram)
+
+    r("draw_sprite", "specialist", "teacher sprite")
+    r("code_dialogue_system_use", "programmer", "conversation wiring")
+    dlg = Dialogue.linear(
+        "dlg-teacher",
+        ["The computer is broken.", "Find a part at the market and fix it!"],
+    )
+    project.add_dialogue(dlg)
+    teacher = NPCObject(
+        object_id="teacher",
+        name="Teacher",
+        hotspot=RectHotspot(5, 20, 14, 30),
+        dialogue_id="dlg-teacher",
+    )
+    classroom.add_object(teacher)
+
+    r("code_navigation_ui", "programmer", "scene-switch buttons")
+    classroom.add_object(
+        ButtonObject(
+            object_id="classroom-go-market",
+            name="To market",
+            label="To market",
+            hotspot=RectHotspot(size.width - 70, 8, 62, 16),
+        )
+    )
+    market.add_object(
+        ButtonObject(
+            object_id="market-go-classroom",
+            name="Back to class",
+            label="Back to class",
+            hotspot=RectHotspot(size.width - 70, 8, 62, 16),
+        )
+    )
+
+    project.add_scenario(classroom)
+    project.add_scenario(market)
+    project.set_start("classroom")
+
+    # --- event logic ---------------------------------------------------------
+    r("code_event_handlers", "programmer", "navigation click handlers")
+    project.events.add(
+        EventBinding(
+            scenario_id="classroom",
+            trigger=Trigger.CLICK,
+            object_id="classroom-go-market",
+            actions=[SwitchScenario(target="market")],
+        )
+    )
+    project.events.add(
+        EventBinding(
+            scenario_id="market",
+            trigger=Trigger.CLICK,
+            object_id="market-go-classroom",
+            actions=[SwitchScenario(target="classroom")],
+        )
+    )
+    r("code_event_handlers", "programmer", "repair puzzle handler")
+    project.events.add(
+        EventBinding(
+            scenario_id="classroom",
+            trigger=Trigger.USE_ITEM,
+            object_id="computer",
+            item_id="ram",
+            once=True,
+            actions=[
+                SetProperty(object_id="computer", key="state", value="fixed"),
+                TakeItem(item_id="ram"),
+                AwardBonus(points=20),
+                ShowText(text="The computer boots!"),
+                EndGame(outcome="won"),
+            ],
+        )
+    )
+    r("debug_and_test", "programmer", "manual playtest + fixes")
+    r("debug_and_test", "programmer", "edge cases: wrong item, re-entry")
+
+    game = project.compile()
+    return game, ledger

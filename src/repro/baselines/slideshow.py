@@ -1,0 +1,99 @@
+"""Baseline 2: page-based slideshow e-learning.
+
+The "traditional e-learning systems" of §2.2: content on pages the
+student clicks through.  Structurally between the two extremes — every
+page turn is a (tiny) interaction, so attention gets micro-boosts the
+linear video lacks, but there is still no *responsive* feedback or
+reward, which keeps it below the game platform.
+
+Knowledge delivery is per page: finishing page ``k`` exposes that page's
+items passively (time-window deliveries laid out one window per page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..students.model import AttentionModel, StudentProfile
+from ..students.player import PlayResult
+
+__all__ = ["SlideshowLesson", "page_windows", "simulate_slideshow"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlideshowLesson:
+    """A deck: page count and nominal reading seconds per page."""
+
+    n_pages: int
+    seconds_per_page: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise ValueError("deck needs at least one page")
+        if self.seconds_per_page <= 0:
+            raise ValueError("seconds_per_page must be positive")
+
+    @property
+    def duration(self) -> float:
+        return self.n_pages * self.seconds_per_page
+
+
+def page_windows(lesson: SlideshowLesson) -> List[Tuple[float, float]]:
+    """The (t0, t1) knowledge-delivery window of each page."""
+    s = lesson.seconds_per_page
+    return [(k * s, (k + 1) * s) for k in range(lesson.n_pages)]
+
+
+def simulate_slideshow(
+    lesson: SlideshowLesson,
+    profile: StudentProfile,
+    rng: np.random.Generator,
+) -> PlayResult:
+    """One student clicking through the deck.
+
+    Reading a page takes the nominal time scaled by the student's pace
+    (slower readers take longer, attention decays more per page); each
+    completed page turn is an interaction with a micro-boost.
+    """
+    attention = AttentionModel(profile)
+    # Reading pace varies with the student's tempo, but sub-linearly —
+    # slow *clickers* are not proportionally slow *readers*.
+    pace = (profile.action_seconds / 4.0) ** 0.5
+    t = 0.0
+    pages_done = 0
+    trace: List[Tuple[float, float]] = []
+
+    for _page in range(lesson.n_pages):
+        read_time = float(
+            rng.gamma(shape=6.0, scale=lesson.seconds_per_page * pace / 6.0)
+        )
+        attention.decay(read_time)
+        t += read_time
+        if attention.dropped_out:
+            break
+        pages_done += 1
+        attention.event("page_turn")
+        trace.append((t, attention.level))
+
+    completed = pages_done == lesson.n_pages
+    # time_on_task is capped at the nominal duration for exposure purposes:
+    # watching window k requires having *finished* page k.
+    exposed_time = pages_done * lesson.seconds_per_page
+    return PlayResult(
+        completed=completed,
+        dropped_out=attention.dropped_out,
+        time_on_task=t,
+        interactions=pages_done,
+        final_attention=attention.level,
+        mean_attention=attention.mean_level,
+        score=0,
+        scenarios_visited=pages_done,
+        entered_scenarios=set(),
+        fired_bindings=set(),
+        examined_objects=set(),
+        dialogue_nodes=set(),
+        attention_trace=trace,
+    ), exposed_time

@@ -1,0 +1,175 @@
+"""Command-line interface: the platform without writing Python.
+
+Subcommands::
+
+    python -m repro demo                      # author + solve + play + Fig. 2
+    python -m repro validate <project_dir>    # authoring-time checks
+    python -m repro solve <project_dir>       # auto-generated walkthrough
+    python -m repro figures <project_dir> DIR # Fig. 1 text + storyboard PPM
+    python -m repro compare                   # mini-E6 cohort comparison
+
+``validate`` exits non-zero when the project has errors, so it slots
+into a course-content CI pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive Video Game-Based Learning platform "
+        "(Chang, Hsu & Shih, ICPPW 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="author the classroom example, prove it, play it")
+
+    p_validate = sub.add_parser("validate", help="validate a saved project")
+    p_validate.add_argument("project_dir", type=Path)
+    p_validate.add_argument(
+        "--no-solver", action="store_true",
+        help="skip the winnability proof (structural checks only)",
+    )
+
+    p_solve = sub.add_parser("solve", help="print the shortest walkthrough")
+    p_solve.add_argument("project_dir", type=Path)
+    p_solve.add_argument("--max-states", type=int, default=20000)
+
+    p_fig = sub.add_parser("figures", help="render Fig. 1 and a storyboard")
+    p_fig.add_argument("project_dir", type=Path)
+    p_fig.add_argument("out_dir", type=Path)
+
+    p_cmp = sub.add_parser("compare", help="run a small platform comparison")
+    p_cmp.add_argument("--students", type=int, default=20)
+    p_cmp.add_argument("--seed", type=int, default=2007)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (imports deferred: fast --help)
+# ----------------------------------------------------------------------
+
+def _cmd_demo() -> int:
+    from .core import fetch_quest_game, solve
+    from .reporting import render_runtime_screenshot
+
+    wizard = fetch_quest_game(n_quests=2, title="Demo: Fetch Quest")
+    report = wizard.check()
+    print(f"validated: errors={len(report.errors)} warnings={len(report.warnings)} "
+          f"winnable={report.winnable}")
+    game = wizard.build()
+    result = solve(game)
+    print("walkthrough:")
+    for i, move in enumerate(result.winning_script, 1):
+        print(f"  {i}. {move.describe()}")
+    engine = game.new_engine()
+    engine.start()
+    from .core.solver import _apply
+
+    for move in result.winning_script:
+        _apply(engine, move)
+    print(f"outcome: {engine.state.outcome}, score: {engine.state.score}")
+    print()
+    print(render_runtime_screenshot(engine))
+    return 0
+
+
+def _cmd_validate(project_dir: Path, no_solver: bool) -> int:
+    from .core import load_project, validate
+
+    project = load_project(project_dir)
+    report = validate(project, check_winnable=not no_solver)
+    for issue in report.issues:
+        print(issue)
+    if report.winnable is not None:
+        print(f"winnable: {report.winnable}"
+              + (f" (shortest solution: {report.solution_length} moves)"
+                 if report.winnable else ""))
+    print(f"{len(report.errors)} errors, {len(report.warnings)} warnings")
+    return 0 if report.ok else 1
+
+
+def _cmd_solve(project_dir: Path, max_states: int) -> int:
+    from .core import load_project, solve
+
+    game = load_project(project_dir).compile()
+    result = solve(game, max_states=max_states)
+    if result.winnable is None:
+        print(f"inconclusive: search bound hit after {result.states_explored} states")
+        return 2
+    if not result.winnable:
+        print(f"UNWINNABLE (explored {result.states_explored} states; "
+              f"outcomes seen: {sorted(result.outcomes_seen) or 'none'})")
+        return 1
+    print(f"winnable in {len(result.winning_script)} moves "
+          f"({result.states_explored} states explored):")
+    for i, move in enumerate(result.winning_script, 1):
+        print(f"  {i}. {move.describe()}")
+    return 0
+
+
+def _cmd_figures(project_dir: Path, out_dir: Path) -> int:
+    from .core import load_project
+    from .reporting import render_authoring_screenshot
+    from .reporting.images import write_ppm
+    from .video import storyboard
+
+    project = load_project(project_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    fig1 = render_authoring_screenshot(project)
+    (out_dir / "fig1_authoring_tool.txt").write_text(fig1 + "\n")
+    sheet, thumbs = storyboard(project.segments)
+    write_ppm(sheet, out_dir / "storyboard.ppm")
+    print(f"wrote fig1_authoring_tool.txt and storyboard.ppm "
+          f"({len(thumbs)} segments) to {out_dir}")
+    return 0
+
+
+def _cmd_compare(students: int, seed: int) -> int:
+    from .baselines import run_comparison
+    from .core import exploration_game
+    from .events import Trigger
+    from .learning import DeliveryPoint, KnowledgeItem, KnowledgeMap
+    from .reporting import format_table
+
+    wizard = exploration_game(n_exhibits=4)
+    game = wizard.build()
+    kmap = KnowledgeMap()
+    for k in range(4):
+        examine = [b.binding_id for b in game.events
+                   if b.trigger == Trigger.EXAMINE
+                   and b.object_id == f"artifact-{k}"][0]
+        kmap.add(KnowledgeItem(f"k{k}", f"artifact {k}"),
+                 [DeliveryPoint(kind="binding", ref=examine),
+                  DeliveryPoint(kind="enter", ref=f"exhibit-{k}")])
+    results = run_comparison(game, kmap, n_students=students, seed=seed)
+    print(format_table([s.as_row() for s in results.values()],
+                       title=f"Platform comparison (n={students})"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "validate":
+        return _cmd_validate(args.project_dir, args.no_solver)
+    if args.command == "solve":
+        return _cmd_solve(args.project_dir, args.max_states)
+    if args.command == "figures":
+        return _cmd_figures(args.project_dir, args.out_dir)
+    if args.command == "compare":
+        return _cmd_compare(args.students, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the VGBL authoring tool.
+
+``GameProject`` is the document; ``ScenarioEditor`` and ``ObjectEditor``
+are the two §4 editing surfaces; ``GameWizard`` is the friendly top
+layer; ``validate``/``solve`` prove a game is sound and winnable;
+``save_project``/``load_project`` persist it; templates generate
+complete parametric games.
+"""
+
+from .difficulty import DifficultyReport, estimate_difficulty, random_rollout
+from .effort import SKILL_WEIGHTS, AuthoringLedger, EffortReport, Op
+from .i18n import LocalePack, extract_strings, localize_game, missing_translations
+from .object_editor import ObjectEditor
+from .project import CompiledGame, GameProject, ProjectError
+from .scenario_editor import ScenarioEditor
+from .serialize import load_project, project_to_dict, save_project
+from .solver import Move, SolveResult, enumerate_dialogue_paths, solve
+from .templates import exploration_game, fetch_quest_game, quiz_game, scene_footage
+from .undo import Command, CommandRecorder, UndoError, UndoStack
+from .validation import Issue, Severity, ValidationReport, validate
+from .wizard import GameWizard, WizardError
+
+__all__ = [
+    "AuthoringLedger",
+    "Command",
+    "CommandRecorder",
+    "CompiledGame",
+    "DifficultyReport",
+    "UndoError",
+    "UndoStack",
+    "estimate_difficulty",
+    "random_rollout",
+    "EffortReport",
+    "GameProject",
+    "GameWizard",
+    "Issue",
+    "LocalePack",
+    "Move",
+    "extract_strings",
+    "localize_game",
+    "missing_translations",
+    "ObjectEditor",
+    "Op",
+    "ProjectError",
+    "SKILL_WEIGHTS",
+    "ScenarioEditor",
+    "Severity",
+    "SolveResult",
+    "ValidationReport",
+    "WizardError",
+    "enumerate_dialogue_paths",
+    "exploration_game",
+    "fetch_quest_game",
+    "load_project",
+    "project_to_dict",
+    "quiz_game",
+    "save_project",
+    "scene_footage",
+    "solve",
+    "validate",
+]

@@ -1,0 +1,102 @@
+"""Authoring-effort accounting (experiments E7/E8).
+
+The paper's thesis is that the authoring tool lets content providers
+"produce educational games without understanding details of computer
+graphics, video and even flash technologies" (§1).  To test that claim
+quantitatively we attach a ledger to every authoring surface and charge
+each operation an *expertise-weighted* cost:
+
+===========  =====  ==============================================
+Skill level  Weight  Meaning
+===========  =====  ==============================================
+novice        1.0   point-and-click operation any teacher can do
+editor        2.5   operation needing tool-specific training
+programmer   12.0   operation requiring writing/reading code
+specialist   30.0   operation needing CG/video/Flash expertise
+===========  =====  ==============================================
+
+The weights follow the standard keystroke-level-model intuition that
+expert-only steps dominate production cost; their *ratios* (not absolute
+values) drive E7's conclusion, and the bench sweeps them to show the
+conclusion is weight-insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AuthoringLedger", "EffortReport", "Op", "SKILL_WEIGHTS"]
+
+SKILL_WEIGHTS: Dict[str, float] = {
+    "novice": 1.0,
+    "editor": 2.5,
+    "programmer": 12.0,
+    "specialist": 30.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One recorded authoring operation."""
+
+    name: str
+    skill: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.skill not in SKILL_WEIGHTS:
+            raise ValueError(
+                f"unknown skill level {self.skill!r}; "
+                f"expected one of {sorted(SKILL_WEIGHTS)}"
+            )
+
+
+@dataclass(slots=True)
+class EffortReport:
+    """Aggregated effort for one authoring workflow."""
+
+    total_ops: int
+    weighted_cost: float
+    ops_by_skill: Dict[str, int]
+    cost_by_skill: Dict[str, float]
+
+    @property
+    def max_skill_required(self) -> str:
+        """The highest expertise any single operation needed."""
+        order = ["novice", "editor", "programmer", "specialist"]
+        present = [s for s in order if self.ops_by_skill.get(s, 0) > 0]
+        return present[-1] if present else "novice"
+
+
+class AuthoringLedger:
+    """Records authoring operations; one ledger per authoring workflow."""
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        self.weights = dict(weights or SKILL_WEIGHTS)
+        self.ops: List[Op] = []
+
+    def record(self, name: str, skill: str = "novice", detail: str = "") -> None:
+        """Charge one operation."""
+        op = Op(name=name, skill=skill, detail=detail)
+        if op.skill not in self.weights:
+            raise ValueError(f"no weight for skill {op.skill!r}")
+        self.ops.append(op)
+
+    def report(self) -> EffortReport:
+        ops_by_skill: Dict[str, int] = {}
+        cost_by_skill: Dict[str, float] = {}
+        for op in self.ops:
+            ops_by_skill[op.skill] = ops_by_skill.get(op.skill, 0) + 1
+            cost_by_skill[op.skill] = (
+                cost_by_skill.get(op.skill, 0.0) + self.weights[op.skill]
+            )
+        return EffortReport(
+            total_ops=len(self.ops),
+            weighted_cost=sum(cost_by_skill.values()),
+            ops_by_skill=ops_by_skill,
+            cost_by_skill=cost_by_skill,
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,169 @@
+"""Localisation: one authored game, many languages.
+
+The VGBL platform targets "general users" producing "unspecified
+contents" (§1) — in Taiwanese classrooms of 2007 that meant bilingual
+course material.  Localisation here is a *compile-time* transform: the
+designer authors in a base language; a :class:`LocalePack` maps every
+player-visible string to its translation; ``localize_game`` produces a
+new :class:`~repro.core.project.CompiledGame` with every string swapped.
+
+Player-visible strings live in known places — ``ShowText`` actions,
+``EndGame`` outcomes stay internal, object names/descriptions, button
+labels, dialogue lines and choice texts — so extraction
+(:func:`extract_strings`) is mechanical, and
+:func:`missing_translations` gives the validator-style completeness
+check before shipping a locale.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..events import EventBinding, EventTable, ShowText
+from ..graph import Scenario
+from ..runtime import Dialogue, DialogueChoice, DialogueNode
+from .project import CompiledGame
+
+__all__ = [
+    "LocalePack",
+    "extract_strings",
+    "localize_game",
+    "missing_translations",
+]
+
+
+@dataclass(slots=True)
+class LocalePack:
+    """A translation table for one target locale."""
+
+    locale: str
+    translations: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.locale:
+            raise ValueError("locale tag must be non-empty")
+
+    def translate(self, text: str) -> str:
+        """Translate, falling back to the source text."""
+        return self.translations.get(text, text)
+
+    def add(self, source: str, target: str) -> None:
+        if not source:
+            raise ValueError("source string must be non-empty")
+        self.translations[source] = target
+
+    def __len__(self) -> int:
+        return len(self.translations)
+
+
+def extract_strings(game: CompiledGame) -> List[str]:
+    """Every player-visible string of a game, deduplicated, in a stable
+    order (the translator's worklist)."""
+    seen: Set[str] = set()
+    ordered: List[str] = []
+
+    def visit(text: Optional[str]) -> None:
+        if text and text not in seen:
+            seen.add(text)
+            ordered.append(text)
+
+    visit(game.title)
+    for sc in game.scenarios.values():
+        visit(sc.title)
+        for obj in sc.objects:
+            visit(obj.name)
+            visit(obj.description)
+            visit(getattr(obj, "label", None))
+            visit(getattr(obj, "text", None))
+    for binding in game.events:
+        for action in binding.actions:
+            if isinstance(action, ShowText):
+                visit(action.text)
+    for dlg in game.dialogues.values():
+        for node in dlg.nodes.values():
+            visit(node.line)
+            for choice in node.choices:
+                visit(choice.text)
+    return ordered
+
+
+def missing_translations(game: CompiledGame, pack: LocalePack) -> List[str]:
+    """Source strings the pack does not cover (ship blocker check)."""
+    return [s for s in extract_strings(game) if s not in pack.translations]
+
+
+def localize_game(game: CompiledGame, pack: LocalePack) -> CompiledGame:
+    """A deep-copied game with every player-visible string translated.
+
+    The video container and all ids are shared/unchanged; only display
+    strings differ, so save-games and analytics remain comparable across
+    locales.
+    """
+    t = pack.translate
+
+    scenarios: Dict[str, Scenario] = {}
+    for sid, sc in game.scenarios.items():
+        new_sc = Scenario(
+            sc.scenario_id, t(sc.title), sc.segment_ref,
+            loop=sc.loop, on_finish=sc.on_finish,
+        )
+        for obj in sc.objects:
+            clone = copy.deepcopy(obj)
+            clone.name = t(clone.name)
+            clone.description = t(clone.description) if clone.description else ""
+            if hasattr(clone, "label"):
+                clone.label = t(clone.label)
+            if hasattr(clone, "text") and isinstance(getattr(clone, "text"), str):
+                clone.text = t(clone.text)
+            new_sc.add_object(clone)
+        scenarios[sid] = new_sc
+
+    events = EventTable()
+    for binding in game.events:
+        actions = []
+        for action in binding.actions:
+            if isinstance(action, ShowText):
+                actions.append(ShowText(text=t(action.text)))
+            else:
+                actions.append(action)
+        events.add(EventBinding(
+            binding_id=binding.binding_id,
+            scenario_id=binding.scenario_id,
+            trigger=binding.trigger,
+            object_id=binding.object_id,
+            item_id=binding.item_id,
+            condition=binding.condition,
+            once=binding.once,
+            priority=binding.priority,
+            timer_seconds=binding.timer_seconds,
+            actions=actions,
+        ))
+
+    dialogues: Dict[str, Dialogue] = {}
+    for did, dlg in game.dialogues.items():
+        nodes = [
+            DialogueNode(
+                node_id=node.node_id,
+                line=t(node.line),
+                choices=[
+                    DialogueChoice(
+                        text=t(c.text), next_node=c.next_node,
+                        actions=list(c.actions),
+                    )
+                    for c in node.choices
+                ],
+            )
+            for node in dlg.nodes.values()
+        ]
+        dialogues[did] = Dialogue(dlg.dialogue_id, nodes, dlg.root)
+
+    return CompiledGame(
+        title=t(game.title),
+        scenarios=scenarios,
+        events=events,
+        dialogues=dialogues,
+        start=game.start,
+        container=game.container,
+    )

@@ -1,0 +1,323 @@
+"""The Object Editor (§4.2).
+
+"Users can set the properties and events of objects in video and produce
+adequate feedback when users' trigger them."
+
+The editor wraps a project with the Fig. 1 right-hand panes: an object
+palette (place image / button / text / web link / item / NPC / reward),
+a property panel, and an event panel that writes
+:class:`~repro.events.model.EventBinding` rows.  High-level helpers
+(``link_scenes``, ``feedback_on``, ``fetch_puzzle``) bundle the common
+authoring idioms so a course designer never sees the raw binding model —
+those helpers are exactly what the wizard (:mod:`repro.core.wizard`)
+exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events import (
+    Action,
+    AwardBonus,
+    EndGame,
+    EventBinding,
+    SetProperty,
+    ShowText,
+    SwitchScenario,
+    TakeItem,
+    Trigger,
+)
+from ..objects import (
+    ButtonObject,
+    Hotspot,
+    ImageObject,
+    InteractiveObject,
+    ItemObject,
+    NPCObject,
+    RectHotspot,
+    RewardObject,
+    TextObject,
+    WebLinkObject,
+)
+from ..runtime import Dialogue
+from .effort import AuthoringLedger
+from .project import GameProject, ProjectError
+
+__all__ = ["ObjectEditor"]
+
+
+class ObjectEditor:
+    """Point-and-click object & event authoring over a project."""
+
+    def __init__(self, project: GameProject, ledger: Optional[AuthoringLedger] = None) -> None:
+        self.project = project
+        self.ledger = ledger if ledger is not None else AuthoringLedger()
+
+    # ------------------------------------------------------------------
+    # Placement (the palette)
+    # ------------------------------------------------------------------
+    def place_image(
+        self,
+        scenario_id: str,
+        object_id: str,
+        name: str,
+        hotspot: Hotspot,
+        pixels: Optional[np.ndarray] = None,
+        description: str = "",
+        **kwargs: Any,
+    ) -> ImageObject:
+        obj = ImageObject(
+            object_id=object_id, name=name, hotspot=hotspot,
+            pixels=pixels, description=description, **kwargs,
+        )
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_button(
+        self,
+        scenario_id: str,
+        object_id: str,
+        label: str,
+        hotspot: Hotspot,
+        **kwargs: Any,
+    ) -> ButtonObject:
+        obj = ButtonObject(
+            object_id=object_id, name=label, label=label, hotspot=hotspot, **kwargs
+        )
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_text(self, scenario_id: str, object_id: str, text: str, hotspot: Hotspot) -> TextObject:
+        obj = TextObject(object_id=object_id, name=f"text:{object_id}", text=text, hotspot=hotspot)
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_weblink(self, scenario_id: str, object_id: str, name: str, url: str, hotspot: Hotspot) -> WebLinkObject:
+        obj = WebLinkObject(object_id=object_id, name=name, url=url, hotspot=hotspot)
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_item(
+        self,
+        scenario_id: str,
+        object_id: str,
+        name: str,
+        hotspot: Hotspot,
+        description: str = "",
+        pixels: Optional[np.ndarray] = None,
+    ) -> ItemObject:
+        obj = ItemObject(
+            object_id=object_id, name=name, hotspot=hotspot,
+            description=description, pixels=pixels,
+        )
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_npc(
+        self,
+        scenario_id: str,
+        object_id: str,
+        name: str,
+        hotspot: Hotspot,
+        dialogue: Dialogue,
+        description: str = "",
+    ) -> NPCObject:
+        """Place an NPC and register its conversation in one step."""
+        if dialogue.dialogue_id not in self.project.dialogues:
+            self.project.add_dialogue(dialogue)
+            self.ledger.record("author_dialogue", "novice", detail=dialogue.dialogue_id)
+        obj = NPCObject(
+            object_id=object_id, name=name, hotspot=hotspot,
+            dialogue_id=dialogue.dialogue_id, description=description,
+        )
+        self._mount(scenario_id, obj)
+        return obj
+
+    def place_reward(
+        self,
+        scenario_id: str,
+        object_id: str,
+        name: str,
+        hotspot: Hotspot,
+        bonus: int = 10,
+    ) -> RewardObject:
+        obj = RewardObject(object_id=object_id, name=name, hotspot=hotspot, bonus=bonus)
+        self._mount(scenario_id, obj)
+        return obj
+
+    def _mount(self, scenario_id: str, obj: InteractiveObject) -> None:
+        # Object ids are global: events, conditions and the inventory all
+        # reference objects without naming a scenario.
+        try:
+            home, _ = self.project.find_object(obj.object_id)
+        except ProjectError:
+            pass
+        else:
+            raise ProjectError(
+                f"object id {obj.object_id!r} already used in scenario {home!r}"
+            )
+        self.project.get_scenario(scenario_id).add_object(obj)
+        self.ledger.record(f"place_{obj.kind}", "novice", detail=obj.object_id)
+
+    # ------------------------------------------------------------------
+    # Property panel
+    # ------------------------------------------------------------------
+    def set_property(self, object_id: str, key: str, value: Any) -> None:
+        _, obj = self.project.find_object(object_id)
+        obj.properties.set(key, value)
+        self.ledger.record("set_property", "novice", detail=f"{object_id}.{key}")
+
+    def set_description(self, object_id: str, text: str) -> None:
+        """The examine feedback text."""
+        _, obj = self.project.find_object(object_id)
+        obj.description = text
+        self.ledger.record("set_description", "novice", detail=object_id)
+
+    def set_z_order(self, object_id: str, z: int) -> None:
+        _, obj = self.project.find_object(object_id)
+        obj.z_order = int(z)
+        self.ledger.record("set_z_order", "novice", detail=object_id)
+
+    # ------------------------------------------------------------------
+    # Event panel
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        scenario_id: str,
+        trigger: str,
+        actions: Sequence[Action],
+        object_id: Optional[str] = None,
+        item_id: Optional[str] = None,
+        condition: str = "",
+        once: bool = False,
+        priority: int = 0,
+        timer_seconds: float = 0.0,
+        skill: str = "editor",
+    ) -> str:
+        """Write one raw event binding (the advanced event panel).
+
+        ``skill`` is the effort level charged; the high-level idioms
+        below pass ``"novice"`` because the tool, not the author, builds
+        the binding.
+        """
+        binding = EventBinding(
+            scenario_id=scenario_id,
+            trigger=trigger,
+            object_id=object_id,
+            item_id=item_id,
+            condition=condition,
+            once=once,
+            priority=priority,
+            timer_seconds=timer_seconds,
+            actions=list(actions),
+        )
+        bid = self.project.events.add(binding)
+        self.ledger.record("bind_event", skill, detail=bid)
+        return bid
+
+    # ------------------------------------------------------------------
+    # High-level idioms (what the wizard exposes)
+    # ------------------------------------------------------------------
+    def link_scenes(
+        self,
+        from_scenario: str,
+        to_scenario: str,
+        label: str,
+        hotspot: Optional[Hotspot] = None,
+        button_id: Optional[str] = None,
+    ) -> str:
+        """Drop a navigation button that switches scenarios on click."""
+        if to_scenario not in self.project.scenarios:
+            raise ProjectError(f"no scenario {to_scenario!r} to link to")
+        oid = button_id or f"{from_scenario}-go-{to_scenario}"
+        if hotspot is None:
+            n_existing = sum(
+                1 for o in self.project.get_scenario(from_scenario).objects
+                if o.kind == "button"
+            )
+            fw = (self.project.frame_size.width if self.project.frame_size else 320)
+            hotspot = RectHotspot(fw - 70, 8 + 20 * n_existing, 62, 16)
+        self.place_button(from_scenario, oid, label, hotspot)
+        return self.bind(
+            from_scenario,
+            Trigger.CLICK,
+            object_id=oid,
+            actions=[SwitchScenario(target=to_scenario)],
+            skill="novice",
+        )
+
+    def feedback_on(
+        self,
+        scenario_id: str,
+        object_id: str,
+        text: str,
+        trigger: str = Trigger.CLICK,
+        condition: str = "",
+        once: bool = False,
+    ) -> str:
+        """Attach feedback text to a trigger — the §4.2 "adequate
+        feedback when users trigger them"."""
+        return self.bind(
+            scenario_id,
+            trigger,
+            object_id=object_id,
+            condition=condition,
+            once=once,
+            actions=[ShowText(text=text)],
+            skill="novice",
+        )
+
+    def fetch_puzzle(
+        self,
+        target_scenario: str,
+        target_object: str,
+        item_id: str,
+        success_text: str,
+        bonus: int = 10,
+        reward_id: Optional[str] = None,
+        consume_item: bool = True,
+        set_prop: Optional[Tuple[str, Any]] = None,
+        end_outcome: Optional[str] = None,
+        wrong_item_text: str = "That does not work here.",
+        wrong_items: Sequence[str] = (),
+    ) -> str:
+        """Author the paper's worked example in one operation:
+
+        "players move to another scenario … to get the components they
+        needed and return … and fix the computer" (§3.2).  Using
+        ``item_id`` on ``target_object`` pays out; using any of
+        ``wrong_items`` produces corrective feedback instead — the
+        "different feedback" the paper attributes to authoring.
+        """
+        actions: List[Action] = []
+        if set_prop is not None:
+            key, value = set_prop
+            actions.append(SetProperty(object_id=target_object, key=key, value=value))
+        if consume_item:
+            actions.append(TakeItem(item_id=item_id))
+        actions.append(AwardBonus(points=bonus, reward_id=reward_id))
+        actions.append(ShowText(text=success_text))
+        if end_outcome is not None:
+            actions.append(EndGame(outcome=end_outcome))
+        bid = self.bind(
+            target_scenario,
+            Trigger.USE_ITEM,
+            object_id=target_object,
+            item_id=item_id,
+            once=True,
+            actions=actions,
+            skill="novice",
+        )
+        for wrong in wrong_items:
+            self.bind(
+                target_scenario,
+                Trigger.USE_ITEM,
+                object_id=target_object,
+                item_id=wrong,
+                actions=[ShowText(text=wrong_item_text)],
+                skill="novice",
+            )
+        return bid

@@ -1,0 +1,178 @@
+"""The Scenario Editor (§4.1).
+
+"The users just need to select video files from network or video cameras
+such that video can be divided into scenario components by the authoring
+tool."
+
+The editor wraps a :class:`~repro.core.project.GameProject` with the
+point-and-click operations of Fig. 1's left-hand pane:
+
+1. **import** footage,
+2. **auto-segment** it (shot detection proposes a cut list on a
+   :class:`~repro.video.segment.Timeline` the author can adjust),
+3. **commit** the timeline's segments to the container order, and
+4. **promote** segments to scenarios (title, looping, auto-advance).
+
+Every operation is charged to the ledger at *novice* or *editor* level —
+the whole point of the tool is that none of this needs a programmer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..graph import Scenario
+from ..video import (
+    DetectorConfig,
+    Frame,
+    Timeline,
+    VideoSegment,
+    detect_shots,
+    segments_from_boundaries,
+)
+from ..video.parallel import parallel_difference_signal
+from ..video.shots import ShotDetector
+from .effort import AuthoringLedger
+from .project import GameProject, ProjectError
+
+__all__ = ["ScenarioEditor"]
+
+
+class ScenarioEditor:
+    """Point-and-click scenario authoring over a project."""
+
+    def __init__(self, project: GameProject, ledger: Optional[AuthoringLedger] = None) -> None:
+        self.project = project
+        self.ledger = ledger if ledger is not None else AuthoringLedger()
+        #: per-footage proposed timelines awaiting author adjustment
+        self.proposals: Dict[str, Timeline] = {}
+
+    # ------------------------------------------------------------------
+    # Step 1: import
+    # ------------------------------------------------------------------
+    def import_footage(self, name: str, frames: Sequence[Frame], fps: Optional[float] = None) -> None:
+        """File-picker import of a clip."""
+        self.project.import_footage(name, frames, fps)
+        self.ledger.record("import_footage", "novice", detail=name)
+
+    # ------------------------------------------------------------------
+    # Step 2: auto-segmentation
+    # ------------------------------------------------------------------
+    def auto_segment(
+        self,
+        footage_name: str,
+        config: Optional[DetectorConfig] = None,
+        parallel_workers: int = 0,
+    ) -> Timeline:
+        """Run shot detection and propose a segment timeline.
+
+        ``parallel_workers > 1`` computes the difference signal on a
+        process pool (useful for long clips; identical results).
+        """
+        frames = self.project.get_footage_frames(footage_name)
+        cfg = config or DetectorConfig()
+        if parallel_workers > 1:
+            signal, _stats = parallel_difference_signal(
+                frames, config=cfg, max_workers=parallel_workers
+            )
+            boundaries = [
+                b.frame_index for b in ShotDetector(cfg).detect_from_signal(signal)
+            ]
+        else:
+            boundaries = detect_shots(frames, cfg)
+        timeline = Timeline(
+            segments_from_boundaries(
+                frames, boundaries, name_prefix=footage_name, source=footage_name
+            )
+        )
+        self.proposals[footage_name] = timeline
+        self.ledger.record("auto_segment", "novice", detail=footage_name)
+        return timeline
+
+    # ------------------------------------------------------------------
+    # Author adjustments on the proposal
+    # ------------------------------------------------------------------
+    def rename_segment(self, footage_name: str, old: str, new: str) -> None:
+        self._proposal(footage_name).rename(old, new)
+        self.ledger.record("rename_segment", "novice", detail=f"{old}->{new}")
+
+    def merge_segments(self, footage_name: str, first: str, second: str, name: Optional[str] = None) -> str:
+        merged = self._proposal(footage_name).merge(first, second, name=name)
+        self.ledger.record("merge_segments", "editor", detail=merged)
+        return merged
+
+    def split_segment(self, footage_name: str, name: str, at: int):
+        names = self._proposal(footage_name).split(name, at)
+        self.ledger.record("split_segment", "editor", detail=f"{name}@{at}")
+        return names
+
+    def drop_segment(self, footage_name: str, name: str) -> None:
+        """Discard a proposed segment (e.g. a slate or a blooper)."""
+        self._proposal(footage_name).remove(name)
+        self.ledger.record("drop_segment", "novice", detail=name)
+
+    def _proposal(self, footage_name: str) -> Timeline:
+        try:
+            return self.proposals[footage_name]
+        except KeyError:
+            raise ProjectError(
+                f"no segmentation proposal for {footage_name!r}; run auto_segment first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Step 3: commit
+    # ------------------------------------------------------------------
+    def commit(self, footage_name: str) -> Dict[str, int]:
+        """Commit the adjusted timeline; returns name → container ref."""
+        timeline = self._proposal(footage_name)
+        refs: Dict[str, int] = {}
+        for seg in timeline:
+            refs[seg.name] = self.project.commit_segment(seg)
+        del self.proposals[footage_name]
+        self.ledger.record("commit_segments", "novice", detail=footage_name)
+        return refs
+
+    def commit_whole(self, footage_name: str, segment_name: Optional[str] = None) -> int:
+        """Commit an entire clip as a single segment (one-scene footage).
+
+        The common case for designers who film each scene separately —
+        no segmentation pass needed, one click.
+        """
+        frames = self.project.get_footage_frames(footage_name)
+        seg = VideoSegment(
+            name=segment_name or footage_name,
+            frames=list(frames),
+            source=footage_name,
+            source_span=(0, len(frames)),
+        )
+        ref = self.project.commit_segment(seg)
+        self.ledger.record("commit_whole", "novice", detail=seg.name)
+        return ref
+
+    def commit_manual_segment(self, segment: VideoSegment) -> int:
+        """Commit a hand-cut segment directly (advanced path)."""
+        ref = self.project.commit_segment(segment)
+        self.ledger.record("commit_manual_segment", "editor", detail=segment.name)
+        return ref
+
+    # ------------------------------------------------------------------
+    # Step 4: promote to scenarios
+    # ------------------------------------------------------------------
+    def create_scenario(
+        self,
+        scenario_id: str,
+        title: str,
+        segment_name: str,
+        loop: bool = True,
+        on_finish: Optional[str] = None,
+    ) -> Scenario:
+        """Promote a committed segment to an interactive scenario."""
+        ref = self.project.segment_ref(segment_name)
+        scenario = Scenario(scenario_id, title, ref, loop=loop, on_finish=on_finish)
+        self.project.add_scenario(scenario)
+        self.ledger.record("create_scenario", "novice", detail=scenario_id)
+        return scenario
+
+    def set_start(self, scenario_id: str) -> None:
+        self.project.set_start(scenario_id)
+        self.ledger.record("set_start", "novice", detail=scenario_id)

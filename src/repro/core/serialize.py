@@ -1,0 +1,111 @@
+"""Project persistence: save/load authoring documents.
+
+A saved project is a directory with two files:
+
+``project.json``
+    Everything structural — metadata, segment names, scenarios with
+    their objects, the event table, dialogues, start scenario.
+``media.rvid``
+    The committed video segments, encoded with the project's codec in
+    container order (so ``segment_names[i]`` labels container segment
+    ``i``).
+
+Raw *footage* (imported but uncommitted clips) is working material and
+is deliberately not saved — matching the authoring tool's behaviour of
+freezing only committed scenario components.  Round-trip fidelity for
+everything saved is covered by property tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..events import EventTable
+from ..graph import Scenario
+from ..runtime import Dialogue
+from ..video import VideoReader, VideoSegment
+from .project import GameProject, ProjectError
+
+__all__ = ["PROJECT_JSON", "MEDIA_FILE", "load_project", "save_project"]
+
+PROJECT_JSON = "project.json"
+MEDIA_FILE = "media.rvid"
+_FORMAT_VERSION = 1
+
+
+def project_to_dict(project: GameProject) -> Dict[str, Any]:
+    """Structural (JSON-safe) form of a project, excluding pixel data."""
+    if project.frame_size is None:
+        raise ProjectError("cannot save a project with no media")
+    return {
+        "format_version": _FORMAT_VERSION,
+        "title": project.title,
+        "author": project.author,
+        "fps": project.fps,
+        "codec_name": project.codec_name,
+        "codec_params": project.codec_params,
+        "frame_size": [project.frame_size.width, project.frame_size.height],
+        "start_scenario": project.start_scenario,
+        "segment_names": [s.name for s in project.segments],
+        "scenarios": [sc.to_dict() for sc in project.scenarios.values()],
+        "events": project.events.to_list(),
+        "dialogues": [d.to_dict() for d in project.dialogues.values()],
+    }
+
+
+def save_project(project: GameProject, directory: Union[str, Path]) -> Path:
+    """Write ``project.json`` + ``media.rvid`` under ``directory``."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    compiled = project.compile()  # validates segments exist & encodes media
+    (d / MEDIA_FILE).write_bytes(compiled.container)
+    (d / PROJECT_JSON).write_text(
+        json.dumps(project_to_dict(project), indent=2, sort_keys=True)
+    )
+    return d
+
+
+def load_project(directory: Union[str, Path]) -> GameProject:
+    """Inverse of :func:`save_project`."""
+    d = Path(directory)
+    meta_path = d / PROJECT_JSON
+    media_path = d / MEDIA_FILE
+    if not meta_path.exists():
+        raise ProjectError(f"no {PROJECT_JSON} in {d}")
+    if not media_path.exists():
+        raise ProjectError(f"no {MEDIA_FILE} in {d}")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ProjectError(f"unsupported project format version {version!r}")
+
+    project = GameProject(
+        title=meta["title"],
+        author=meta.get("author", ""),
+        fps=meta.get("fps", 24.0),
+        codec_name=meta.get("codec_name", "delta"),
+        codec_params=meta.get("codec_params") or {},
+    )
+
+    reader = VideoReader(media_path.read_bytes())
+    names = meta.get("segment_names", [])
+    if len(names) != reader.segment_count:
+        raise ProjectError(
+            f"media has {reader.segment_count} segments, project.json names "
+            f"{len(names)}"
+        )
+    for i, name in enumerate(names):
+        frames = reader.decode_segment(i)
+        project.commit_segment(VideoSegment(name=name, frames=frames))
+
+    for sc_dict in meta.get("scenarios", []):
+        project.add_scenario(Scenario.from_dict(sc_dict))
+    project.events = EventTable.from_list(meta.get("events", []))
+    for dd in meta.get("dialogues", []):
+        project.add_dialogue(Dialogue.from_dict(dd))
+    start = meta.get("start_scenario")
+    if start:
+        project.set_start(start)
+    return project

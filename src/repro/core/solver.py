@@ -1,0 +1,255 @@
+"""Winnability solver: proves an authored game can be completed.
+
+The validator's structural checks (reachable scenarios, resolvable ids)
+cannot answer the question a course designer actually cares about: *can a
+student still win after my last edit?*  The solver answers it by
+breadth-first search over the **game-state space**, using the real
+runtime engine as the transition function — whatever quirks the engine
+has, the proof inherits them.
+
+Nodes are canonicalised game states (scenario, flags, inventory, fired
+once-bindings, visibility and property overrides, score, outcome); moves
+are the interactions a player could perform:
+
+* click / examine / talk on any effectively-visible object,
+* take any effectively-visible portable object,
+* use any held item on any object that has a ``use_item`` binding,
+* walk any complete dialogue path of an NPC conversation.
+
+BFS yields the *shortest* winning interaction script, which doubles as
+the authoring tool's auto-generated walkthrough.  The search is bounded
+(``max_states``); hitting the bound returns ``winnable=None`` (unknown)
+rather than a false negative.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..events import Trigger
+from ..runtime import Dialogue, DialogueSession, GameEngine, GameState
+
+__all__ = ["Move", "SolveResult", "enumerate_dialogue_paths", "solve"]
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """One abstract player interaction."""
+
+    kind: str  #: click | examine | talk | take | use | dialogue | approach
+    object_id: Optional[str] = None
+    item_id: Optional[str] = None
+    dialogue_path: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "use":
+            return f"use {self.item_id} on {self.object_id}"
+        if self.kind == "dialogue":
+            return f"talk to {self.object_id} (choices {list(self.dialogue_path)})"
+        return f"{self.kind} {self.object_id}"
+
+
+@dataclass(slots=True)
+class SolveResult:
+    """Outcome of a solver run."""
+
+    winnable: Optional[bool]  #: True / False / None (search bound hit)
+    winning_script: List[Move] = field(default_factory=list)
+    states_explored: int = 0
+    outcomes_seen: Set[str] = field(default_factory=set)
+    hit_bound: bool = False
+
+
+def enumerate_dialogue_paths(
+    dialogue: Dialogue, max_paths: int = 32, max_depth: int = 64
+) -> List[Tuple[int, ...]]:
+    """All root→end choice-index sequences, bounded.
+
+    Dialogue validation guarantees an exit exists from every node, but
+    cycles are legal ("ask again"); ``max_depth`` cuts them.
+    """
+    paths: List[Tuple[int, ...]] = []
+    stack: List[Tuple[Optional[str], Tuple[int, ...]]] = [(dialogue.root, ())]
+    while stack and len(paths) < max_paths:
+        node_id, prefix = stack.pop()
+        if node_id is None or len(prefix) >= max_depth:
+            paths.append(prefix)
+            continue
+        node = dialogue.nodes[node_id]
+        if node.terminal:
+            paths.append(prefix)
+            continue
+        for i, choice in enumerate(node.choices):
+            stack.append((choice.next_node, prefix + (i,)))
+    return paths
+
+
+def _canonical(state: GameState) -> str:
+    """Stable hashable key for a game state (popups excluded: they are
+    presentation, not logic; dwell clocks excluded: timers are handled
+    as explicit moves by the caller if desired)."""
+    d = state.to_dict()
+    d.pop("popups", None)
+    d.pop("play_time", None)
+    d.pop("scenario_time", None)
+    d.pop("fired_timers", None)
+    d.pop("avatar_xy", None)
+    d.pop("web_visits", None)
+    d.pop("base_props", None)  # authored constants, identical in every state
+    d["inventory"].pop("selected", None)
+    return json.dumps(d, sort_keys=True)
+
+
+def _legal_moves(engine: GameEngine) -> List[Move]:
+    """Enumerate candidate interactions in the engine's current state."""
+    state = engine.state
+    scenario = engine.current_scenario
+    moves: List[Move] = []
+    visible = [
+        o
+        for o in scenario.objects
+        if state.object_visible(o.object_id, o.visible)
+    ]
+    visible_ids = {o.object_id for o in visible}
+
+    for obj in visible:
+        if obj.portable and not state.inventory.has(obj.object_id):
+            moves.append(Move(kind="take", object_id=obj.object_id))
+        # Examining is always available in the real UI (description
+        # feedback); it rarely changes state, so the BFS dedupe absorbs
+        # it, but student policies need it for investigation behaviour.
+        moves.append(Move(kind="examine", object_id=obj.object_id))
+        if obj.kind == "npc":
+            dlg_id = getattr(obj, "dialogue_id", None)
+            dlg = engine.dialogues.get(dlg_id) if dlg_id else None
+            if dlg is not None:
+                for path in enumerate_dialogue_paths(dlg):
+                    moves.append(
+                        Move(kind="dialogue", object_id=obj.object_id, dialogue_path=path)
+                    )
+
+    # Trigger-bearing interactions, from the event table.
+    for binding in engine.events.for_scenario(state.current_scenario):
+        oid = binding.object_id
+        if binding.trigger in (Trigger.CLICK, Trigger.EXAMINE, Trigger.TALK):
+            if oid in visible_ids:
+                kind = {
+                    Trigger.CLICK: "click",
+                    Trigger.EXAMINE: "examine",
+                    Trigger.TALK: "talk",
+                }[binding.trigger]
+                moves.append(Move(kind=kind, object_id=oid))
+        elif binding.trigger == Trigger.USE_ITEM:
+            if oid in visible_ids and binding.item_id and state.inventory.has(binding.item_id):
+                moves.append(Move(kind="use", object_id=oid, item_id=binding.item_id))
+        elif binding.trigger == Trigger.APPROACH:
+            if oid in visible_ids and oid not in state.approached:
+                moves.append(Move(kind="approach", object_id=oid))
+
+    # Deduplicate preserving order.
+    seen: Set[Tuple] = set()
+    unique: List[Move] = []
+    for m in moves:
+        key = (m.kind, m.object_id, m.item_id, m.dialogue_path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(m)
+    return unique
+
+
+def _apply(engine: GameEngine, move: Move) -> None:
+    """Execute a move against the engine's current state."""
+    state = engine.state
+    if move.kind == "take":
+        obj = engine.current_scenario.get_object(move.object_id)
+        state.inventory.add(obj.object_id, name=obj.name)
+        state.visibility[obj.object_id] = False
+        engine.fire(Trigger.TAKE, move.object_id, None)
+    elif move.kind == "click":
+        engine.fire(Trigger.CLICK, move.object_id, None)
+    elif move.kind == "examine":
+        engine.fire(Trigger.EXAMINE, move.object_id, None)
+    elif move.kind == "talk":
+        engine.fire(Trigger.TALK, move.object_id, None)
+    elif move.kind == "use":
+        engine.fire(Trigger.USE_ITEM, move.object_id, move.item_id)
+    elif move.kind == "approach":
+        state.approached.add(move.object_id)
+        engine.fire(Trigger.APPROACH, move.object_id, None)
+    elif move.kind == "dialogue":
+        engine.fire(Trigger.TALK, move.object_id, None)
+        obj = engine.current_scenario.get_object(move.object_id)
+        dlg = engine.dialogues[getattr(obj, "dialogue_id")]
+        session = DialogueSession(dlg)
+        for idx in move.dialogue_path:
+            if not session.active or engine.state.finished:
+                break
+            actions = session.choose(idx)
+            engine.execute_actions(actions, source=f"dialogue:{dlg.dialogue_id}")
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown move kind {move.kind!r}")
+    # Popups are presentation; clear so states canonicalise.
+    state.popups.clear()
+    state.inventory.deselect()
+
+
+def solve(
+    compiled,
+    max_states: int = 20000,
+    win_outcomes: Sequence[str] = ("won",),
+) -> SolveResult:
+    """BFS the game's state space for a winning script.
+
+    Parameters
+    ----------
+    compiled:
+        A :class:`~repro.core.project.CompiledGame` (video is skipped).
+    max_states:
+        Node budget; exceeded → ``winnable=None`` (unknown).
+    win_outcomes:
+        Outcome labels counted as winning.
+    """
+    engine = compiled.new_engine(with_video=False)
+    engine.start()
+    engine.state.popups.clear()
+
+    start_key = _canonical(engine.state)
+    start_snapshot = engine.state.to_dict()
+
+    seen: Set[str] = {start_key}
+    queue: deque = deque([(start_snapshot, [])])
+    result = SolveResult(winnable=False)
+
+    while queue:
+        if result.states_explored >= max_states:
+            result.hit_bound = True
+            result.winnable = None
+            return result
+        snapshot, script = queue.popleft()
+        result.states_explored += 1
+
+        engine.state = GameState.from_dict(snapshot)
+        if engine.state.outcome is not None:
+            result.outcomes_seen.add(engine.state.outcome)
+            if engine.state.outcome in win_outcomes:
+                result.winnable = True
+                result.winning_script = script
+                return result
+            continue
+
+        for move in _legal_moves(engine):
+            engine.state = GameState.from_dict(snapshot)
+            try:
+                _apply(engine, move)
+            except Exception:
+                continue  # a move the real UI would not permit
+            key = _canonical(engine.state)
+            if key in seen:
+                continue
+            seen.add(key)
+            queue.append((engine.state.to_dict(), script + [move]))
+
+    return result

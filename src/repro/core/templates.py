@@ -1,0 +1,229 @@
+"""Game templates: parametric generators of complete projects.
+
+The authoring tool ships templates so designers start from a working
+game instead of a blank canvas; the benchmarks also use them to produce
+games of controlled size (scenario count, chain depth) for the scaling
+experiments.
+
+``fetch_quest_game``
+    The paper's worked example generalised: a chain of N fetch quests
+    across M scenes (find item_k in scene a_k, use it on target_k in
+    scene b_k), ending in a win.  Depth-parameterised for E4/E6.
+``quiz_game``
+    Linear video lesson punctuated by question scenes whose answer
+    buttons branch to "correct"/"incorrect" feedback and award bonuses —
+    the knowledge-assessment pattern.
+``exploration_game``
+    A hub-and-spoke museum: a hub scene with doors to K exhibit scenes,
+    each with examinable props and a web link; visiting everything wins.
+    The engagement baseline for curious play styles.
+
+All generators synthesise their own footage deterministically from a
+seed, so templates are runnable with zero assets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events import (
+    AwardBonus,
+    EndGame,
+    SetFlag,
+    ShowText,
+    SwitchScenario,
+    Trigger,
+)
+from ..objects import RectHotspot
+from ..video import Frame, FrameSize, ShotSpec, generate_clip
+from .project import GameProject
+from .wizard import GameWizard
+
+__all__ = ["exploration_game", "fetch_quest_game", "quiz_game", "scene_footage"]
+
+
+def scene_footage(
+    size: FrameSize, seed: int, duration: int = 12, noise: int = 0
+) -> List[Frame]:
+    """Deterministic one-shot footage for a template scene.
+
+    ``noise`` adds camera grain (peak amplitude in grey levels); grainy
+    footage encodes orders of magnitude larger, which the streaming
+    experiments use to model real camera material.
+    """
+    rng = np.random.default_rng(seed)
+    top = tuple(int(v) for v in rng.integers(30, 226, size=3))
+    bottom = tuple(int(v) for v in rng.integers(30, 226, size=3))
+    clip = generate_clip(
+        size,
+        [ShotSpec(duration=duration, top_color=top, bottom_color=bottom,
+                  noise_level=noise)],
+        seed=seed if noise else None,
+    )
+    return clip.frames
+
+
+def fetch_quest_game(
+    n_quests: int = 2,
+    size: FrameSize = FrameSize(160, 120),
+    seed: int = 1234,
+    title: str = "Fetch Quest Chain",
+    noise: int = 0,
+) -> GameWizard:
+    """A chain of ``n_quests`` fetch quests across ``n_quests + 1`` scenes.
+
+    Quest *k*: the item lives in scene ``k+1``; it must be used on the
+    target prop in scene ``0`` (the hub classroom).  Completing quest
+    ``n_quests`` wins.  Returns the wizard (callers can keep editing or
+    ``build()``).
+    """
+    if n_quests < 1:
+        raise ValueError("n_quests must be >= 1")
+    wiz = GameWizard(title, author="template")
+    wiz.scene("hub", "Hub room", scene_footage(size, seed, noise=noise))
+    for k in range(n_quests):
+        sid = f"place-{k}"
+        wiz.scene(sid, f"Place {k}", scene_footage(size, seed + 1 + k, noise=noise))
+        wiz.connect("hub", sid, f"Go to place {k}", "Back to hub")
+        wiz.item(
+            sid,
+            f"part-{k}",
+            f"Part {k}",
+            at=(20 + 10 * (k % 6), 60, 10, 10),
+            description=f"Component number {k}.",
+        )
+        wiz.prop(
+            "hub",
+            f"machine-{k}",
+            f"Machine {k}",
+            at=(14 + 22 * (k % 6), 20 + 26 * (k // 6), 18, 18),
+            description=f"Machine {k} is missing a part.",
+            properties={"state": "broken"},
+        )
+    for k in range(n_quests):
+        wiz.fetch_quest(
+            item=f"part-{k}",
+            target=f"machine-{k}",
+            success_text=f"Machine {k} hums back to life!",
+            bonus=10,
+            reward_name=f"Badge {k}" if k == n_quests - 1 else None,
+            win=(k == n_quests - 1),
+        )
+    wiz.starts_in("hub")
+    return wiz
+
+
+def quiz_game(
+    questions: Sequence[Tuple[str, Sequence[str], int]],
+    size: FrameSize = FrameSize(160, 120),
+    seed: int = 99,
+    title: str = "Video Quiz",
+    points_per_question: int = 5,
+) -> GameWizard:
+    """A lesson → question → feedback chain.
+
+    ``questions`` is a list of ``(prompt, options, correct_index)``.
+    Each question scene shows the prompt on entry and one button per
+    option; the correct button awards points and advances, wrong buttons
+    give corrective feedback.  Answering the last question wins.
+    """
+    if not questions:
+        raise ValueError("quiz needs at least one question")
+    for q, (prompt, options, correct) in enumerate(questions):
+        if not 0 <= correct < len(options):
+            raise ValueError(f"question {q}: correct index out of range")
+        if len(options) < 2:
+            raise ValueError(f"question {q}: need at least two options")
+
+    wiz = GameWizard(title, author="template")
+    wiz.scene("lesson", "Lesson", scene_footage(size, seed))
+    wiz.narration("lesson", "Watch the lesson, then answer the questions.")
+    prev = "lesson"
+    for q, (prompt, options, correct) in enumerate(questions):
+        sid = f"question-{q}"
+        wiz.scene(sid, f"Question {q + 1}", scene_footage(size, seed + q + 1))
+        wiz.narration(sid, prompt)
+        wiz.connect(prev, sid, "Continue" if q == 0 else "Next question", "")
+        editor = wiz._object_editor
+        for i, option in enumerate(options):
+            oid = f"q{q}-opt{i}"
+            editor.place_button(
+                sid, oid, option, RectHotspot(10, 16 + 18 * i, 90, 14)
+            )
+            if i == correct:
+                actions = [
+                    AwardBonus(points=points_per_question),
+                    ShowText(text="Correct!"),
+                    SetFlag(name=f"answered-{q}"),
+                ]
+                if q == len(questions) - 1:
+                    actions.append(EndGame(outcome="won"))
+                editor.bind(sid, Trigger.CLICK, object_id=oid, once=True, actions=actions)
+            else:
+                editor.bind(
+                    sid,
+                    Trigger.CLICK,
+                    object_id=oid,
+                    actions=[ShowText(text="Not quite - think again.")],
+                )
+        prev = sid
+    wiz.starts_in("lesson")
+    return wiz
+
+
+def exploration_game(
+    n_exhibits: int = 4,
+    size: FrameSize = FrameSize(160, 120),
+    seed: int = 7,
+    title: str = "Museum Explorer",
+) -> GameWizard:
+    """Hub-and-spoke museum; examining every exhibit prop wins.
+
+    Each exhibit has a prop whose first examine sets a flag; a timer
+    binding on the hub checks all flags and ends the game with a bonus —
+    demonstrating flag-conjunction conditions and timer triggers.
+    """
+    if n_exhibits < 1:
+        raise ValueError("n_exhibits must be >= 1")
+    wiz = GameWizard(title, author="template")
+    wiz.scene("hall", "Entrance hall", scene_footage(size, seed))
+    wiz.narration("hall", "Explore every exhibit, then return here.")
+    editor = wiz._object_editor
+    for k in range(n_exhibits):
+        sid = f"exhibit-{k}"
+        wiz.scene(sid, f"Exhibit {k}", scene_footage(size, seed + 10 + k))
+        wiz.connect("hall", sid, f"Exhibit {k}", "Back to hall")
+        wiz.prop(
+            sid,
+            f"artifact-{k}",
+            f"Artifact {k}",
+            at=(50, 40, 24, 24),
+            description=f"A fascinating artifact, number {k}.",
+        )
+        editor.bind(
+            sid,
+            Trigger.EXAMINE,
+            object_id=f"artifact-{k}",
+            once=True,
+            actions=[
+                SetFlag(name=f"seen-{k}"),
+                AwardBonus(points=2),
+                ShowText(text=f"You studied artifact {k} closely."),
+            ],
+        )
+    all_seen = " and ".join(f"flag('seen-{k}')" for k in range(n_exhibits))
+    editor.bind(
+        "hall",
+        Trigger.ENTER,
+        condition=all_seen,
+        once=True,
+        actions=[
+            AwardBonus(points=10),
+            ShowText(text="You explored the whole museum!"),
+            EndGame(outcome="won"),
+        ],
+    )
+    wiz.starts_in("hall")
+    return wiz

@@ -1,0 +1,213 @@
+"""Undo/redo for the authoring tool.
+
+A friendly interface for non-programmers (§1) must forgive mistakes —
+every editor operation should be one Ctrl-Z away from never having
+happened.  The classic command pattern: a :class:`Command` couples an
+action with its exact inverse; the :class:`UndoStack` executes commands,
+records them, and replays inverses/actions on undo/redo.
+
+The editors' high-level operations are already small and invertible
+(place/remove object, set/unset property, add/remove binding, rename),
+so :class:`CommandRecorder` wraps an editor pair and exposes undoable
+variants of the common operations without the editors themselves knowing
+about history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..events import EventBinding
+from ..objects import InteractiveObject
+from .object_editor import ObjectEditor
+from .project import GameProject
+
+__all__ = ["Command", "CommandRecorder", "UndoError", "UndoStack"]
+
+
+class UndoError(RuntimeError):
+    """Raised on invalid undo/redo operations."""
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """An executed, invertible operation."""
+
+    label: str
+    do: Callable[[], None]
+    undo: Callable[[], None]
+
+
+class UndoStack:
+    """Linear undo/redo history with a size bound.
+
+    Executing a new command truncates the redo branch (standard linear
+    history).  ``limit`` bounds memory on long sessions; the oldest
+    commands fall off and become permanent.
+    """
+
+    def __init__(self, limit: int = 200) -> None:
+        if limit < 1:
+            raise UndoError("history limit must be >= 1")
+        self.limit = limit
+        self._done: List[Command] = []
+        self._undone: List[Command] = []
+
+    def execute(self, command: Command) -> None:
+        """Run a command and record it."""
+        command.do()
+        self._done.append(command)
+        if len(self._done) > self.limit:
+            self._done.pop(0)
+        self._undone.clear()
+
+    def push_executed(self, command: Command) -> None:
+        """Record a command whose ``do`` already ran (editor call-sites
+        that perform the action first and build the inverse after)."""
+        self._done.append(command)
+        if len(self._done) > self.limit:
+            self._done.pop(0)
+        self._undone.clear()
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._done)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._undone)
+
+    @property
+    def undo_label(self) -> Optional[str]:
+        return self._done[-1].label if self._done else None
+
+    @property
+    def redo_label(self) -> Optional[str]:
+        return self._undone[-1].label if self._undone else None
+
+    def undo(self) -> str:
+        """Revert the most recent command; returns its label."""
+        if not self._done:
+            raise UndoError("nothing to undo")
+        command = self._done.pop()
+        command.undo()
+        self._undone.append(command)
+        return command.label
+
+    def redo(self) -> str:
+        """Re-apply the most recently undone command."""
+        if not self._undone:
+            raise UndoError("nothing to redo")
+        command = self._undone.pop()
+        command.do()
+        self._done.append(command)
+        return command.label
+
+    def clear(self) -> None:
+        self._done.clear()
+        self._undone.clear()
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+
+class CommandRecorder:
+    """Undoable wrappers over the object editor's mutating operations.
+
+    Only operations with clean inverses are wrapped; operations that
+    create irreversible artifacts (committing segments into container
+    order) are deliberately not undoable, matching how NLE tools scope
+    their history to the edit layer.
+    """
+
+    def __init__(self, project: GameProject, editor: ObjectEditor,
+                 stack: Optional[UndoStack] = None) -> None:
+        self.project = project
+        self.editor = editor
+        self.stack = stack or UndoStack()
+
+    # -- objects ---------------------------------------------------------
+    def place(self, place_fn: Callable[..., InteractiveObject], scenario_id: str,
+              *args: Any, **kwargs: Any) -> InteractiveObject:
+        """Place via any ``editor.place_*`` function, undoably."""
+        obj = place_fn(scenario_id, *args, **kwargs)
+
+        def redo() -> None:
+            self.project.get_scenario(scenario_id).add_object(obj)
+
+        def undo() -> None:
+            self.project.get_scenario(scenario_id).remove_object(obj.object_id)
+
+        self.stack.push_executed(
+            Command(label=f"place {obj.object_id}", do=redo, undo=undo)
+        )
+        return obj
+
+    def remove_object(self, object_id: str) -> None:
+        """Remove an object from wherever it lives, undoably."""
+        scenario_id, obj = self.project.find_object(object_id)
+
+        def do() -> None:
+            self.project.get_scenario(scenario_id).remove_object(object_id)
+
+        def undo() -> None:
+            self.project.get_scenario(scenario_id).add_object(obj)
+
+        self.stack.execute(Command(label=f"remove {object_id}", do=do, undo=undo))
+
+    def move_object(self, object_id: str, x: float, y: float) -> None:
+        """Reposition an object's hotspot, undoably."""
+        _, obj = self.project.find_object(object_id)
+        old = obj.hotspot
+
+        def do() -> None:
+            obj.move_to(x, y)
+
+        def undo() -> None:
+            obj.hotspot = old
+
+        self.stack.execute(Command(label=f"move {object_id}", do=do, undo=undo))
+
+    def set_description(self, object_id: str, text: str) -> None:
+        _, obj = self.project.find_object(object_id)
+        old = obj.description
+
+        def do() -> None:
+            obj.description = text
+
+        def undo() -> None:
+            obj.description = old
+
+        self.stack.execute(
+            Command(label=f"describe {object_id}", do=do, undo=undo)
+        )
+
+    # -- bindings ---------------------------------------------------------
+    def bind(self, *args: Any, **kwargs: Any) -> str:
+        """``editor.bind`` with undo support; returns the binding id."""
+        binding_id = self.editor.bind(*args, **kwargs)
+        binding = self.project.events.get(binding_id)
+
+        def redo() -> None:
+            self.project.events.add(binding)
+
+        def undo() -> None:
+            self.project.events.remove(binding_id)
+
+        self.stack.push_executed(
+            Command(label=f"bind {binding_id}", do=redo, undo=undo)
+        )
+        return binding_id
+
+    def unbind(self, binding_id: str) -> None:
+        """Remove an event binding, undoably."""
+        binding: EventBinding = self.project.events.get(binding_id)
+
+        def do() -> None:
+            self.project.events.remove(binding_id)
+
+        def undo() -> None:
+            self.project.events.add(binding)
+
+        self.stack.execute(Command(label=f"unbind {binding_id}", do=do, undo=undo))

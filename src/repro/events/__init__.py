@@ -1,0 +1,61 @@
+"""Event system: the condition language, declarative actions, event
+bindings/table, and the notification bus the runtime publishes on."""
+
+from .actions import (
+    Action,
+    ActionError,
+    AwardBonus,
+    EndGame,
+    GiveItem,
+    OpenWeb,
+    PopupImage,
+    SetFlag,
+    SetObjectVisible,
+    SetProperty,
+    ShowText,
+    StartDialogue,
+    SwitchScenario,
+    TakeItem,
+    action_from_dict,
+    register_action,
+)
+from .bus import EventBus, Notice
+from .conditions import (
+    ConditionContext,
+    ConditionError,
+    compile_condition,
+    evaluate,
+    parse_condition,
+)
+from .model import GLOBAL_SCOPE, EventBinding, EventError, EventTable, Trigger
+
+__all__ = [
+    "Action",
+    "ActionError",
+    "AwardBonus",
+    "ConditionContext",
+    "ConditionError",
+    "EndGame",
+    "EventBinding",
+    "EventBus",
+    "EventError",
+    "EventTable",
+    "GLOBAL_SCOPE",
+    "GiveItem",
+    "Notice",
+    "OpenWeb",
+    "PopupImage",
+    "SetFlag",
+    "SetObjectVisible",
+    "SetProperty",
+    "ShowText",
+    "StartDialogue",
+    "SwitchScenario",
+    "TakeItem",
+    "Trigger",
+    "action_from_dict",
+    "compile_condition",
+    "evaluate",
+    "parse_condition",
+    "register_action",
+]

@@ -1,0 +1,249 @@
+"""Actions: the effects an authored event can produce.
+
+§2.1/§4.3 enumerate the observable effects of triggering objects:
+"change the play sequence of a video", "text messages, images and webpage
+are also popped up", items enter the inventory, flags/properties change,
+bonuses are awarded (§3.3), dialogues start (§3.1), and the game can end.
+
+Actions are *data*, not behaviour: the authoring tool serialises them
+into the project file and the runtime engine interprets them.  Keeping
+them declarative is what makes authored games analysable — the
+authoring-time validator (:mod:`repro.core.validation`) walks action
+lists to prove reachability and winnability without running the game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Type
+
+__all__ = [
+    "Action",
+    "ActionError",
+    "AwardBonus",
+    "EndGame",
+    "GiveItem",
+    "OpenWeb",
+    "PopupImage",
+    "SetFlag",
+    "SetObjectVisible",
+    "SetProperty",
+    "ShowText",
+    "StartDialogue",
+    "SwitchScenario",
+    "TakeItem",
+    "action_from_dict",
+    "register_action",
+]
+
+
+class ActionError(ValueError):
+    """Raised on invalid action definitions."""
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """Base class; concrete actions are frozen dataclasses with a kind."""
+
+    kind = "action"
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchScenario(Action):
+    """Change the play sequence: jump to another scenario."""
+
+    target: str
+    kind = "switch_scenario"
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ActionError("switch_scenario requires a target scenario id")
+
+
+@dataclass(frozen=True, slots=True)
+class ShowText(Action):
+    """Pop up a text message (examine feedback, hints, instructions)."""
+
+    text: str
+    kind = "show_text"
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ActionError("show_text requires text")
+
+
+@dataclass(frozen=True, slots=True)
+class PopupImage(Action):
+    """Pop up an image object (by object id) as an overlay."""
+
+    object_id: str
+    kind = "popup_image"
+
+    def __post_init__(self) -> None:
+        if not self.object_id:
+            raise ActionError("popup_image requires an object id")
+
+
+@dataclass(frozen=True, slots=True)
+class OpenWeb(Action):
+    """Surface a web page URL to the host shell ("get information from
+    websites"); recorded in the session log, never fetched."""
+
+    url: str
+    kind = "open_web"
+
+    def __post_init__(self) -> None:
+        if not self.url or "://" not in self.url:
+            raise ActionError(f"open_web requires an absolute URL, got {self.url!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class GiveItem(Action):
+    """Put an item into the player's backpack."""
+
+    item_id: str
+    kind = "give_item"
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ActionError("give_item requires an item id")
+
+
+@dataclass(frozen=True, slots=True)
+class TakeItem(Action):
+    """Remove an item from the backpack (consumed on use)."""
+
+    item_id: str
+    kind = "take_item"
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ActionError("take_item requires an item id")
+
+
+@dataclass(frozen=True, slots=True)
+class SetFlag(Action):
+    """Set a named boolean flag in the game state."""
+
+    name: str
+    value: bool = True
+    kind = "set_flag"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ActionError("set_flag requires a flag name")
+
+
+@dataclass(frozen=True, slots=True)
+class SetProperty(Action):
+    """Set an object property (e.g. mark the computer repaired)."""
+
+    object_id: str
+    key: str
+    value: Any
+    kind = "set_property"
+
+    def __post_init__(self) -> None:
+        if not self.object_id or not self.key:
+            raise ActionError("set_property requires object_id and key")
+
+
+@dataclass(frozen=True, slots=True)
+class SetObjectVisible(Action):
+    """Show or hide an object in its scenario (clue reveals)."""
+
+    object_id: str
+    visible: bool
+    kind = "set_visible"
+
+    def __post_init__(self) -> None:
+        if not self.object_id:
+            raise ActionError("set_visible requires an object id")
+
+
+@dataclass(frozen=True, slots=True)
+class AwardBonus(Action):
+    """Award bonus points, optionally granting a reward object (§3.3)."""
+
+    points: int
+    reward_id: Optional[str] = None
+    kind = "award_bonus"
+
+    def __post_init__(self) -> None:
+        if self.points < 0:
+            raise ActionError("bonus points must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class StartDialogue(Action):
+    """Begin an NPC conversation tree."""
+
+    dialogue_id: str
+    kind = "start_dialogue"
+
+    def __post_init__(self) -> None:
+        if not self.dialogue_id:
+            raise ActionError("start_dialogue requires a dialogue id")
+
+
+@dataclass(frozen=True, slots=True)
+class EndGame(Action):
+    """Finish the game with an outcome label ("won", "lost", ...)."""
+
+    outcome: str = "won"
+    kind = "end_game"
+
+    def __post_init__(self) -> None:
+        if not self.outcome:
+            raise ActionError("end_game requires an outcome label")
+
+
+# ----------------------------------------------------------------------
+# Registry / serialisation
+# ----------------------------------------------------------------------
+
+_ACTION_REGISTRY: Dict[str, Type[Action]] = {}
+
+
+def register_action(cls: Type[Action]) -> Type[Action]:
+    """Register an action class for ``action_from_dict`` dispatch."""
+    if not cls.kind or cls.kind == Action.kind:
+        raise ActionError("action class must define a distinct kind")
+    _ACTION_REGISTRY[cls.kind] = cls
+    return cls
+
+
+for _cls in (
+    SwitchScenario,
+    ShowText,
+    PopupImage,
+    OpenWeb,
+    GiveItem,
+    TakeItem,
+    SetFlag,
+    SetProperty,
+    SetObjectVisible,
+    AwardBonus,
+    StartDialogue,
+    EndGame,
+):
+    register_action(_cls)
+
+
+def action_from_dict(d: Dict[str, Any]) -> Action:
+    """Deserialise an action produced by ``Action.to_dict``."""
+    kind = d.get("kind")
+    cls = _ACTION_REGISTRY.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ActionError(f"unknown action kind {kind!r}")
+    kwargs = {k: v for k, v in d.items() if k != "kind"}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ActionError(f"bad fields for action {kind!r}: {exc}") from exc

@@ -1,0 +1,95 @@
+"""A small synchronous publish/subscribe bus.
+
+The runtime engine publishes everything observable — interactions,
+fired bindings, executed actions, scenario switches, popups, rewards —
+onto topic channels.  The session recorder, the learning-analytics
+collector and the TUI all subscribe rather than being hard-wired into the
+engine, which keeps the engine testable in isolation.
+
+Delivery is synchronous and in subscription order; a subscriber that
+raises is unsubscribed after ``max_errors`` consecutive failures instead
+of poisoning the engine loop (failure-injection tests rely on this).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
+
+__all__ = ["EventBus", "Notice"]
+
+
+@dataclass(frozen=True, slots=True)
+class Notice:
+    """One published notification."""
+
+    topic: str
+    payload: Dict[str, Any]
+    time: float = 0.0
+
+
+Subscriber = Callable[[Notice], None]
+
+
+class EventBus:
+    """Topic-based synchronous pub/sub with error quarantine.
+
+    Topics are plain strings ("interaction", "action", "scenario",
+    "popup", "reward", ...).  Subscribing to ``"*"`` receives everything.
+    """
+
+    def __init__(self, max_errors: int = 3) -> None:
+        if max_errors < 1:
+            raise ValueError("max_errors must be >= 1")
+        self._subs: DefaultDict[str, List[Tuple[int, Subscriber]]] = defaultdict(list)
+        self._errors: Dict[int, int] = {}
+        self._next_token = 1
+        self.max_errors = max_errors
+        #: number of notices published (all topics)
+        self.published_count = 0
+        #: subscriber tokens dropped due to repeated errors
+        self.quarantined: List[int] = []
+
+    def subscribe(self, topic: str, fn: Subscriber) -> int:
+        """Subscribe ``fn`` to ``topic`` (or "*"); returns a token."""
+        token = self._next_token
+        self._next_token += 1
+        self._subs[topic].append((token, fn))
+        self._errors[token] = 0
+        return token
+
+    def unsubscribe(self, token: int) -> bool:
+        """Remove a subscription by token; True if it existed."""
+        found = False
+        for topic, subs in self._subs.items():
+            kept = [(t, f) for (t, f) in subs if t != token]
+            if len(kept) != len(subs):
+                self._subs[topic] = kept
+                found = True
+        self._errors.pop(token, None)
+        return found
+
+    def publish(self, topic: str, payload: Optional[Dict[str, Any]] = None, time: float = 0.0) -> Notice:
+        """Publish a notice; delivers to topic and "*" subscribers."""
+        notice = Notice(topic=topic, payload=dict(payload or {}), time=time)
+        self.published_count += 1
+        for sub_topic in (topic, "*"):
+            # Copy: subscribers may unsubscribe during delivery.
+            for token, fn in list(self._subs.get(sub_topic, ())):
+                try:
+                    fn(notice)
+                except Exception:
+                    self._errors[token] = self._errors.get(token, 0) + 1
+                    if self._errors[token] >= self.max_errors:
+                        self.unsubscribe(token)
+                        self.quarantined.append(token)
+                else:
+                    self._errors[token] = 0
+        return notice
+
+    def subscriber_count(self, topic: Optional[str] = None) -> int:
+        """Number of live subscriptions, optionally for one topic."""
+        if topic is not None:
+            return len(self._subs.get(topic, ()))
+        return sum(len(v) for v in self._subs.values())

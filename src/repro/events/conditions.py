@@ -1,0 +1,374 @@
+"""Condition expression language for authored events.
+
+§3.2: designers "provide means to players and deliver knowledge in the
+process of solving a problem … Students will get different feedback after
+they install components into the computer by the content providers'
+authoring."  Different feedback for different states needs guards; this
+module is the small, total expression language the object editor stores
+with each event binding.
+
+Grammar (lowest precedence first)::
+
+    expr     := or
+    or       := and ( "or" and )*
+    and      := not ( "and" not )*
+    not      := "not" not | cmp
+    cmp      := term ( ("==" | "!=" | "<" | "<=" | ">" | ">=") term )?
+    term     := NUMBER | STRING | "true" | "false" | "score"
+              | "(" expr ")"
+              | "has"     "(" STRING ")"
+              | "flag"    "(" STRING ")"
+              | "visited" "(" STRING ")"
+              | "count"   "(" STRING ")"
+              | "prop"    "(" STRING "," STRING ")"
+
+Predicates read a :class:`ConditionContext`; the language has no
+side-effects and always terminates, so authored games cannot hang the
+runtime.  Parsing is separate from evaluation: the authoring tool parses
+once at save time (rejecting bad expressions with positions) and the
+runtime evaluates the cached AST per trigger.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Protocol, Tuple, Union
+
+__all__ = [
+    "ConditionContext",
+    "ConditionError",
+    "Expr",
+    "compile_condition",
+    "evaluate",
+    "parse_condition",
+]
+
+
+class ConditionError(ValueError):
+    """Raised on lexical, syntax or evaluation errors (with position)."""
+
+
+class ConditionContext(Protocol):
+    """State the language can observe (implemented by the runtime)."""
+
+    def has_item(self, item_id: str) -> bool: ...  # pragma: no cover
+    def item_count(self, item_id: str) -> int: ...  # pragma: no cover
+    def get_flag(self, name: str) -> bool: ...  # pragma: no cover
+    def has_visited(self, scenario_id: str) -> bool: ...  # pragma: no cover
+    def get_score(self) -> int: ...  # pragma: no cover
+    def get_prop(self, object_id: str, key: str) -> Any: ...  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>-?\d+(?:\.\d+)?)
+  | (?P<str>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|==|!=|<|>)
+  | (?P<lp>\()
+  | (?P<rp>\))
+  | (?P<comma>,)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "score", "has", "flag",
+             "visited", "count", "prop"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    value: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ConditionError(f"unexpected character {text[pos]!r} at {pos}")
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """Literal number/string/bool."""
+    value: Union[float, str, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class Score:
+    """The player's current score."""
+
+
+@dataclass(frozen=True, slots=True)
+class Pred:
+    """Predicate call: has/flag/visited/count/prop with string args."""
+    name: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp:
+    """Comparison ``left op right``."""
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Lit, Score, Pred, Cmp, Not, And, Or]
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+
+_PRED_ARITY = {"has": 1, "flag": 1, "visited": 1, "count": 1, "prop": 2}
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self._toks = tokens
+        self._text = text
+        self._i = 0
+
+    def _peek(self) -> Optional[_Token]:
+        return self._toks[self._i] if self._i < len(self._toks) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise ConditionError(f"unexpected end of expression: {self._text!r}")
+        self._i += 1
+        return tok
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        tok = self._next()
+        if tok.kind != kind:
+            raise ConditionError(f"expected {what} at {tok.pos}, got {tok.value!r}")
+        return tok
+
+    def parse(self) -> Expr:
+        expr = self._or()
+        tok = self._peek()
+        if tok is not None:
+            raise ConditionError(f"trailing input at {tok.pos}: {tok.value!r}")
+        return expr
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._at_keyword("or"):
+            self._next()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self._at_keyword("and"):
+            self._next()
+            left = And(left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self._at_keyword("not"):
+            self._next()
+            return Not(self._not())
+        return self._cmp()
+
+    def _cmp(self) -> Expr:
+        left = self._term()
+        tok = self._peek()
+        if tok is not None and tok.kind == "op":
+            self._next()
+            right = self._term()
+            return Cmp(tok.value, left, right)
+        return left
+
+    def _term(self) -> Expr:
+        tok = self._next()
+        if tok.kind == "num":
+            return Lit(float(tok.value))
+        if tok.kind == "str":
+            return Lit(tok.value[1:-1])
+        if tok.kind == "lp":
+            inner = self._or()
+            self._expect("rp", "')'")
+            return inner
+        if tok.kind == "ident":
+            word = tok.value
+            if word == "true":
+                return Lit(True)
+            if word == "false":
+                return Lit(False)
+            if word == "score":
+                return Score()
+            if word in _PRED_ARITY:
+                self._expect("lp", "'('")
+                args: List[str] = []
+                for k in range(_PRED_ARITY[word]):
+                    if k:
+                        self._expect("comma", "','")
+                    s = self._expect("str", "string argument")
+                    args.append(s.value[1:-1])
+                self._expect("rp", "')'")
+                return Pred(word, tuple(args))
+            raise ConditionError(f"unknown identifier {word!r} at {tok.pos}")
+        raise ConditionError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+    def _at_keyword(self, kw: str) -> bool:
+        tok = self._peek()
+        return tok is not None and tok.kind == "ident" and tok.value == kw
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse an expression string to an AST; raises :class:`ConditionError`.
+
+    The empty string (and whitespace) parses to the constant ``true`` —
+    an event with no guard always fires.
+    """
+    if not text or not text.strip():
+        return Lit(True)
+    return _Parser(_tokenize(text), text).parse()
+
+
+# ----------------------------------------------------------------------
+# Evaluator
+# ----------------------------------------------------------------------
+
+def _as_number(v: Any, where: str) -> float:
+    if isinstance(v, bool):
+        return 1.0 if v else 0.0
+    if isinstance(v, (int, float)):
+        return float(v)
+    raise ConditionError(f"{where}: expected a number, got {type(v).__name__}")
+
+
+def _compare(op: str, lv: Any, rv: Any) -> bool:
+    if op in ("==", "!="):
+        # String/number/bool equality; mixed string-vs-number is just unequal.
+        if isinstance(lv, str) != isinstance(rv, str):
+            eq = False
+        else:
+            eq = lv == rv
+        return eq if op == "==" else not eq
+    ln = _as_number(lv, f"left of {op}")
+    rn = _as_number(rv, f"right of {op}")
+    if op == "<":
+        return ln < rn
+    if op == "<=":
+        return ln <= rn
+    if op == ">":
+        return ln > rn
+    if op == ">=":
+        return ln >= rn
+    raise ConditionError(f"unknown comparison operator {op!r}")
+
+
+def _eval_value(expr: Expr, ctx: ConditionContext) -> Any:
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Score):
+        return ctx.get_score()
+    if isinstance(expr, Pred):
+        if expr.name == "has":
+            return ctx.has_item(expr.args[0])
+        if expr.name == "flag":
+            return ctx.get_flag(expr.args[0])
+        if expr.name == "visited":
+            return ctx.has_visited(expr.args[0])
+        if expr.name == "count":
+            return ctx.item_count(expr.args[0])
+        if expr.name == "prop":
+            return ctx.get_prop(expr.args[0], expr.args[1])
+        raise ConditionError(f"unknown predicate {expr.name!r}")
+    if isinstance(expr, Cmp):
+        return _compare(expr.op, _eval_value(expr.left, ctx), _eval_value(expr.right, ctx))
+    if isinstance(expr, Not):
+        return not _truthy(_eval_value(expr.operand, ctx))
+    if isinstance(expr, And):
+        return _truthy(_eval_value(expr.left, ctx)) and _truthy(
+            _eval_value(expr.right, ctx)
+        )
+    if isinstance(expr, Or):
+        return _truthy(_eval_value(expr.left, ctx)) or _truthy(
+            _eval_value(expr.right, ctx)
+        )
+    raise ConditionError(f"unknown AST node {type(expr).__name__}")
+
+
+def _truthy(v: Any) -> bool:
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, (int, float)):
+        return v != 0
+    if isinstance(v, str):
+        return bool(v)
+    raise ConditionError(f"value of type {type(v).__name__} is not truthy-testable")
+
+
+def evaluate(expr: Expr, ctx: ConditionContext) -> bool:
+    """Evaluate an AST against a context, returning a boolean."""
+    return _truthy(_eval_value(expr, ctx))
+
+
+class compile_condition:
+    """Parse once, evaluate many times; also keeps the source text.
+
+    Used by event bindings: ``compile_condition("has('screwdriver')")``
+    is callable with a context.  Equality and hashing are by source text
+    so bindings stay comparable/serialisable.
+    """
+
+    __slots__ = ("source", "ast")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.ast = parse_condition(source)
+
+    def __call__(self, ctx: ConditionContext) -> bool:
+        return evaluate(self.ast, ctx)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, compile_condition):
+            return NotImplemented
+        return self.source == other.source
+
+    def __hash__(self) -> int:
+        return hash(self.source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"compile_condition({self.source!r})"

@@ -1,0 +1,13 @@
+"""Scenario model and the derived branching graph with analyses."""
+
+from .graph import EdgeInfo, GraphError, ScenarioGraph, build_graph
+from .scenario import Scenario, ScenarioError
+
+__all__ = [
+    "EdgeInfo",
+    "GraphError",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioGraph",
+    "build_graph",
+]

@@ -1,0 +1,203 @@
+"""Scenario graph: branching structure derived from authored events.
+
+The paper's interactive video "changes the play sequence" when objects
+are triggered — i.e. the game is a directed graph whose nodes are
+scenarios and whose edges are the ``SwitchScenario`` actions (plus
+``on_finish`` auto-advances).  The graph is *derived*, never authored
+directly: the scenario editor shows it as feedback, and the validator
+uses it to prove structural properties before a game ships.
+
+Built on :mod:`networkx` for the graph algorithms; every edge carries the
+binding id / trigger that creates it, so diagnostics can point the author
+to the exact event to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..events import EventTable, SwitchScenario, Trigger
+from .scenario import Scenario
+
+__all__ = ["EdgeInfo", "GraphError", "ScenarioGraph", "build_graph"]
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid scenario collections."""
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeInfo:
+    """Provenance of one graph edge."""
+
+    source: str
+    target: str
+    binding_id: str          #: "" for on_finish auto-advances
+    trigger: str             #: trigger kind, or "on_finish"
+    conditional: bool        #: True if the binding carries a guard
+
+
+class ScenarioGraph:
+    """Directed multigraph over scenarios with analysis helpers."""
+
+    def __init__(
+        self,
+        scenarios: Dict[str, Scenario],
+        start: str,
+        edges: Sequence[EdgeInfo],
+    ) -> None:
+        if start not in scenarios:
+            raise GraphError(f"start scenario {start!r} is not defined")
+        self.scenarios = dict(scenarios)
+        self.start = start
+        self.edges = list(edges)
+        self._g = nx.MultiDiGraph()
+        self._g.add_nodes_from(scenarios)
+        for e in edges:
+            if e.source not in scenarios:
+                raise GraphError(f"edge from unknown scenario {e.source!r}")
+            if e.target not in scenarios:
+                raise GraphError(
+                    f"edge targets unknown scenario {e.target!r} "
+                    f"(binding {e.binding_id!r})"
+                )
+            self._g.add_edge(e.source, e.target, info=e)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self._g.number_of_edges()
+
+    def successors(self, scenario_id: str) -> List[str]:
+        """Distinct scenarios reachable in one transition (sorted)."""
+        if scenario_id not in self._g:
+            raise GraphError(f"unknown scenario {scenario_id!r}")
+        return sorted(set(self._g.successors(scenario_id)))
+
+    def out_edges(self, scenario_id: str) -> List[EdgeInfo]:
+        """EdgeInfo records leaving a scenario."""
+        if scenario_id not in self._g:
+            raise GraphError(f"unknown scenario {scenario_id!r}")
+        return [d["info"] for _, _, d in self._g.out_edges(scenario_id, data=True)]
+
+    def reachable(self) -> Set[str]:
+        """Scenarios reachable from the start (start included)."""
+        return set(nx.descendants(self._g, self.start)) | {self.start}
+
+    def unreachable(self) -> Set[str]:
+        """Authored scenarios the player can never see."""
+        return set(self.scenarios) - self.reachable()
+
+    def dead_ends(self) -> Set[str]:
+        """Reachable scenarios with no way out.
+
+        A dead end is only a defect if the game cannot end there; the
+        validator cross-references ``EndGame`` actions before flagging.
+        """
+        return {
+            s for s in self.reachable() if self._g.out_degree(s) == 0
+        }
+
+    def shortest_path(self, target: str) -> Optional[List[str]]:
+        """Fewest-transitions path start → target, or None."""
+        if target not in self._g:
+            raise GraphError(f"unknown scenario {target!r}")
+        try:
+            return nx.shortest_path(self._g, self.start, target)
+        except nx.NetworkXNoPath:
+            return None
+
+    def eccentricity_from_start(self) -> Dict[str, int]:
+        """Transition distance from start to every reachable scenario."""
+        return dict(nx.single_source_shortest_path_length(self._g, self.start))
+
+    def branching_factor(self) -> float:
+        """Mean distinct out-degree over reachable scenarios.
+
+        The paper's adventure-game structure implies factor > 1 at
+        decision points; linear video has factor exactly 1 (E6 contrast).
+        """
+        reach = self.reachable()
+        if not reach:
+            return 0.0
+        return sum(len(set(self._g.successors(s))) for s in reach) / len(reach)
+
+    def cycles(self) -> List[List[str]]:
+        """Simple cycles (players revisiting places is expected; the
+        validator only warns on cycles with no conditional exit)."""
+        return [list(c) for c in nx.simple_cycles(nx.DiGraph(self._g))]
+
+    def to_dot(self) -> str:
+        """GraphViz dot text (editor's graph pane / documentation)."""
+        lines = ["digraph scenario_graph {"]
+        for sid, sc in sorted(self.scenarios.items()):
+            shape = "doublecircle" if sid == self.start else "box"
+            lines.append(f'  "{sid}" [label="{sc.title}", shape={shape}];')
+        for e in self.edges:
+            style = "dashed" if e.conditional else "solid"
+            label = e.trigger
+            lines.append(
+                f'  "{e.source}" -> "{e.target}" [label="{label}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_graph(
+    scenarios: Dict[str, Scenario],
+    events: EventTable,
+    start: str,
+) -> ScenarioGraph:
+    """Derive the scenario graph from scenarios + event table.
+
+    Every ``SwitchScenario`` action contributes an edge from the binding's
+    scenario (global bindings contribute from *every* scenario, which is
+    what a global "menu" button means structurally); ``on_finish``
+    auto-advances contribute unconditional edges.
+    """
+    edges: List[EdgeInfo] = []
+    for binding in events:
+        targets = [
+            a.target for a in binding.actions if isinstance(a, SwitchScenario)
+        ]
+        if not targets:
+            continue
+        if binding.scenario_id == "*":
+            sources: Iterable[str] = scenarios.keys()
+        else:
+            if binding.scenario_id not in scenarios:
+                raise GraphError(
+                    f"binding {binding.binding_id!r} references unknown "
+                    f"scenario {binding.scenario_id!r}"
+                )
+            sources = (binding.scenario_id,)
+        for src in sources:
+            for tgt in targets:
+                edges.append(
+                    EdgeInfo(
+                        source=src,
+                        target=tgt,
+                        binding_id=binding.binding_id,
+                        trigger=binding.trigger,
+                        conditional=bool(binding.condition.strip()),
+                    )
+                )
+    for sc in scenarios.values():
+        if sc.on_finish is not None:
+            edges.append(
+                EdgeInfo(
+                    source=sc.scenario_id,
+                    target=sc.on_finish,
+                    binding_id="",
+                    trigger="on_finish",
+                    conditional=False,
+                )
+            )
+    return ScenarioGraph(scenarios, start, edges)

@@ -1,0 +1,51 @@
+"""Learning layer: knowledge maps, assessment, analytics, packaging and
+production-cost models."""
+
+from .analytics import (
+    CohortSummary,
+    FunnelRow,
+    OutcomeRecord,
+    mean_ci,
+    scenario_funnel,
+    summarize,
+)
+from .assessment import Question, Test, TestResult, hake_gain
+from .heatmap import ClickHeatmap, collect_heatmaps, render_heatmap_overlay
+from .knowledge import DeliveryPoint, KnowledgeError, KnowledgeItem, KnowledgeMap
+from .mastery import BktParams, MasteryTracker
+from .packaging import CoursePackage, PackageError, load_package, save_package
+from .reports import class_report, curriculum_report
+from .production import PIPELINES, Pipeline, PipelineCost, compare_pipelines, estimate_cost
+
+__all__ = [
+    "BktParams",
+    "ClickHeatmap",
+    "CohortSummary",
+    "collect_heatmaps",
+    "render_heatmap_overlay",
+    "MasteryTracker",
+    "class_report",
+    "curriculum_report",
+    "CoursePackage",
+    "DeliveryPoint",
+    "FunnelRow",
+    "KnowledgeError",
+    "scenario_funnel",
+    "KnowledgeItem",
+    "KnowledgeMap",
+    "OutcomeRecord",
+    "PIPELINES",
+    "PackageError",
+    "Pipeline",
+    "PipelineCost",
+    "Question",
+    "Test",
+    "TestResult",
+    "compare_pipelines",
+    "estimate_cost",
+    "hake_gain",
+    "load_package",
+    "mean_ci",
+    "save_package",
+    "summarize",
+]

@@ -1,0 +1,186 @@
+"""Learning analytics: engagement and outcome metrics over sessions.
+
+Experiment E6 tests the paper's central qualitative claims — "the
+students will be attracted in such learning platform" (§abstract) and
+"game-based learning systems provide more attraction to the students"
+(§2.2) — by comparing cohorts across platforms.  This module defines the
+metrics and their aggregation; it is platform-agnostic (the VGBL engine,
+the linear-video baseline and the slideshow baseline all produce the same
+:class:`OutcomeRecord` shape).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CohortSummary",
+    "FunnelRow",
+    "OutcomeRecord",
+    "mean_ci",
+    "scenario_funnel",
+    "summarize",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OutcomeRecord:
+    """One student's run on one platform."""
+
+    player_id: str
+    platform: str            #: "vgbl" | "linear_video" | "slideshow" | ...
+    time_on_task: float      #: seconds until finish or dropout
+    completed: bool          #: finished the material / won the game
+    dropped_out: bool        #: quit from disengagement
+    interactions: int        #: deliberate inputs made
+    knowledge_gain: float    #: Hake gain from pre/post tests, [-1, 1]
+    final_engagement: float  #: attention level at exit, [0, 1]
+    score: int = 0           #: in-game score (0 for baselines)
+
+    def __post_init__(self) -> None:
+        if self.time_on_task < 0:
+            raise ValueError("time_on_task must be non-negative")
+        if self.completed and self.dropped_out:
+            raise ValueError("a run cannot both complete and drop out")
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Mean and half-width of a normal-approximation CI.
+
+    Returns ``(mean, half_width)``; half-width is 0 for n < 2.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    m = float(arr.mean())
+    if arr.size < 2:
+        return m, 0.0
+    # z for the two-sided confidence level (0.95 -> 1.96).
+    from scipy.stats import norm  # scipy is an allowed dependency
+
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return m, half
+
+
+@dataclass(slots=True)
+class CohortSummary:
+    """Aggregates of one platform's cohort."""
+
+    platform: str
+    n: int
+    mean_time_on_task: float
+    ci_time_on_task: float
+    completion_rate: float
+    dropout_rate: float
+    mean_interactions: float
+    mean_knowledge_gain: float
+    ci_knowledge_gain: float
+    mean_final_engagement: float
+    mean_score: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Row form for the reporting table formatter."""
+        return {
+            "platform": self.platform,
+            "n": self.n,
+            "time_on_task_s": round(self.mean_time_on_task, 1),
+            "completion": round(self.completion_rate, 3),
+            "dropout": round(self.dropout_rate, 3),
+            "interactions": round(self.mean_interactions, 1),
+            "knowledge_gain": round(self.mean_knowledge_gain, 3),
+            "gain_ci": round(self.ci_knowledge_gain, 3),
+            "engagement": round(self.mean_final_engagement, 3),
+            "score": round(self.mean_score, 1),
+        }
+
+
+def summarize(records: Sequence[OutcomeRecord]) -> CohortSummary:
+    """Aggregate one platform's records (all must share the platform)."""
+    if not records:
+        raise ValueError("no records to summarise")
+    platforms = {r.platform for r in records}
+    if len(platforms) != 1:
+        raise ValueError(f"mixed platforms in one cohort: {sorted(platforms)}")
+    times = [r.time_on_task for r in records]
+    gains = [r.knowledge_gain for r in records]
+    t_mean, t_ci = mean_ci(times)
+    g_mean, g_ci = mean_ci(gains)
+    n = len(records)
+    return CohortSummary(
+        platform=records[0].platform,
+        n=n,
+        mean_time_on_task=t_mean,
+        ci_time_on_task=t_ci,
+        completion_rate=sum(r.completed for r in records) / n,
+        dropout_rate=sum(r.dropped_out for r in records) / n,
+        mean_interactions=float(np.mean([r.interactions for r in records])),
+        mean_knowledge_gain=g_mean,
+        ci_knowledge_gain=g_ci,
+        mean_final_engagement=float(
+            np.mean([r.final_engagement for r in records])
+        ),
+        mean_score=float(np.mean([r.score for r in records])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario funnel: where do sessions stall or stop?
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class FunnelRow:
+    """One scenario's reach/engagement across a set of session logs."""
+
+    scenario_id: str
+    sessions_reached: int     #: sessions that entered at least once
+    reach_fraction: float     #: sessions_reached / total sessions
+    total_visits: int         #: entries summed over all sessions
+    mean_interactions: float  #: interactions made while in this scenario
+
+
+def scenario_funnel(logs: Sequence["SessionLog"]) -> List[FunnelRow]:
+    """Per-scenario reach funnel from raw session logs.
+
+    Authoring feedback in one table: a scenario most sessions never reach
+    is either optional content or a broken path; a reached scenario with
+    near-zero interactions is scenery the designer thought was a puzzle.
+    Requires logs recorded with ``keep_notices=True``.
+
+    Rows are sorted by descending reach, then scenario id.
+    """
+    if not logs:
+        raise ValueError("no session logs")
+    reached: Dict[str, int] = {}
+    visits: Dict[str, int] = {}
+    interactions: Dict[str, int] = {}
+    for log in logs:
+        current: Optional[str] = None
+        seen_this_session = set()
+        for notice in log.notices:
+            if notice.topic == "scenario":
+                current = notice.payload.get("scenario_id")
+                if current is not None:
+                    visits[current] = visits.get(current, 0) + 1
+                    if current not in seen_this_session:
+                        seen_this_session.add(current)
+                        reached[current] = reached.get(current, 0) + 1
+            elif notice.topic == "interaction" and current is not None:
+                interactions[current] = interactions.get(current, 0) + 1
+    n = len(logs)
+    rows = [
+        FunnelRow(
+            scenario_id=sid,
+            sessions_reached=reached[sid],
+            reach_fraction=reached[sid] / n,
+            total_visits=visits.get(sid, 0),
+            mean_interactions=interactions.get(sid, 0) / max(1, reached[sid]),
+        )
+        for sid in reached
+    ]
+    rows.sort(key=lambda r: (-r.sessions_reached, r.scenario_id))
+    return rows

@@ -1,0 +1,107 @@
+"""Assessment: pre/post tests over a knowledge map.
+
+The paper never measures learning; E6 does, with the standard pre-test →
+play → post-test design.  A :class:`Test` samples questions one-to-one
+from knowledge items; a simulated student answers a question correctly
+with probability depending on whether they hold the item (plus a guess
+floor).  Normalised learning gain uses Hake's formula
+``(post - pre) / (1 - pre)``, the common metric in education studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .knowledge import KnowledgeItem, KnowledgeMap
+
+__all__ = ["Question", "Test", "TestResult", "hake_gain"]
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One test question probing one knowledge item."""
+
+    item_id: str
+    prompt: str
+    n_options: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_options < 2:
+            raise ValueError("questions need at least two options")
+
+    @property
+    def guess_probability(self) -> float:
+        return 1.0 / self.n_options
+
+
+@dataclass(slots=True)
+class TestResult:
+    """Score of one administration."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    correct: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+class Test:
+    """A test with one question per knowledge item.
+
+    ``p_known`` is the probability a student holding the item answers
+    correctly (slips allowed); a student without the item guesses.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(
+        self,
+        kmap: KnowledgeMap,
+        n_options: int = 4,
+        p_known: float = 0.92,
+        repeats: int = 1,
+    ) -> None:
+        """``repeats`` asks each item ``repeats`` times (parallel forms),
+        cutting guessing noise — use >= 3 when comparing small cohorts."""
+        if not 0.0 < p_known <= 1.0:
+            raise ValueError("p_known must be in (0, 1]")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.questions: List[Question] = [
+            Question(item_id=i.item_id, prompt=f"About: {i.text} (form {k})",
+                     n_options=n_options)
+            for i in kmap.items
+            for k in range(repeats)
+        ]
+        if not self.questions:
+            raise ValueError("knowledge map is empty; nothing to test")
+        self.p_known = p_known
+
+    def administer(
+        self, held_items: Set[str], rng: np.random.Generator
+    ) -> TestResult:
+        """Simulate a student sitting the test."""
+        correct = 0
+        for q in self.questions:
+            p = self.p_known if q.item_id in held_items else q.guess_probability
+            if rng.random() < p:
+                correct += 1
+        return TestResult(correct=correct, total=len(self.questions))
+
+
+def hake_gain(pre: TestResult, post: TestResult) -> float:
+    """Normalised learning gain ``(post - pre) / (1 - pre)``.
+
+    Clamped to [-1, 1]; a pre-test ceiling (pre == 1) yields 0 gain.
+    """
+    pre_f, post_f = pre.fraction, post.fraction
+    if pre_f >= 1.0:
+        return 0.0
+    g = (post_f - pre_f) / (1.0 - pre_f)
+    return max(-1.0, min(1.0, g))

@@ -1,0 +1,162 @@
+"""Knowledge model: what a game teaches, bound to where it teaches it.
+
+§3.2: "The ultimate goal of game-based learning systems is to deliver
+knowledge to students … Students can obtain knowledge from the process
+of making decision and interaction."
+
+A :class:`KnowledgeItem` is one teachable unit (a fact, a concept, a
+procedure step).  A :class:`KnowledgeMap` binds items to *delivery
+points* — observable session events: entering a scenario, firing a
+specific binding, examining an object, hearing a dialogue node, or (for
+the linear-video baseline) simply having watched a time window.  The
+student simulation consults the map to decide which items a session
+*exposed*, and the acquisition model (:mod:`repro.students.model`)
+decides which exposures stick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["DeliveryPoint", "KnowledgeError", "KnowledgeItem", "KnowledgeMap"]
+
+
+class KnowledgeError(ValueError):
+    """Raised on invalid knowledge definitions."""
+
+
+@dataclass(frozen=True, slots=True)
+class KnowledgeItem:
+    """One teachable unit."""
+
+    item_id: str
+    text: str
+    objective: str = ""  #: the curriculum objective this item serves
+    weight: float = 1.0  #: relative importance in the gain score
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise KnowledgeError("knowledge item id must be non-empty")
+        if not self.text:
+            raise KnowledgeError(f"item {self.item_id!r} has no text")
+        if self.weight <= 0:
+            raise KnowledgeError(f"item {self.item_id!r} weight must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryPoint:
+    """Where an item is delivered.
+
+    ``kind`` ∈ {"enter", "binding", "examine", "dialogue", "time"}:
+
+    * ``enter`` — entering scenario ``ref``;
+    * ``binding`` — event binding ``ref`` fires (the decision-making
+      delivery of §3.2);
+    * ``examine`` — examining object ``ref`` (investigation delivery);
+    * ``dialogue`` — seeing dialogue node ``ref`` ("dialogue_id:node_id");
+    * ``time`` — passive exposure during seconds ``[t0, t1)`` of a linear
+      lesson (baseline only).
+    """
+
+    kind: str
+    ref: str = ""
+    t0: float = 0.0
+    t1: float = 0.0
+
+    _KINDS = ("enter", "binding", "examine", "dialogue", "time")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise KnowledgeError(f"unknown delivery kind {self.kind!r}")
+        if self.kind == "time":
+            if self.t1 <= self.t0:
+                raise KnowledgeError("time delivery needs t1 > t0")
+        elif not self.ref:
+            raise KnowledgeError(f"{self.kind!r} delivery needs a ref")
+
+    @property
+    def active(self) -> bool:
+        """True for deliveries requiring a student decision/interaction
+        (they get the active-learning retention multiplier)."""
+        return self.kind in ("binding", "examine", "dialogue")
+
+
+class KnowledgeMap:
+    """Items plus their delivery points; the course's knowledge design."""
+
+    def __init__(self) -> None:
+        self._items: Dict[str, KnowledgeItem] = {}
+        self._deliveries: Dict[str, List[DeliveryPoint]] = {}
+
+    def add(self, item: KnowledgeItem, deliveries: Sequence[DeliveryPoint]) -> None:
+        """Register an item with at least one delivery point."""
+        if item.item_id in self._items:
+            raise KnowledgeError(f"duplicate knowledge item {item.item_id!r}")
+        if not deliveries:
+            raise KnowledgeError(
+                f"item {item.item_id!r} has no delivery points: it can "
+                "never be taught"
+            )
+        self._items[item.item_id] = item
+        self._deliveries[item.item_id] = list(deliveries)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    @property
+    def items(self) -> List[KnowledgeItem]:
+        return list(self._items.values())
+
+    def deliveries(self, item_id: str) -> List[DeliveryPoint]:
+        try:
+            return list(self._deliveries[item_id])
+        except KeyError:
+            raise KnowledgeError(f"unknown knowledge item {item_id!r}") from None
+
+    @property
+    def total_weight(self) -> float:
+        return sum(i.weight for i in self._items.values())
+
+    # ------------------------------------------------------------------
+    # Exposure resolution
+    # ------------------------------------------------------------------
+    def exposures_from_session(
+        self,
+        entered_scenarios: Set[str],
+        fired_bindings: Set[str],
+        examined_objects: Set[str],
+        dialogue_nodes: Set[str],
+        watched_seconds: float = 0.0,
+    ) -> Dict[str, bool]:
+        """Which items the session exposed, and whether *actively*.
+
+        Returns ``item_id → active`` for every exposed item; an item
+        delivered both passively and actively counts as active.
+        """
+        out: Dict[str, bool] = {}
+        for item_id, points in self._deliveries.items():
+            for p in points:
+                hit = (
+                    (p.kind == "enter" and p.ref in entered_scenarios)
+                    or (p.kind == "binding" and p.ref in fired_bindings)
+                    or (p.kind == "examine" and p.ref in examined_objects)
+                    or (p.kind == "dialogue" and p.ref in dialogue_nodes)
+                    or (p.kind == "time" and watched_seconds >= p.t1)
+                )
+                if hit:
+                    out[item_id] = out.get(item_id, False) or p.active
+        return out
+
+    def gain_score(self, acquired: Set[str]) -> float:
+        """Weighted fraction of the curriculum acquired, in [0, 1]."""
+        total = self.total_weight
+        if total == 0:
+            return 0.0
+        got = sum(
+            self._items[i].weight for i in acquired if i in self._items
+        )
+        return got / total

@@ -1,0 +1,144 @@
+"""Mastery tracking across sessions: Bayesian Knowledge Tracing.
+
+A single play session exposes items once; a *course* revisits them.  The
+standard model for estimating a student's evolving mastery from repeated
+observations is Bayesian Knowledge Tracing (Corbett & Anderson 1995):
+per knowledge item, a two-state HMM with
+
+* ``p_init``  — prior probability the skill is already known,
+* ``p_learn`` — probability of transitioning to known after a practice
+  opportunity,
+* ``p_slip``  — probability a knowing student answers incorrectly,
+* ``p_guess`` — probability an unknowing student answers correctly.
+
+:class:`MasteryTracker` maintains the posterior P(known) per item, folds
+in assessment observations and (un-assessed) practice opportunities, and
+exposes the mastery vector the teacher report renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .knowledge import KnowledgeMap
+
+__all__ = ["BktParams", "MasteryTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class BktParams:
+    """Per-item BKT parameters (shared defaults are fine for E6-scale)."""
+
+    p_init: float = 0.1
+    p_learn: float = 0.25
+    p_slip: float = 0.1
+    p_guess: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("p_init", "p_learn", "p_slip", "p_guess"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        # Identifiability guard: slip+guess >= 1 makes observations
+        # uninformative-or-inverted (the classic BKT degeneracy).
+        if self.p_slip + self.p_guess >= 1.0:
+            raise ValueError("p_slip + p_guess must be < 1 (model degeneracy)")
+
+
+class MasteryTracker:
+    """Posterior mastery per knowledge item for one student."""
+
+    def __init__(
+        self,
+        kmap: KnowledgeMap,
+        params: Optional[BktParams] = None,
+        per_item_params: Optional[Dict[str, BktParams]] = None,
+    ) -> None:
+        self.params = params or BktParams()
+        self._per_item = dict(per_item_params or {})
+        self._p_known: Dict[str, float] = {}
+        for item in kmap.items:
+            p = self._params_for(item.item_id)
+            self._p_known[item.item_id] = p.p_init
+
+    def _params_for(self, item_id: str) -> BktParams:
+        return self._per_item.get(item_id, self.params)
+
+    # ------------------------------------------------------------------
+    def p_known(self, item_id: str) -> float:
+        """Current posterior P(known) for an item."""
+        try:
+            return self._p_known[item_id]
+        except KeyError:
+            raise KeyError(f"unknown knowledge item {item_id!r}") from None
+
+    @property
+    def mastery(self) -> Dict[str, float]:
+        """The full mastery vector (copy)."""
+        return dict(self._p_known)
+
+    def mastered(self, threshold: float = 0.95) -> List[str]:
+        """Items whose posterior exceeds the mastery threshold."""
+        return sorted(i for i, p in self._p_known.items() if p >= threshold)
+
+    def mean_mastery(self) -> float:
+        if not self._p_known:
+            return 0.0
+        return sum(self._p_known.values()) / len(self._p_known)
+
+    # ------------------------------------------------------------------
+    def observe(self, item_id: str, correct: bool) -> float:
+        """Fold in one assessment observation; returns the new posterior.
+
+        Standard BKT update: Bayes step on the evidence, then the
+        learning transition (the observation itself is a practice
+        opportunity).
+        """
+        p = self._params_for(item_id)
+        prior = self.p_known(item_id)
+        if correct:
+            num = prior * (1.0 - p.p_slip)
+            den = num + (1.0 - prior) * p.p_guess
+        else:
+            num = prior * p.p_slip
+            den = num + (1.0 - prior) * (1.0 - p.p_guess)
+        posterior = num / den if den > 0 else prior
+        updated = posterior + (1.0 - posterior) * p.p_learn
+        self._p_known[item_id] = updated
+        return updated
+
+    def practice(self, item_id: str) -> float:
+        """Fold in an un-assessed practice opportunity (an exposure in a
+        play session without a test question): transition only."""
+        p = self._params_for(item_id)
+        prior = self.p_known(item_id)
+        updated = prior + (1.0 - prior) * p.p_learn
+        self._p_known[item_id] = updated
+        return updated
+
+    def observe_session(
+        self,
+        exposures: Dict[str, bool],
+        answers: Optional[Dict[str, bool]] = None,
+    ) -> None:
+        """Fold in one session: exposures are practice; answered test
+        questions are observations.  Active exposures count as *two*
+        practice opportunities (decision + feedback), matching the
+        active-retention asymmetry of the session model."""
+        answers = answers or {}
+        for item_id, active in exposures.items():
+            if item_id not in self._p_known:
+                continue
+            self.practice(item_id)
+            if active:
+                self.practice(item_id)
+        for item_id, correct in answers.items():
+            if item_id in self._p_known:
+                self.observe(item_id, correct)
+
+    def expected_correct(self, item_id: str) -> float:
+        """P(next answer correct) under the current posterior."""
+        p = self._params_for(item_id)
+        known = self.p_known(item_id)
+        return known * (1.0 - p.p_slip) + (1.0 - known) * p.p_guess

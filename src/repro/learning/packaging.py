@@ -1,0 +1,119 @@
+"""Course packaging: ship a compiled game as a distributable unit.
+
+The related-work systems the paper cites are "web-based; students can
+easily access these resources via network" (§2).  A package is the unit
+of that delivery: the compiled game container plus a manifest with
+integrity checksums, the knowledge map, and launch metadata — a
+lightweight analogue of the IMS/SCORM content packages contemporary
+e-learning servers exchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.project import CompiledGame
+from ..events import EventTable
+from ..graph import Scenario
+from ..runtime import Dialogue
+
+__all__ = ["CoursePackage", "PackageError", "load_package", "save_package"]
+
+MANIFEST_FILE = "manifest.json"
+GAME_FILE = "game.rvid"
+STRUCTURE_FILE = "structure.json"
+
+
+class PackageError(ValueError):
+    """Raised on malformed packages."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(slots=True)
+class CoursePackage:
+    """A compiled game plus its manifest."""
+
+    game: CompiledGame
+    manifest: Dict[str, Any]
+
+    @property
+    def title(self) -> str:
+        return self.manifest["title"]
+
+
+def save_package(
+    game: CompiledGame,
+    directory: Union[str, Path],
+    description: str = "",
+    knowledge_items: Optional[Dict[str, str]] = None,
+) -> Path:
+    """Write a course package: manifest + media + structure.
+
+    ``knowledge_items`` (id → text) is embedded so the learning platform
+    can build assessments without the authoring project.
+    """
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    structure = {
+        "start": game.start,
+        "scenarios": [sc.to_dict() for sc in game.scenarios.values()],
+        "events": game.events.to_list(),
+        "dialogues": [dlg.to_dict() for dlg in game.dialogues.values()],
+    }
+    structure_bytes = json.dumps(structure, sort_keys=True).encode("utf-8")
+    manifest = {
+        "format": "vgbl-package",
+        "version": 1,
+        "title": game.title,
+        "description": description,
+        "start_scenario": game.start,
+        "scenario_count": len(game.scenarios),
+        "media_sha256": _sha256(game.container),
+        "structure_sha256": _sha256(structure_bytes),
+        "media_bytes": len(game.container),
+        "knowledge_items": dict(knowledge_items or {}),
+    }
+    (d / GAME_FILE).write_bytes(game.container)
+    (d / STRUCTURE_FILE).write_bytes(structure_bytes)
+    (d / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return d
+
+
+def load_package(directory: Union[str, Path]) -> CoursePackage:
+    """Load and integrity-check a package (checksums must match)."""
+    d = Path(directory)
+    try:
+        manifest = json.loads((d / MANIFEST_FILE).read_text())
+    except FileNotFoundError:
+        raise PackageError(f"no {MANIFEST_FILE} in {d}") from None
+    if manifest.get("format") != "vgbl-package":
+        raise PackageError("not a vgbl package")
+    media = (d / GAME_FILE).read_bytes()
+    structure_bytes = (d / STRUCTURE_FILE).read_bytes()
+    if _sha256(media) != manifest["media_sha256"]:
+        raise PackageError("media checksum mismatch: package corrupted")
+    if _sha256(structure_bytes) != manifest["structure_sha256"]:
+        raise PackageError("structure checksum mismatch: package corrupted")
+    structure = json.loads(structure_bytes.decode("utf-8"))
+    scenarios = {
+        s["scenario_id"]: Scenario.from_dict(s) for s in structure["scenarios"]
+    }
+    game = CompiledGame(
+        title=manifest["title"],
+        scenarios=scenarios,
+        events=EventTable.from_list(structure["events"]),
+        dialogues={
+            dd["dialogue_id"]: Dialogue.from_dict(dd)
+            for dd in structure["dialogues"]
+        },
+        start=structure["start"],
+        container=media,
+    )
+    return CoursePackage(game=game, manifest=manifest)

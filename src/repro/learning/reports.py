@@ -1,0 +1,119 @@
+"""Teacher-facing reports: turning analytics into decisions.
+
+§3.3 leaves real rewarding to "the lecturers … themselves"; what the
+lecturer needs from the platform is a readable account of what the class
+did and learned.  This module renders:
+
+* a **class report** — per-student outcome rows plus cohort aggregates
+  and flags (students who dropped out, students below a mastery bar);
+* a **curriculum report** — per-knowledge-item mastery across the class,
+  highlighting items the game failed to teach (authoring feedback: the
+  delivery point may be too missable).
+
+Reports are plain text built on the table formatter, so they drop into
+email or an LMS page unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..reporting.tables import format_table
+from .analytics import OutcomeRecord, summarize
+from .knowledge import KnowledgeMap
+from .mastery import MasteryTracker
+
+__all__ = ["class_report", "curriculum_report"]
+
+
+def class_report(
+    records: Sequence[OutcomeRecord],
+    mastery_by_student: Optional[Dict[str, MasteryTracker]] = None,
+    mastery_bar: float = 0.6,
+) -> str:
+    """The lecturer's class overview.
+
+    ``mastery_by_student`` (optional) adds a mean-mastery column and the
+    below-bar flag list.
+    """
+    if not records:
+        raise ValueError("no records to report")
+    rows = []
+    flagged_dropout: List[str] = []
+    flagged_mastery: List[str] = []
+    for r in sorted(records, key=lambda r: r.player_id):
+        row = {
+            "student": r.player_id,
+            "time_min": round(r.time_on_task / 60.0, 1),
+            "completed": "yes" if r.completed else "no",
+            "interactions": r.interactions,
+            "score": r.score,
+            "gain": round(r.knowledge_gain, 2),
+        }
+        if mastery_by_student is not None:
+            tracker = mastery_by_student.get(r.player_id)
+            mean = tracker.mean_mastery() if tracker else 0.0
+            row["mastery"] = round(mean, 2)
+            if mean < mastery_bar:
+                flagged_mastery.append(r.player_id)
+        rows.append(row)
+        if r.dropped_out:
+            flagged_dropout.append(r.player_id)
+
+    summary = summarize(list(records))
+    lines = [
+        f"CLASS REPORT - {summary.platform} - {summary.n} students",
+        "",
+        format_table(rows),
+        "",
+        f"completion rate : {summary.completion_rate:.0%}",
+        f"dropout rate    : {summary.dropout_rate:.0%}",
+        f"mean gain       : {summary.mean_knowledge_gain:.2f} "
+        f"(±{summary.ci_knowledge_gain:.2f})",
+        f"mean engagement : {summary.mean_final_engagement:.2f}",
+    ]
+    if flagged_dropout:
+        lines.append(f"NEEDS ATTENTION (dropped out): {', '.join(sorted(flagged_dropout))}")
+    if flagged_mastery:
+        lines.append(
+            f"NEEDS ATTENTION (mastery < {mastery_bar:.0%}): "
+            f"{', '.join(sorted(flagged_mastery))}"
+        )
+    return "\n".join(lines)
+
+
+def curriculum_report(
+    kmap: KnowledgeMap,
+    trackers: Sequence[MasteryTracker],
+    weak_bar: float = 0.5,
+) -> str:
+    """Per-item class mastery; flags items the course fails to teach."""
+    if not trackers:
+        raise ValueError("no trackers to report")
+    rows = []
+    weak: List[str] = []
+    for item in kmap.items:
+        values = [t.p_known(item.item_id) for t in trackers]
+        mean = sum(values) / len(values)
+        mastered = sum(1 for v in values if v >= 0.95)
+        rows.append({
+            "item": item.item_id,
+            "objective": item.objective or "-",
+            "class_mean": round(mean, 2),
+            "mastered": f"{mastered}/{len(values)}",
+        })
+        if mean < weak_bar:
+            weak.append(item.item_id)
+    lines = [
+        f"CURRICULUM REPORT - {len(kmap)} items, {len(trackers)} students",
+        "",
+        format_table(rows),
+    ]
+    if weak:
+        lines += [
+            "",
+            "WEAKLY TAUGHT (check the delivery points in the authoring tool):",
+            *(f"  - {i}" for i in sorted(weak)),
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Interactive-TV delivery substrate: channel model, segment streaming
+with branch prefetch, and control-device models."""
+
+from .cache import CacheStats, EVICTION_POLICIES, SegmentCache, simulate_cached_playback
+from .channel import Channel, Transfer
+from .devices import (
+    Device,
+    KeyboardMouse,
+    PDA,
+    RemoteControl,
+    Tablet,
+    make_device,
+)
+from .streaming import PREFETCH_POLICIES, StreamSession, StreamStats, SwitchRecord
+
+__all__ = [
+    "CacheStats",
+    "Channel",
+    "Device",
+    "EVICTION_POLICIES",
+    "SegmentCache",
+    "simulate_cached_playback",
+    "KeyboardMouse",
+    "PDA",
+    "PREFETCH_POLICIES",
+    "RemoteControl",
+    "StreamSession",
+    "StreamStats",
+    "SwitchRecord",
+    "Tablet",
+    "Transfer",
+]

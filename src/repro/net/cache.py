@@ -1,0 +1,187 @@
+"""Client-side segment cache with bounded memory.
+
+``StreamSession`` assumes every fetched segment stays resident — fine
+for a classroom game, wrong for a semester-long course on a set-top box
+with tens of megabytes of RAM (§2's interactive-TV setting).  The
+:class:`SegmentCache` bounds residency in bytes with pluggable eviction:
+
+``lru``
+    Evict the least-recently-*played* segment — the default, exploits
+    the strong locality of scenario revisits (hub-and-spoke games).
+``fifo``
+    Evict in arrival order — the ablation baseline.
+``graph``
+    Evict the segment whose scenario is *farthest* (in transitions) from
+    the player's current scenario — uses the branching structure the
+    platform uniquely has; never evicts a neighbour the player might
+    switch to next.
+
+The cache is a pure bookkeeping model (segments are ids + sizes); the
+cached-stream simulator counts *refetches* — every eviction the player
+later regrets costs a full segment stall.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph import ScenarioGraph
+
+__all__ = ["CacheStats", "EVICTION_POLICIES", "SegmentCache"]
+
+EVICTION_POLICIES = ("lru", "fifo", "graph")
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/eviction accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    refetches: int = 0  #: misses on segments that were previously cached
+    bytes_evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SegmentCache:
+    """Byte-bounded segment cache with pluggable eviction."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: str = "lru",
+        graph: Optional[ScenarioGraph] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: {EVICTION_POLICIES}"
+            )
+        if policy == "graph" and graph is None:
+            raise ValueError("graph policy needs the scenario graph")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.graph = graph
+        #: segment id → size; order = recency (most recent last) for lru,
+        #: insertion for fifo.
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._ever_cached: Set[int] = set()
+        #: segment id → scenario id (for the graph policy)
+        self._scenario_of: Dict[int, str] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def resident_segments(self) -> List[int]:
+        return list(self._resident)
+
+    def contains(self, segment_id: int) -> bool:
+        return segment_id in self._resident
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        segment_id: int,
+        size: int,
+        scenario_id: Optional[str] = None,
+        current_scenario: Optional[str] = None,
+    ) -> bool:
+        """Record a playback access; returns True on a cache hit.
+
+        On a miss the segment is admitted, evicting per policy until it
+        fits.  ``scenario_id`` labels the segment for the graph policy;
+        ``current_scenario`` is the player's position (eviction anchor).
+        """
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        if size > self.capacity_bytes:
+            raise ValueError(
+                f"segment of {size} bytes cannot fit in a "
+                f"{self.capacity_bytes}-byte cache"
+            )
+        if scenario_id is not None:
+            self._scenario_of[segment_id] = scenario_id
+
+        if segment_id in self._resident:
+            self.stats.hits += 1
+            if self.policy == "lru":
+                self._resident.move_to_end(segment_id)
+            return True
+
+        self.stats.misses += 1
+        if segment_id in self._ever_cached:
+            self.stats.refetches += 1
+        self._ever_cached.add(segment_id)
+        while self.resident_bytes + size > self.capacity_bytes:
+            self._evict_one(current_scenario)
+        self._resident[segment_id] = size
+        return False
+
+    def _evict_one(self, current_scenario: Optional[str]) -> None:
+        if not self._resident:  # pragma: no cover - guarded by size check
+            raise RuntimeError("cache invariant violated: nothing to evict")
+        if self.policy in ("lru", "fifo"):
+            victim, size = next(iter(self._resident.items()))
+        else:
+            victim, size = self._graph_victim(current_scenario)
+        del self._resident[victim]
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += size
+
+    def _graph_victim(self, current_scenario: Optional[str]) -> Tuple[int, int]:
+        """Farthest-from-player resident segment (ties: oldest)."""
+        assert self.graph is not None
+        if current_scenario is None:
+            return next(iter(self._resident.items()))
+        import networkx as nx
+
+        distances = dict(
+            nx.single_source_shortest_path_length(
+                self.graph._g, current_scenario  # noqa: SLF001 - same package
+            )
+        )
+        best: Optional[Tuple[int, int]] = None
+        best_dist = -1
+        for seg, size in self._resident.items():
+            sid = self._scenario_of.get(seg)
+            dist = distances.get(sid, 10**9)  # unreachable = farthest
+            if dist > best_dist:
+                best_dist = dist
+                best = (seg, size)
+        assert best is not None
+        return best
+
+
+def simulate_cached_playback(
+    reader,
+    graph: ScenarioGraph,
+    path: Sequence[Tuple[str, float]],
+    capacity_bytes: int,
+    policy: str = "lru",
+) -> CacheStats:
+    """Replay a visit path through a bounded cache; returns the stats.
+
+    A convenience driver shared by the cache ablation bench and tests:
+    every visit accesses the scenario's segment; misses after the first
+    ever access are refetches (a real player would stall).
+    """
+    cache = SegmentCache(capacity_bytes, policy=policy, graph=graph)
+    for scenario_id, _dwell in path:
+        seg = graph.scenarios[scenario_id].segment_ref
+        size = reader.index[seg].byte_size
+        cache.access(
+            seg, size, scenario_id=scenario_id, current_scenario=scenario_id
+        )
+    return cache.stats

@@ -1,0 +1,82 @@
+"""A deterministic bandwidth/latency channel model.
+
+§2 frames the platform in the interactive-TV tradition: video reaches the
+player over a network.  The channel is the usual fluid model — a fixed
+round-trip latency plus a serialisation rate — made *serially
+consistent*: transfers queue on the link, so a prefetch in flight delays
+a later urgent fetch (which is exactly the trade-off the E5 prefetch
+policies navigate).
+
+Determinism: no randomness; time is the caller's simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Channel", "Transfer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One completed/scheduled transfer."""
+
+    nbytes: int
+    requested_at: float
+    started_at: float   #: when the link began serialising it
+    finished_at: float  #: when the last byte arrived
+
+
+class Channel:
+    """FIFO link with latency and bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Link rate in *bytes* per second.
+    latency_s:
+        One-way request-to-first-byte latency, charged once per transfer.
+    """
+
+    def __init__(self, bandwidth_bps: float, latency_s: float = 0.05) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        #: when the link becomes free (end of the last queued transfer)
+        self._link_free_at = 0.0
+        self.log: List[Transfer] = []
+
+    def request(self, nbytes: int, now: float) -> Transfer:
+        """Queue a transfer at time ``now``; returns its schedule.
+
+        The transfer starts when both the request has propagated
+        (``now + latency``) and the link is free; it occupies the link
+        for ``nbytes / bandwidth`` seconds.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = max(now + self.latency_s, self._link_free_at)
+        finish = start + nbytes / self.bandwidth_bps
+        self._link_free_at = finish
+        t = Transfer(
+            nbytes=nbytes, requested_at=now, started_at=start, finished_at=finish
+        )
+        self.log.append(t)
+        return t
+
+    def busy_until(self) -> float:
+        """Time at which all queued transfers complete."""
+        return self._link_free_at
+
+    @property
+    def bytes_transferred(self) -> int:
+        return sum(t.nbytes for t in self.log)
+
+    def reset(self) -> None:
+        """Clear the queue and log (new simulation run)."""
+        self._link_free_at = 0.0
+        self.log.clear()

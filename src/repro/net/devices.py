@@ -1,0 +1,173 @@
+"""Control devices: how users deliver interactions (§2).
+
+"Various devices are adopted to provide manipulation to audiences.
+Remote control, PDA, tablet, keyboard and mouse are used for delivering
+the control made by users."
+
+Each device maps a high-level *intent* ("activate that object", "open
+the inventory slot", "move the avatar") to the raw input events the
+runtime understands, with a per-device interaction cost model:
+
+* a **pointer** device (mouse, tablet stylus) clicks coordinates
+  directly — one event per intent;
+* a **remote control** has no pointer: it cycles a focus highlight
+  through the scenario's objects with arrow presses and confirms with
+  OK — cost grows with the object's focus distance (the classic
+  10-foot-UI tax, measured by the E5/devices ablation);
+* a **PDA** (touch, small screen) points directly but with a tap-error
+  rate: a missed tap produces a no-op click nearby and a retry.
+
+Every device returns the event list plus the simulated seconds the
+gesture took, so cohort simulations can charge realistic interaction
+costs per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Scenario
+from ..runtime import KeyPress, MouseClick, MouseDrag
+
+__all__ = ["Device", "KeyboardMouse", "PDA", "RemoteControl", "Tablet", "make_device"]
+
+
+@dataclass(frozen=True, slots=True)
+class GesturePlan:
+    """The raw events realising one intent, and their duration."""
+
+    events: Tuple[object, ...]
+    seconds: float
+
+
+class Device:
+    """Base class: point at an object / drag an object to the window."""
+
+    name: str = "device"
+
+    def activate(
+        self, scenario: Scenario, object_id: str, rng: np.random.Generator
+    ) -> GesturePlan:
+        """Events to click/activate the named object."""
+        raise NotImplementedError
+
+    def drag_to_inventory(
+        self,
+        scenario: Scenario,
+        object_id: str,
+        inv_y: float,
+        rng: np.random.Generator,
+    ) -> GesturePlan:
+        """Events to drag the named object into the inventory window."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _center(scenario: Scenario, object_id: str) -> Tuple[float, float]:
+        return scenario.get_object(object_id).hotspot.center()
+
+
+class KeyboardMouse(Device):
+    """Desktop mouse: direct, fast, accurate."""
+
+    name = "keyboard_mouse"
+    seconds_per_point = 0.9  # Fitts-ish average acquire+click
+
+    def activate(self, scenario, object_id, rng) -> GesturePlan:
+        x, y = self._center(scenario, object_id)
+        return GesturePlan((MouseClick(x, y),), self.seconds_per_point)
+
+    def drag_to_inventory(self, scenario, object_id, inv_y, rng) -> GesturePlan:
+        x, y = self._center(scenario, object_id)
+        return GesturePlan(
+            (MouseDrag(x, y, x, inv_y + 2),), self.seconds_per_point * 1.6
+        )
+
+
+class Tablet(KeyboardMouse):
+    """Stylus tablet: direct pointing, slightly slower drags."""
+
+    name = "tablet"
+    seconds_per_point = 1.1
+
+
+class PDA(Device):
+    """Small touch screen: direct but error-prone taps."""
+
+    name = "pda"
+    seconds_per_tap = 1.2
+    miss_rate = 0.12
+
+    def activate(self, scenario, object_id, rng) -> GesturePlan:
+        x, y = self._center(scenario, object_id)
+        events: List[object] = []
+        seconds = 0.0
+        while True:
+            seconds += self.seconds_per_tap
+            if rng.random() < self.miss_rate:
+                # A miss lands just outside the hotspot; harmless no-op.
+                events.append(MouseClick(x + 30.0, y + 30.0))
+                continue
+            events.append(MouseClick(x, y))
+            break
+        return GesturePlan(tuple(events), seconds)
+
+    def drag_to_inventory(self, scenario, object_id, inv_y, rng) -> GesturePlan:
+        x, y = self._center(scenario, object_id)
+        plan = self.activate(scenario, object_id, rng)  # acquire first
+        return GesturePlan(
+            plan.events[:-1] + (MouseDrag(x, y, x, inv_y + 2),),
+            plan.seconds + self.seconds_per_tap,
+        )
+
+
+class RemoteControl(Device):
+    """TV remote: focus cycling + OK, no pointer.
+
+    Focus order is the scenario's z-sorted object list; the cost of
+    activating an object is one OK press plus one arrow press per focus
+    step from the top of the list (the worst interactive-TV input mode,
+    and why §3.1 games prefer mouse/keyboard).
+    """
+
+    name = "remote"
+    seconds_per_press = 0.6
+
+    def activate(self, scenario, object_id, rng) -> GesturePlan:
+        order = [o.object_id for o in scenario.objects]
+        try:
+            steps = order.index(object_id)
+        except ValueError:
+            raise KeyError(f"object {object_id!r} not in scenario") from None
+        x, y = self._center(scenario, object_id)
+        events: List[object] = [KeyPress("down") for _ in range(steps)]
+        # The OK press resolves to a click at the focused object's centre.
+        events.append(MouseClick(x, y))
+        return GesturePlan(tuple(events), self.seconds_per_press * (steps + 1))
+
+    def drag_to_inventory(self, scenario, object_id, inv_y, rng) -> GesturePlan:
+        plan = self.activate(scenario, object_id, rng)
+        x, y = self._center(scenario, object_id)
+        # "Pick up" on a remote is focus + long-OK: modelled as a drag
+        # event after focusing, at double press cost.
+        return GesturePlan(
+            plan.events[:-1] + (MouseDrag(x, y, x, inv_y + 2),),
+            plan.seconds + self.seconds_per_press,
+        )
+
+
+_DEVICES = {
+    cls.name: cls for cls in (KeyboardMouse, Tablet, PDA, RemoteControl)
+}
+
+
+def make_device(name: str) -> Device:
+    """Instantiate a device by name."""
+    try:
+        return _DEVICES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; known: {sorted(_DEVICES)}"
+        ) from None

@@ -1,0 +1,243 @@
+"""Segment streaming with branch-aware prefetch (experiment E5).
+
+A streamed VGBL session downloads the container index up front, then
+fetches segments over the channel as the player moves through the
+scenario graph.  The interesting question is what to do with idle link
+time while the player explores a scenario: the successors in the graph
+are the *possible* next segments, and prefetching them converts
+interaction-time stalls into background transfers.
+
+Three policies, in increasing aggressiveness:
+
+``none``
+    Fetch a segment only when the player switches to it.  Every branch
+    taken stalls for (latency + segment bytes / bandwidth).
+``successors``
+    After arriving in a scenario, prefetch its graph successors
+    (breadth-first, nearest first) while the player dwells.  A taken
+    branch that finished prefetching starts instantly.
+``all``
+    Prefetch the whole container in graph BFS order.  Minimum stalls,
+    maximum wasted bytes on paths not taken.
+
+The simulator replays a *path* (a sequence of scenario visits with dwell
+times) and reports per-switch startup delay plus traffic, which is what
+the E5 table rows are.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph import ScenarioGraph
+from ..video.container import VideoReader
+from .channel import Channel
+
+__all__ = ["PREFETCH_POLICIES", "StreamSession", "StreamStats", "SwitchRecord"]
+
+PREFETCH_POLICIES = ("none", "successors", "all")
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchRecord:
+    """One scenario switch: when requested, when playable, stalls."""
+
+    scenario_id: str
+    requested_at: float
+    playable_at: float
+    rebuffer_seconds: float = 0.0  #: mid-playback stall (progressive mode)
+
+    @property
+    def startup_delay(self) -> float:
+        return self.playable_at - self.requested_at
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Aggregates of one streamed session."""
+
+    switches: List[SwitchRecord] = field(default_factory=list)
+    bytes_fetched: int = 0
+    bytes_wasted: int = 0  #: prefetched segments never played
+
+    @property
+    def mean_startup_delay(self) -> float:
+        if not self.switches:
+            return 0.0
+        return sum(s.startup_delay for s in self.switches) / len(self.switches)
+
+    @property
+    def max_startup_delay(self) -> float:
+        return max((s.startup_delay for s in self.switches), default=0.0)
+
+    @property
+    def total_rebuffer_seconds(self) -> float:
+        """Mid-playback stall time summed over all switches."""
+        return sum(s.rebuffer_seconds for s in self.switches)
+
+    @property
+    def instant_switch_fraction(self) -> float:
+        """Fraction of switches with (near-)zero delay (< 1 ms)."""
+        if not self.switches:
+            return 0.0
+        return sum(1 for s in self.switches if s.startup_delay < 1e-3) / len(
+            self.switches
+        )
+
+
+class StreamSession:
+    """Simulates streamed playback of a compiled game over a channel."""
+
+    def __init__(
+        self,
+        reader: VideoReader,
+        graph: ScenarioGraph,
+        channel: Channel,
+        policy: str = "successors",
+        prefetch_depth: int = 1,
+        progressive: bool = False,
+        startup_buffer_s: float = 1.0,
+    ) -> None:
+        """``progressive`` plays segments while they download: playback
+        starts once ``startup_buffer_s`` seconds of content are buffered,
+        at the cost of possible mid-playback rebuffering when the channel
+        is slower than the content bitrate (the fluid model's
+        ``stall = max(0, download_end - play_start - duration)``)."""
+        if policy not in PREFETCH_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: {PREFETCH_POLICIES}"
+            )
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if startup_buffer_s <= 0:
+            raise ValueError("startup_buffer_s must be positive")
+        self.reader = reader
+        self.graph = graph
+        self.channel = channel
+        self.policy = policy
+        self.prefetch_depth = prefetch_depth
+        self.progressive = progressive
+        self.startup_buffer_s = startup_buffer_s
+        #: segment id → the Transfer covering it (fetched or in flight)
+        self._transfers: Dict[int, "object"] = {}
+        #: segment id → time the last byte arrived (fetched or in flight)
+        self._arrival: Dict[int, float] = {}
+        self._played_segments: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _segment_of(self, scenario_id: str) -> int:
+        return self.graph.scenarios[scenario_id].segment_ref
+
+    def _segment_bytes(self, segment_id: int) -> int:
+        return self.reader.index[segment_id].byte_size
+
+    def _fetch(self, segment_id: int, now: float) -> float:
+        """Ensure a segment is (being) fetched; returns its arrival time."""
+        if segment_id in self._arrival:
+            return self._arrival[segment_id]
+        t = self.channel.request(self._segment_bytes(segment_id), now)
+        self._transfers[segment_id] = t
+        self._arrival[segment_id] = t.finished_at
+        return t.finished_at
+
+    def _progressive_schedule(
+        self, segment_id: int, now: float
+    ) -> Tuple[float, float]:
+        """(playable_at, rebuffer_seconds) under progressive playback."""
+        finish = self._fetch(segment_id, now)
+        transfer = self._transfers[segment_id]
+        start = transfer.started_at
+        size = self._segment_bytes(segment_id)
+        duration = self.reader.segment_duration_seconds(segment_id)
+        if finish <= now or finish <= start:
+            return now, 0.0  # already resident
+        rate = size / (finish - start)  # channel delivery rate for it
+        consumption = size / max(duration, 1e-9)
+        # Buffer the configured seconds of content, but never more than
+        # half the segment — short scenario clips must still start early.
+        buffer_s = min(self.startup_buffer_s, duration / 2.0)
+        buffer_bytes = min(size, consumption * buffer_s)
+        playable_at = max(now, start + buffer_bytes / rate)
+        rebuffer = max(0.0, finish - playable_at - duration)
+        return playable_at, rebuffer
+
+    def _prefetch_frontier(self, scenario_id: str, now: float) -> None:
+        """Queue prefetches according to the policy."""
+        if self.policy == "none":
+            return
+        if self.policy == "all":
+            order = self._bfs_order(scenario_id)
+            for seg in order:
+                self._fetch(seg, now)
+            return
+        # successors: BFS to prefetch_depth
+        depth: Dict[str, int] = {scenario_id: 0}
+        q = deque([scenario_id])
+        while q:
+            sid = q.popleft()
+            if depth[sid] >= self.prefetch_depth:
+                continue
+            for nxt in self.graph.successors(sid):
+                if nxt not in depth:
+                    depth[nxt] = depth[sid] + 1
+                    self._fetch(self._segment_of(nxt), now)
+                    q.append(nxt)
+
+    def _bfs_order(self, scenario_id: str) -> List[int]:
+        seen: Set[str] = {scenario_id}
+        order: List[int] = [self._segment_of(scenario_id)]
+        q = deque([scenario_id])
+        while q:
+            sid = q.popleft()
+            for nxt in self.graph.successors(sid):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(self._segment_of(nxt))
+                    q.append(nxt)
+        return order
+
+    # ------------------------------------------------------------------
+    def play_path(
+        self, path: Sequence[Tuple[str, float]], start_time: float = 0.0
+    ) -> StreamStats:
+        """Replay a visit path: ``[(scenario_id, dwell_seconds), ...]``.
+
+        The first entry is the game start (its fetch is the initial
+        loading screen); subsequent entries are player-taken branches.
+        """
+        if not path:
+            raise ValueError("path must not be empty")
+        stats = StreamStats()
+        now = start_time
+        for scenario_id, dwell in path:
+            if dwell < 0:
+                raise ValueError("dwell time must be non-negative")
+            seg = self._segment_of(scenario_id)
+            requested = now
+            rebuffer = 0.0
+            if self.progressive:
+                playable, rebuffer = self._progressive_schedule(seg, now)
+            else:
+                playable = max(now, self._fetch(seg, now))
+            stats.switches.append(
+                SwitchRecord(
+                    scenario_id=scenario_id,
+                    requested_at=requested,
+                    playable_at=playable,
+                    rebuffer_seconds=rebuffer,
+                )
+            )
+            self._played_segments.add(seg)
+            now = playable + rebuffer
+            # Dwell in the scenario; idle link time is prefetch time.
+            self._prefetch_frontier(scenario_id, now)
+            now += dwell
+        stats.bytes_fetched = self.channel.bytes_transferred
+        wasted = 0
+        for seg, _arr in self._arrival.items():
+            if seg not in self._played_segments:
+                wasted += self._segment_bytes(seg)
+        stats.bytes_wasted = wasted
+        return stats

@@ -1,0 +1,46 @@
+"""Interactive objects: hotspot geometry, the object base model and the
+concrete kinds (images, buttons, text, web links, items, rewards, NPCs)
+that the object editor mounts on video scenarios."""
+
+from .base import InteractiveObject, ObjectError, PropertyBag, new_object_id
+from .hotspot import (
+    CircleHotspot,
+    Hotspot,
+    HotspotError,
+    PolygonHotspot,
+    RectHotspot,
+    hotspot_from_dict,
+)
+from .kinds import (
+    ButtonObject,
+    ImageObject,
+    ItemObject,
+    NPCObject,
+    RewardObject,
+    TextObject,
+    WebLinkObject,
+    object_from_dict,
+    register_object_kind,
+)
+
+__all__ = [
+    "ButtonObject",
+    "CircleHotspot",
+    "Hotspot",
+    "HotspotError",
+    "ImageObject",
+    "InteractiveObject",
+    "ItemObject",
+    "NPCObject",
+    "ObjectError",
+    "PolygonHotspot",
+    "PropertyBag",
+    "RectHotspot",
+    "RewardObject",
+    "TextObject",
+    "WebLinkObject",
+    "hotspot_from_dict",
+    "new_object_id",
+    "object_from_dict",
+    "register_object_kind",
+]

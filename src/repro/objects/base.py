@@ -1,0 +1,228 @@
+"""Interactive object model: the things mounted on video scenarios.
+
+§4.2: "Image objects are mounted on a video scenario.  The interactive
+object plays an important role … Users can set the properties and events
+of objects in video and produce adequate feedback when users trigger
+them."
+
+An :class:`InteractiveObject` couples
+
+* identity (stable id + editor-visible name),
+* geometry (a :class:`~repro.objects.hotspot.Hotspot` + z-order),
+* behavioural flags (visible / draggable / portable),
+* an *examine* description (§3.1: "Users can get descriptions when they
+  try to examine these items"), and
+* a :class:`PropertyBag` of typed, author-defined properties.
+
+Event *bindings* (what happens on click/drag/use) live in the scenario's
+event table (:mod:`repro.events`), not on the object — the object editor
+writes both, but the runtime looks events up by (object id, trigger).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .hotspot import Hotspot, RectHotspot, hotspot_from_dict
+
+__all__ = ["InteractiveObject", "ObjectError", "PropertyBag", "new_object_id"]
+
+_ID_RE = re.compile(r"^[a-z0-9][a-z0-9_\-]*$")
+_id_counter = itertools.count(1)
+
+
+class ObjectError(ValueError):
+    """Raised on invalid object definitions or property access."""
+
+
+def new_object_id(prefix: str = "obj") -> str:
+    """Generate a fresh object id (``prefix-N``), unique per process."""
+    return f"{prefix}-{next(_id_counter)}"
+
+
+_ALLOWED_PROP_TYPES = (bool, int, float, str)
+
+
+class PropertyBag:
+    """Typed key/value properties with first-write type locking.
+
+    The object editor exposes free-form properties to course designers
+    ("color", "is_broken", "price" …).  To keep authored games debuggable,
+    the type of a property is fixed by its first assignment; later writes
+    must match (``bool`` is not accepted where ``int`` was set, despite
+    being a subclass).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._data: Dict[str, Any] = {}
+        for k, v in (initial or {}).items():
+            self.set(k, v)
+
+    def set(self, key: str, value: Any) -> None:
+        """Set a property, enforcing name and type rules."""
+        if not key or not isinstance(key, str):
+            raise ObjectError("property name must be a non-empty string")
+        if type(value) not in _ALLOWED_PROP_TYPES:
+            raise ObjectError(
+                f"property {key!r}: type {type(value).__name__} not allowed "
+                "(bool/int/float/str only)"
+            )
+        if key in self._data and type(self._data[key]) is not type(value):
+            raise ObjectError(
+                f"property {key!r} is {type(self._data[key]).__name__}, "
+                f"cannot assign {type(value).__name__}"
+            )
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Get a property that must exist."""
+        try:
+            return self._data[key]
+        except KeyError:
+            raise ObjectError(f"missing required property {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(sorted(self._data.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def copy(self) -> "PropertyBag":
+        return PropertyBag(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyBag):
+            return NotImplemented
+        return self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PropertyBag({self._data!r})"
+
+
+class InteractiveObject:
+    """Base class for everything mountable on a scenario.
+
+    Subclasses (in :mod:`repro.objects.kinds`) set :attr:`kind` and add
+    appearance; the base class owns identity, geometry and flags.
+
+    Parameters
+    ----------
+    object_id:
+        Stable id, lowercase slug; auto-generated when omitted.
+    name:
+        Editor-visible label.
+    hotspot:
+        Clickable region on the frame.
+    z_order:
+        Stacking order; higher is closer to the viewer.  Hit-testing
+        probes in descending z.
+    visible / draggable / portable:
+        Runtime behaviour flags.  ``portable`` marks items the player can
+        drag into the backpack (§3.1).
+    description:
+        Examine text shown on the examine interaction.
+    """
+
+    kind: str = "object"
+
+    def __init__(
+        self,
+        *,
+        object_id: Optional[str] = None,
+        name: str,
+        hotspot: Hotspot,
+        z_order: int = 0,
+        visible: bool = True,
+        draggable: bool = False,
+        portable: bool = False,
+        description: str = "",
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        oid = object_id or new_object_id(self.kind)
+        if not _ID_RE.match(oid):
+            raise ObjectError(
+                f"object id {oid!r} must be a lowercase slug ([a-z0-9_-])"
+            )
+        if not name:
+            raise ObjectError("object name must be non-empty")
+        if not isinstance(hotspot, Hotspot):
+            raise ObjectError("hotspot must be a Hotspot instance")
+        self.object_id = oid
+        self.name = name
+        self.hotspot = hotspot
+        self.z_order = int(z_order)
+        self.visible = bool(visible)
+        self.draggable = bool(draggable)
+        self.portable = bool(portable)
+        self.description = description
+        self.properties = PropertyBag(properties)
+
+    # ------------------------------------------------------------------
+    def hit(self, x: float, y: float) -> bool:
+        """True if a visible object's hotspot contains (x, y)."""
+        return self.visible and self.hotspot.contains(x, y)
+
+    def move_to(self, x: float, y: float) -> None:
+        """Move the hotspot so its bounding-box top-left lands at (x, y)."""
+        x0, y0, _, _ = self.hotspot.bounding_box()
+        self.hotspot = self.hotspot.translated(x - x0, y - y0)
+
+    def move_by(self, dx: float, dy: float) -> None:
+        """Translate the hotspot by (dx, dy) — the drag gesture."""
+        self.hotspot = self.hotspot.translated(dx, dy)
+
+    # ------------------------------------------------------------------
+    def _base_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "object_id": self.object_id,
+            "name": self.name,
+            "hotspot": self.hotspot.to_dict(),
+            "z_order": self.z_order,
+            "visible": self.visible,
+            "draggable": self.draggable,
+            "portable": self.portable,
+            "description": self.description,
+            "properties": self.properties.to_dict(),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form; subclasses extend ``_extra_dict``."""
+        d = self._base_dict()
+        d.update(self._extra_dict())
+        return d
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def _base_kwargs(cls, d: Dict[str, Any]) -> Dict[str, Any]:
+        """Extract base-class constructor kwargs from a serialised dict."""
+        return {
+            "object_id": d["object_id"],
+            "name": d["name"],
+            "hotspot": hotspot_from_dict(d["hotspot"]),
+            "z_order": d.get("z_order", 0),
+            "visible": d.get("visible", True),
+            "draggable": d.get("draggable", False),
+            "portable": d.get("portable", False),
+            "description": d.get("description", ""),
+            "properties": d.get("properties") or {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.object_id!r} {self.name!r}>"

@@ -1,0 +1,208 @@
+"""Hotspot geometry: where on the video frame an object can be triggered.
+
+§2.1: "Buttons and objects on the video frame can be triggered to change
+the play sequence of a video."  A hotspot is the clickable region of an
+interactive object.  Three shapes cover the authoring tool's palette —
+rectangles (buttons, images), circles (round props) and polygons (traced
+outlines of irregular objects in the footage).
+
+Hit-testing must be fast because the runtime probes every object's
+hotspot on each mouse event, topmost-first; the polygon test is the
+standard even-odd ray cast, vectorised over edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CircleHotspot",
+    "Hotspot",
+    "HotspotError",
+    "PolygonHotspot",
+    "RectHotspot",
+    "hotspot_from_dict",
+]
+
+
+class HotspotError(ValueError):
+    """Raised on invalid hotspot geometry."""
+
+
+class Hotspot:
+    """Abstract clickable region on the video frame."""
+
+    kind: str = ""
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if point (x, y) is inside the region."""
+        raise NotImplementedError
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned ``(x0, y0, x1, y1)`` bounds (used by the editor's
+        snap/overlap checks and by the compositor's dirty-rect path)."""
+        raise NotImplementedError
+
+    def translated(self, dx: float, dy: float) -> "Hotspot":
+        """A copy moved by (dx, dy) — the drag gesture's geometry update."""
+        raise NotImplementedError
+
+    def area(self) -> float:
+        """Region area in square pixels."""
+        raise NotImplementedError
+
+    def center(self) -> Tuple[float, float]:
+        """Centroid of the bounding box (anchor for popups/labels)."""
+        x0, y0, x1, y1 = self.bounding_box()
+        return (x0 + x1) / 2.0, (y0 + y1) / 2.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (inverse: :func:`hotspot_from_dict`)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class RectHotspot(Hotspot):
+    """Axis-aligned rectangle ``[x, x+w) x [y, y+h)``."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+    kind = "rect"
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise HotspotError(f"rect hotspot must have positive size, got {self.w}x{self.h}")
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x <= x < self.x + self.w and self.y <= y < self.y + self.h
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        return (self.x, self.y, self.x + self.w, self.y + self.h)
+
+    def translated(self, dx: float, dy: float) -> "RectHotspot":
+        return RectHotspot(self.x + dx, self.y + dy, self.w, self.h)
+
+    def area(self) -> float:
+        return self.w * self.h
+
+    def to_dict(self) -> Dict:
+        return {"kind": "rect", "x": self.x, "y": self.y, "w": self.w, "h": self.h}
+
+
+@dataclass(frozen=True, slots=True)
+class CircleHotspot(Hotspot):
+    """Disc of ``radius`` centred at (cx, cy)."""
+
+    cx: float
+    cy: float
+    radius: float
+    kind = "circle"
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise HotspotError("circle hotspot radius must be positive")
+
+    def contains(self, x: float, y: float) -> bool:
+        return (x - self.cx) ** 2 + (y - self.cy) ** 2 <= self.radius**2
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        r = self.radius
+        return (self.cx - r, self.cy - r, self.cx + r, self.cy + r)
+
+    def translated(self, dx: float, dy: float) -> "CircleHotspot":
+        return CircleHotspot(self.cx + dx, self.cy + dy, self.radius)
+
+    def area(self) -> float:
+        return float(np.pi * self.radius**2)
+
+    def to_dict(self) -> Dict:
+        return {"kind": "circle", "cx": self.cx, "cy": self.cy, "radius": self.radius}
+
+
+class PolygonHotspot(Hotspot):
+    """Simple polygon given as a vertex list (≥ 3 vertices).
+
+    Containment uses the even-odd rule with a vectorised edge test;
+    vertices are stored as an immutable ``(n, 2) float64`` array.
+    """
+
+    kind = "polygon"
+    __slots__ = ("_verts",)
+
+    def __init__(self, vertices: Sequence[Tuple[float, float]]) -> None:
+        verts = np.asarray(vertices, dtype=np.float64)
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise HotspotError("polygon needs at least 3 (x, y) vertices")
+        if self._signed_area(verts) == 0.0:
+            raise HotspotError("polygon is degenerate (zero area)")
+        verts.setflags(write=False)
+        self._verts = verts
+
+    @staticmethod
+    def _signed_area(verts: np.ndarray) -> float:
+        x, y = verts[:, 0], verts[:, 1]
+        return float(
+            0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+        )
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Read-only ``(n, 2)`` vertex array."""
+        return self._verts
+
+    def contains(self, x: float, y: float) -> bool:
+        vx, vy = self._verts[:, 0], self._verts[:, 1]
+        vx2, vy2 = np.roll(vx, -1), np.roll(vy, -1)
+        # Edges straddling the horizontal line through y:
+        straddle = (vy > y) != (vy2 > y)
+        if not straddle.any():
+            return False
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (y - vy) / (vy2 - vy)
+            xint = vx + t * (vx2 - vx)
+        crossings = np.count_nonzero(straddle & (x < xint))
+        return bool(crossings % 2 == 1)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        mins = self._verts.min(axis=0)
+        maxs = self._verts.max(axis=0)
+        return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    def translated(self, dx: float, dy: float) -> "PolygonHotspot":
+        return PolygonHotspot(self._verts + np.asarray([dx, dy]))
+
+    def area(self) -> float:
+        return abs(self._signed_area(self._verts))
+
+    def to_dict(self) -> Dict:
+        return {"kind": "polygon", "vertices": self._verts.tolist()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolygonHotspot):
+            return NotImplemented
+        return self._verts.shape == other._verts.shape and bool(
+            np.array_equal(self._verts, other._verts)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._verts.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PolygonHotspot({self._verts.tolist()!r})"
+
+
+def hotspot_from_dict(d: Dict) -> Hotspot:
+    """Deserialise a hotspot produced by ``to_dict`` (project files)."""
+    kind = d.get("kind")
+    if kind == "rect":
+        return RectHotspot(d["x"], d["y"], d["w"], d["h"])
+    if kind == "circle":
+        return CircleHotspot(d["cx"], d["cy"], d["radius"])
+    if kind == "polygon":
+        return PolygonHotspot([tuple(v) for v in d["vertices"]])
+    raise HotspotError(f"unknown hotspot kind {kind!r}")

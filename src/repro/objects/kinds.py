@@ -1,0 +1,351 @@
+"""Concrete interactive-object kinds from the paper's palette.
+
+The authoring tool of §4 lets designers insert "objects like buttons and
+images"; the runtime of §4.3 shows "an image object with white background
+… mounted on the video frame", buttons that "switch to other video
+segments or get information from websites", NPCs giving "fixed
+conversation", collectable items for the backpack and special reward
+objects (§3.3).  Each of those is a class here.
+
+Appearance: every kind can render itself to an RGB sprite + alpha mask
+via :meth:`render_sprite`, which is what the runtime compositor mounts
+onto the video frame.  Image objects support *white-keying* — pixels at
+(or near) pure white become transparent, reproducing the paper's
+"image object with white background" treatment of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from .base import InteractiveObject, ObjectError
+from .hotspot import Hotspot, RectHotspot
+
+__all__ = [
+    "ButtonObject",
+    "ImageObject",
+    "ItemObject",
+    "NPCObject",
+    "RewardObject",
+    "TextObject",
+    "WebLinkObject",
+    "object_from_dict",
+    "register_object_kind",
+]
+
+
+def _checker_pixels(w: int, h: int, a: Tuple[int, int, int], b: Tuple[int, int, int], cell: int = 4) -> np.ndarray:
+    """Deterministic placeholder pixels for procedurally-defined images."""
+    ys = (np.arange(h) // cell)[:, None]
+    xs = (np.arange(w) // cell)[None, :]
+    mask = ((ys + xs) % 2).astype(bool)
+    out = np.empty((h, w, 3), dtype=np.uint8)
+    out[...] = np.asarray(a, dtype=np.uint8)
+    out[mask] = np.asarray(b, dtype=np.uint8)
+    return out
+
+
+class ImageObject(InteractiveObject):
+    """A bitmap mounted on the video frame (the Fig. 2 umbrella).
+
+    Parameters
+    ----------
+    pixels:
+        ``(h, w, 3) uint8`` sprite pixels.  When omitted, a deterministic
+        checker placeholder matching the hotspot's bounding box is used
+        (the authoring tool's stand-in before the designer imports art).
+    white_key:
+        When True, pixels within ``white_key_tolerance`` of pure white are
+        rendered fully transparent — the paper's white-background images.
+    """
+
+    kind = "image"
+
+    def __init__(
+        self,
+        *,
+        pixels: Optional[np.ndarray] = None,
+        white_key: bool = True,
+        white_key_tolerance: int = 8,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if pixels is None:
+            x0, y0, x1, y1 = self.hotspot.bounding_box()
+            w, h = max(1, int(x1 - x0)), max(1, int(y1 - y0))
+            pixels = _checker_pixels(w, h, (200, 200, 200), (255, 255, 255))
+        arr = np.asarray(pixels)
+        if arr.ndim != 3 or arr.shape[2] != 3 or arr.dtype != np.uint8:
+            raise ObjectError("image pixels must be (h, w, 3) uint8")
+        if not 0 <= white_key_tolerance <= 255:
+            raise ObjectError("white_key_tolerance must be in [0, 255]")
+        self.pixels = np.ascontiguousarray(arr)
+        self.white_key = bool(white_key)
+        self.white_key_tolerance = int(white_key_tolerance)
+
+    def render_sprite(self) -> Tuple[np.ndarray, np.ndarray]:
+        """RGB pixels plus float32 alpha in [0, 1] (white keyed out)."""
+        if not self.white_key:
+            return self.pixels, np.ones(self.pixels.shape[:2], dtype=np.float32)
+        near_white = (self.pixels >= 255 - self.white_key_tolerance).all(axis=2)
+        alpha = np.where(near_white, 0.0, 1.0).astype(np.float32)
+        return self.pixels, alpha
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {
+            "pixels": self.pixels.tolist(),
+            "white_key": self.white_key,
+            "white_key_tolerance": self.white_key_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ImageObject":
+        return cls(
+            pixels=np.asarray(d["pixels"], dtype=np.uint8),
+            white_key=d.get("white_key", True),
+            white_key_tolerance=d.get("white_key_tolerance", 8),
+            **cls._base_kwargs(d),
+        )
+
+
+class ButtonObject(InteractiveObject):
+    """A labelled button; §4.3: buttons "switch to other video segments
+    or get information from websites".  The switching/website behaviour is
+    authored as events; the button itself is label + colours."""
+
+    kind = "button"
+
+    def __init__(
+        self,
+        *,
+        label: str,
+        face_color: Tuple[int, int, int] = (70, 90, 160),
+        text_color: Tuple[int, int, int] = (255, 255, 255),
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not label:
+            raise ObjectError("button label must be non-empty")
+        self.label = label
+        self.face_color = tuple(int(c) for c in face_color)
+        self.text_color = tuple(int(c) for c in text_color)
+
+    def render_sprite(self) -> Tuple[np.ndarray, np.ndarray]:
+        """A flat rounded-feel face with a darker border; fully opaque."""
+        x0, y0, x1, y1 = self.hotspot.bounding_box()
+        w, h = max(4, int(x1 - x0)), max(4, int(y1 - y0))
+        rgb = np.empty((h, w, 3), dtype=np.uint8)
+        rgb[...] = np.asarray(self.face_color, dtype=np.uint8)
+        border = (np.asarray(self.face_color, dtype=np.int16) * 6 // 10).astype(np.uint8)
+        rgb[0, :] = border
+        rgb[-1, :] = border
+        rgb[:, 0] = border
+        rgb[:, -1] = border
+        # A simple label strip (text itself is drawn by the TUI renderer).
+        strip_y = h // 2
+        rgb[strip_y, 2 : w - 2] = np.asarray(self.text_color, dtype=np.uint8)
+        return rgb, np.ones((h, w), dtype=np.float32)
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "face_color": list(self.face_color),
+            "text_color": list(self.text_color),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ButtonObject":
+        return cls(
+            label=d["label"],
+            face_color=tuple(d.get("face_color", (70, 90, 160))),
+            text_color=tuple(d.get("text_color", (255, 255, 255))),
+            **cls._base_kwargs(d),
+        )
+
+
+class TextObject(InteractiveObject):
+    """A text message popped up / pinned on the frame (§2.1: "text
+    messages, images and webpage are also popped up")."""
+
+    kind = "text"
+
+    def __init__(self, *, text: str, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if not text:
+            raise ObjectError("text object requires text")
+        self.text = text
+
+    def render_sprite(self) -> Tuple[np.ndarray, np.ndarray]:
+        """A translucent dark panel sized to the hotspot."""
+        x0, y0, x1, y1 = self.hotspot.bounding_box()
+        w, h = max(4, int(x1 - x0)), max(4, int(y1 - y0))
+        rgb = np.full((h, w, 3), 24, dtype=np.uint8)
+        return rgb, np.full((h, w), 0.75, dtype=np.float32)
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {"text": self.text}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TextObject":
+        return cls(text=d["text"], **cls._base_kwargs(d))
+
+
+class WebLinkObject(InteractiveObject):
+    """A link that opens a web page ("get information from websites").
+
+    The runtime does not fetch anything; triggering records a
+    ``web_visit`` in the session log and surfaces the URL to the host
+    shell — exactly the observable behaviour the paper describes.
+    """
+
+    kind = "weblink"
+
+    def __init__(self, *, url: str, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if not url or "://" not in url:
+            raise ObjectError(f"weblink needs an absolute URL, got {url!r}")
+        self.url = url
+
+    def render_sprite(self) -> Tuple[np.ndarray, np.ndarray]:
+        x0, y0, x1, y1 = self.hotspot.bounding_box()
+        w, h = max(4, int(x1 - x0)), max(4, int(y1 - y0))
+        rgb = np.full((h, w, 3), (30, 60, 140), dtype=np.uint8)
+        rgb[h - 2 :, :] = (200, 220, 255)  # underline
+        return rgb, np.ones((h, w), dtype=np.float32)
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {"url": self.url}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WebLinkObject":
+        return cls(url=d["url"], **cls._base_kwargs(d))
+
+
+class ItemObject(ImageObject):
+    """A portable prop the player can collect into the backpack (§3.1)
+    and later *use on* another object ("use them in an adequate scene to
+    trigger events")."""
+
+    kind = "item"
+
+    def __init__(self, **kwargs: Any) -> None:
+        kwargs.setdefault("portable", True)
+        kwargs.setdefault("draggable", True)
+        super().__init__(**kwargs)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ItemObject":
+        return cls(
+            pixels=np.asarray(d["pixels"], dtype=np.uint8),
+            white_key=d.get("white_key", True),
+            white_key_tolerance=d.get("white_key_tolerance", 8),
+            **cls._base_kwargs(d),
+        )
+
+
+class RewardObject(ItemObject):
+    """A special achievement object (§3.3): "If players complete some
+    requests or missions, they can get special objects in the inventory
+    windows … they represent the achievements which players have."
+
+    ``bonus`` is the score awarded when granted.
+    """
+
+    kind = "reward"
+
+    def __init__(self, *, bonus: int = 10, **kwargs: Any) -> None:
+        kwargs.setdefault("visible", False)  # rewards appear only when granted
+        super().__init__(**kwargs)
+        if bonus < 0:
+            raise ObjectError("reward bonus must be non-negative")
+        self.bonus = int(bonus)
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        d = super()._extra_dict()
+        d["bonus"] = self.bonus
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RewardObject":
+        return cls(
+            bonus=d.get("bonus", 10),
+            pixels=np.asarray(d["pixels"], dtype=np.uint8),
+            white_key=d.get("white_key", True),
+            white_key_tolerance=d.get("white_key_tolerance", 8),
+            **cls._base_kwargs(d),
+        )
+
+
+class NPCObject(InteractiveObject):
+    """A non-player character giving "fixed conversation to guide
+    players" (§3.1).  ``dialogue_id`` names a conversation tree in the
+    project's dialogue table."""
+
+    kind = "npc"
+
+    def __init__(self, *, dialogue_id: str, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if not dialogue_id:
+            raise ObjectError("npc requires a dialogue_id")
+        self.dialogue_id = dialogue_id
+
+    def render_sprite(self) -> Tuple[np.ndarray, np.ndarray]:
+        """A simple silhouette: head disc over a body block, keyed edges."""
+        x0, y0, x1, y1 = self.hotspot.bounding_box()
+        w, h = max(8, int(x1 - x0)), max(12, int(y1 - y0))
+        rgb = np.full((h, w, 3), 255, dtype=np.uint8)
+        body_color = np.asarray((90, 70, 50), dtype=np.uint8)
+        head_r = max(2, w // 4)
+        cy, cx = head_r + 1, w // 2
+        ys = np.arange(h)[:, None]
+        xs = np.arange(w)[None, :]
+        head = (xs - cx) ** 2 + (ys - cy) ** 2 <= head_r**2
+        body = (ys > 2 * head_r) & (np.abs(xs - cx) <= w // 3)
+        rgb[head | body] = body_color
+        alpha = np.where(head | body, 1.0, 0.0).astype(np.float32)
+        return rgb, alpha
+
+    def _extra_dict(self) -> Dict[str, Any]:
+        return {"dialogue_id": self.dialogue_id}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "NPCObject":
+        return cls(dialogue_id=d["dialogue_id"], **cls._base_kwargs(d))
+
+
+# ----------------------------------------------------------------------
+# Serialisation registry
+# ----------------------------------------------------------------------
+
+_KIND_REGISTRY: Dict[str, Type[InteractiveObject]] = {}
+
+
+def register_object_kind(cls: Type[InteractiveObject]) -> Type[InteractiveObject]:
+    """Register an object class for ``object_from_dict`` dispatch."""
+    if not cls.kind:
+        raise ObjectError("object class must define a kind")
+    _KIND_REGISTRY[cls.kind] = cls
+    return cls
+
+
+for _cls in (
+    ImageObject,
+    ButtonObject,
+    TextObject,
+    WebLinkObject,
+    ItemObject,
+    RewardObject,
+    NPCObject,
+):
+    register_object_kind(_cls)
+
+
+def object_from_dict(d: Dict[str, Any]) -> InteractiveObject:
+    """Deserialise any registered object kind (project file loading)."""
+    kind = d.get("kind")
+    cls = _KIND_REGISTRY.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ObjectError(f"unknown object kind {kind!r}")
+    return cls.from_dict(d)  # type: ignore[attr-defined]

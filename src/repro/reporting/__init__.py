@@ -1,0 +1,23 @@
+"""Reporting: headless interface screenshots (Figs. 1-2) and result
+tables / experiment records."""
+
+from .images import read_ppm, write_ppm
+from .tables import ExperimentRecord, format_table, records_to_markdown
+from .tui import (
+    Canvas,
+    frame_to_ascii,
+    render_authoring_screenshot,
+    render_runtime_screenshot,
+)
+
+__all__ = [
+    "Canvas",
+    "ExperimentRecord",
+    "format_table",
+    "frame_to_ascii",
+    "read_ppm",
+    "records_to_markdown",
+    "write_ppm",
+    "render_authoring_screenshot",
+    "render_runtime_screenshot",
+]

@@ -1,0 +1,58 @@
+"""Portable image export: frames to/from binary PPM (P6).
+
+The headless substrate still needs to hand pictures to humans — Fig. 1/2
+renders, storyboard sheets, composited frames.  PPM is the simplest
+portable raster format (every image viewer and converter reads it), and
+writing it needs nothing beyond the frame's own bytes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..video.frame import Frame, FrameSize
+
+__all__ = ["read_ppm", "write_ppm"]
+
+
+def write_ppm(frame: Frame, path: Union[str, Path]) -> int:
+    """Write a frame as binary PPM (P6, maxval 255); returns bytes written."""
+    header = f"P6\n{frame.width} {frame.height}\n255\n".encode("ascii")
+    data = header + frame.tobytes()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_ppm(path: Union[str, Path]) -> Frame:
+    """Read a binary PPM written by :func:`write_ppm` (strict P6 subset)."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P6"):
+        raise ValueError("not a P6 PPM file")
+    # Parse exactly three whitespace-separated header tokens after P6,
+    # skipping comment lines.
+    pos = 2
+    tokens = []
+    while len(tokens) < 3:
+        while pos < len(raw) and raw[pos : pos + 1].isspace():
+            pos += 1
+        if raw[pos : pos + 1] == b"#":
+            while pos < len(raw) and raw[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(raw) and not raw[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(raw[start:pos])
+    pos += 1  # single whitespace after maxval
+    try:
+        width, height, maxval = (int(t) for t in tokens)
+    except ValueError as exc:
+        raise ValueError(f"bad PPM header: {exc}") from exc
+    if maxval != 255:
+        raise ValueError(f"unsupported maxval {maxval}")
+    size = FrameSize(width, height)
+    pixels = raw[pos : pos + size.pixels * 3]
+    return Frame.frombytes(pixels, size)

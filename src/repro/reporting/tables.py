@@ -1,0 +1,69 @@
+"""Result tables and experiment records.
+
+Every benchmark prints its results through :func:`format_table` so the
+rows EXPERIMENTS.md quotes are exactly what the harness emits, and
+records paper-claim-vs-measured verdicts as :class:`ExperimentRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentRecord", "format_table", "records_to_markdown"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Plain-text aligned table from homogeneous dict rows."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(cols[i]), max(len(row[i]) for row in cells))
+        for i in range(len(cols))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    out = f"{header}\n{sep}\n{body}"
+    return f"{title}\n{out}" if title else out
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentRecord:
+    """One paper-claim-vs-measured entry for EXPERIMENTS.md."""
+
+    experiment_id: str   #: e.g. "E6 / §2.2 engagement claim"
+    paper_claim: str     #: what the paper asserts/shows
+    measured: str        #: what this reproduction measured
+    verdict: str         #: "reproduced" | "shape-reproduced" | "diverged"
+
+    def __post_init__(self) -> None:
+        if self.verdict not in ("reproduced", "shape-reproduced", "diverged"):
+            raise ValueError(f"unknown verdict {self.verdict!r}")
+
+
+def records_to_markdown(records: Sequence[ExperimentRecord]) -> str:
+    """Markdown table of experiment records."""
+    lines = [
+        "| Experiment | Paper claim | Measured | Verdict |",
+        "|---|---|---|---|",
+    ]
+    for r in records:
+        lines.append(
+            f"| {r.experiment_id} | {r.paper_claim} | {r.measured} | {r.verdict} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""The gaming platform runtime: engine, state, inventory, dialogue,
+rewards, input gestures, the frame compositor and session recording."""
+
+from .compositor import Compositor, CompositorStats
+from .hints import Hint, HintAdvisor, HintError
+from .saves import AUTOSAVE_SLOT, AutosavePolicy, SaveError, SaveManager, SlotInfo
+from .dialogue import (
+    Dialogue,
+    DialogueChoice,
+    DialogueError,
+    DialogueNode,
+    DialogueSession,
+)
+from .engine import EngineError, GameEngine
+from .inputs import (
+    Gesture,
+    GestureKind,
+    InputError,
+    KeyPress,
+    MouseClick,
+    MouseDrag,
+    UiLayout,
+    interpret,
+)
+from .inventory import Inventory, InventoryError, InventorySlot
+from .replay import InputRecorder, Recording, ReplayMismatch, replay
+from .rewards import GrantRecord, RewardManager
+from .session import SessionLog, SessionRecorder
+from .state import GameOutcome, GameState, PopupRecord, StateError
+
+__all__ = [
+    "AUTOSAVE_SLOT",
+    "AutosavePolicy",
+    "Compositor",
+    "Hint",
+    "HintAdvisor",
+    "HintError",
+    "SaveError",
+    "SaveManager",
+    "SlotInfo",
+    "CompositorStats",
+    "Dialogue",
+    "DialogueChoice",
+    "DialogueError",
+    "DialogueNode",
+    "DialogueSession",
+    "EngineError",
+    "GameEngine",
+    "GameOutcome",
+    "GameState",
+    "Gesture",
+    "GestureKind",
+    "GrantRecord",
+    "InputError",
+    "InputRecorder",
+    "Inventory",
+    "InventoryError",
+    "InventorySlot",
+    "Recording",
+    "ReplayMismatch",
+    "replay",
+    "KeyPress",
+    "MouseClick",
+    "MouseDrag",
+    "PopupRecord",
+    "RewardManager",
+    "SessionLog",
+    "SessionRecorder",
+    "StateError",
+    "UiLayout",
+    "interpret",
+]

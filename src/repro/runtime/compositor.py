@@ -1,0 +1,217 @@
+"""Frame compositor: video + mounted objects + runtime chrome.
+
+§4.3/Fig. 2: the runtime shows the playing video with image objects
+mounted on it (white backgrounds keyed out), an inventory window along
+the bottom, buttons, and popup overlays.  The compositor produces that
+final frame.
+
+Hot-path discipline (DESIGN.md §6): composition happens once per emitted
+video frame, so the object layers are *cached premultiplied* — each
+visible object's RGB×alpha and (1-alpha) are computed once and reused
+until the scenario's layout changes (``invalidate``).  Per frame the work
+is one copy of the video frame plus one fused multiply-add per object
+region, all in float32 views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Scenario
+from ..video.frame import Frame, clip_rect
+from .inputs import UiLayout
+from .state import GameState
+
+__all__ = ["Compositor", "CompositorStats"]
+
+
+@dataclass(slots=True)
+class CompositorStats:
+    """Counters for the E4 bench and cache-effectiveness tests."""
+
+    frames_composited: int = 0
+    layers_blended: int = 0
+    cache_builds: int = 0
+
+
+@dataclass(slots=True)
+class _CachedLayer:
+    """Premultiplied sprite of one object, clipped to the frame."""
+
+    object_id: str
+    x0: int
+    y0: int
+    src_premul: np.ndarray      # float32 (h, w, 3), already × alpha
+    one_minus_alpha: np.ndarray  # float32 (h, w, 1)
+
+
+class Compositor:
+    """Composites the runtime's output frame.
+
+    Parameters
+    ----------
+    layout:
+        UI geometry (inventory window placement).
+    inv_bg / inv_border:
+        Inventory window colours.
+    """
+
+    def __init__(
+        self,
+        layout: UiLayout,
+        inv_bg: Tuple[int, int, int] = (32, 32, 40),
+        inv_border: Tuple[int, int, int] = (90, 90, 110),
+    ) -> None:
+        self.layout = layout
+        self.inv_bg = inv_bg
+        self.inv_border = inv_border
+        self.stats = CompositorStats()
+        self._cache_key: Optional[tuple] = None
+        self._layers: List[_CachedLayer] = []
+
+    # ------------------------------------------------------------------
+    # Layer cache
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop the cached object layers (layout changed)."""
+        self._cache_key = None
+        self._layers = []
+
+    def _layout_key(self, scenario: Scenario, state: GameState) -> tuple:
+        """Cache key: object identities, positions and visibility."""
+        parts = []
+        for obj in scenario.objects:
+            x0, y0, x1, y1 = obj.hotspot.bounding_box()
+            parts.append(
+                (
+                    obj.object_id,
+                    round(x0, 1),
+                    round(y0, 1),
+                    state.object_visible(obj.object_id, obj.visible),
+                )
+            )
+        return (scenario.scenario_id, tuple(parts))
+
+    def _build_layers(self, scenario: Scenario, state: GameState) -> None:
+        self._layers = []
+        fw, fh = self.layout.frame_w, self.layout.frame_h
+        for obj in scenario.objects:  # ascending z: paint order
+            if not state.object_visible(obj.object_id, obj.visible):
+                continue
+            render = getattr(obj, "render_sprite", None)
+            if render is None:
+                continue
+            rgb, alpha = render()
+            bx0, by0, _, _ = obj.hotspot.bounding_box()
+            x, y = int(bx0), int(by0)
+            sh, sw = rgb.shape[:2]
+            from ..video.frame import FrameSize  # local to avoid cycle at import
+
+            x0, y0, x1, y1 = clip_rect(x, y, sw, sh, FrameSize(fw, fh))
+            if x1 <= x0 or y1 <= y0:
+                continue
+            sub_rgb = rgb[y0 - y : y1 - y, x0 - x : x1 - x].astype(np.float32)
+            sub_a = alpha[y0 - y : y1 - y, x0 - x : x1 - x].astype(np.float32)[..., None]
+            self._layers.append(
+                _CachedLayer(
+                    object_id=obj.object_id,
+                    x0=x0,
+                    y0=y0,
+                    src_premul=sub_rgb * sub_a,
+                    one_minus_alpha=1.0 - sub_a,
+                )
+            )
+        self.stats.cache_builds += 1
+
+    # ------------------------------------------------------------------
+    def compose(
+        self,
+        video_frame: Frame,
+        scenario: Scenario,
+        state: GameState,
+    ) -> Frame:
+        """Produce the output frame for the current moment.
+
+        Order: video → object layers (ascending z) → avatar marker →
+        inventory window → popup overlays (top popup last).
+        """
+        if video_frame.width != self.layout.frame_w or video_frame.height != self.layout.frame_h:
+            raise ValueError(
+                f"video frame {video_frame.size} does not match layout "
+                f"{self.layout.frame_w}x{self.layout.frame_h}"
+            )
+        key = self._layout_key(scenario, state)
+        if key != self._cache_key:
+            self._build_layers(scenario, state)
+            self._cache_key = key
+
+        out = video_frame.copy()
+        for layer in self._layers:
+            h, w = layer.src_premul.shape[:2]
+            region = out.data[layer.y0 : layer.y0 + h, layer.x0 : layer.x0 + w]
+            blended = layer.src_premul + region.astype(np.float32) * layer.one_minus_alpha
+            region[...] = blended.astype(np.uint8)
+            self.stats.layers_blended += 1
+
+        self._draw_avatar(out, state)
+        self._draw_inventory(out, state)
+        self._draw_popups(out, state)
+        self.stats.frames_composited += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Chrome
+    # ------------------------------------------------------------------
+    def _draw_avatar(self, out: Frame, state: GameState) -> None:
+        ax, ay = state.avatar_xy
+        if ax == 0.0 and ay == 0.0:
+            return  # avatar not placed yet
+        out.draw_disc(int(ax), int(ay), 4, (250, 220, 60))
+        out.draw_disc(int(ax), int(ay), 2, (120, 80, 20))
+
+    def _draw_inventory(self, out: Frame, state: GameState) -> None:
+        lo = self.layout
+        out.fill_rect(lo.inv_x, lo.inv_y, lo.inv_w, lo.inv_h, self.inv_bg)
+        out.draw_border(lo.inv_x, lo.inv_y, lo.inv_w, lo.inv_h, self.inv_border)
+        for i, slot in enumerate(state.inventory.slots):
+            sx = lo.inv_x + i * lo.slot_w
+            if sx + lo.slot_w > lo.inv_x + lo.inv_w:
+                break
+            pad = 3
+            color = (210, 170, 60) if slot.is_reward else (150, 170, 200)
+            if state.inventory.selected == slot.item_id:
+                out.draw_border(sx + 1, lo.inv_y + 1, lo.slot_w - 2, lo.inv_h - 2, (255, 255, 255), 1)
+            out.fill_rect(
+                sx + pad,
+                lo.inv_y + pad,
+                lo.slot_w - 2 * pad,
+                lo.inv_h - 2 * pad,
+                color,
+            )
+            # Stack count pips along the slot's bottom edge.
+            for k in range(min(slot.count, 5)):
+                out.fill_rect(sx + pad + 3 * k, lo.inv_y + lo.inv_h - pad - 2, 2, 2, (20, 20, 20))
+
+    def _draw_popups(self, out: Frame, state: GameState) -> None:
+        if not state.popups:
+            return
+        lo = self.layout
+        # Dim the scene under the modal stack (vectorised halving).
+        scene = out.data[: lo.inv_y, :, :]
+        scene[...] = scene // 2
+        top = state.popups[-1]
+        pw = int(lo.frame_w * 0.7)
+        ph = max(24, int(lo.frame_h * 0.3))
+        px = (lo.frame_w - pw) // 2
+        py = (lo.inv_y - ph) // 2
+        bg = {
+            "text": (245, 240, 220),
+            "image": (230, 230, 245),
+            "web": (215, 235, 215),
+            "dialogue": (240, 225, 235),
+        }[top.kind]
+        out.fill_rect(px, py, pw, ph, bg)
+        out.draw_border(px, py, pw, ph, (40, 40, 40), 2)

@@ -1,0 +1,238 @@
+"""NPC conversation trees (§3.1: "non player characters … give fixed
+conversation to guide players").
+
+A dialogue is a rooted tree (well, DAG — choices may reconverge) of
+nodes.  Each node carries the NPC's line and an ordered list of player
+choices; a choice points at the next node and may carry actions that the
+engine executes when the choice is taken (a teacher can hand the player
+the work order, for instance).  A node with no choices ends the
+conversation.  "Fixed conversation" in the paper's sense is a chain of
+single-choice nodes.
+
+Trees are validated at authoring time: every referenced node must exist,
+the root must reach every node (no orphaned lines), and there must be no
+cycle without an exit (a player must always be able to leave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..events import Action, action_from_dict
+
+__all__ = ["Dialogue", "DialogueChoice", "DialogueError", "DialogueNode", "DialogueSession"]
+
+
+class DialogueError(ValueError):
+    """Raised on malformed dialogue trees or invalid stepping."""
+
+
+@dataclass(slots=True)
+class DialogueChoice:
+    """A player reply: its text, the next node (None ends), actions."""
+
+    text: str
+    next_node: Optional[str] = None
+    actions: List[Action] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise DialogueError("choice text must be non-empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "text": self.text,
+            "next_node": self.next_node,
+            "actions": [a.to_dict() for a in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DialogueChoice":
+        return cls(
+            text=d["text"],
+            next_node=d.get("next_node"),
+            actions=[action_from_dict(a) for a in d.get("actions", [])],
+        )
+
+
+@dataclass(slots=True)
+class DialogueNode:
+    """One NPC line plus the player's reply choices."""
+
+    node_id: str
+    line: str
+    choices: List[DialogueChoice] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise DialogueError("node id must be non-empty")
+        if not self.line:
+            raise DialogueError(f"node {self.node_id!r}: line must be non-empty")
+
+    @property
+    def terminal(self) -> bool:
+        return not self.choices
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "line": self.line,
+            "choices": [c.to_dict() for c in self.choices],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DialogueNode":
+        return cls(
+            node_id=d["node_id"],
+            line=d["line"],
+            choices=[DialogueChoice.from_dict(c) for c in d.get("choices", [])],
+        )
+
+
+class Dialogue:
+    """A validated conversation tree."""
+
+    def __init__(self, dialogue_id: str, nodes: Sequence[DialogueNode], root: str) -> None:
+        if not dialogue_id:
+            raise DialogueError("dialogue id must be non-empty")
+        if not nodes:
+            raise DialogueError(f"dialogue {dialogue_id!r} has no nodes")
+        self.dialogue_id = dialogue_id
+        self.nodes: Dict[str, DialogueNode] = {}
+        for n in nodes:
+            if n.node_id in self.nodes:
+                raise DialogueError(f"duplicate node id {n.node_id!r}")
+            self.nodes[n.node_id] = n
+        if root not in self.nodes:
+            raise DialogueError(f"root node {root!r} not defined")
+        self.root = root
+        self._validate()
+
+    def _validate(self) -> None:
+        # All referenced nodes exist.
+        for n in self.nodes.values():
+            for c in n.choices:
+                if c.next_node is not None and c.next_node not in self.nodes:
+                    raise DialogueError(
+                        f"node {n.node_id!r} choice {c.text!r} references "
+                        f"unknown node {c.next_node!r}"
+                    )
+        # Root reaches everything.
+        seen: Set[str] = set()
+        stack = [self.root]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            for c in self.nodes[nid].choices:
+                if c.next_node is not None:
+                    stack.append(c.next_node)
+        orphans = set(self.nodes) - seen
+        if orphans:
+            raise DialogueError(
+                f"dialogue {self.dialogue_id!r}: unreachable nodes {sorted(orphans)}"
+            )
+        # Every node can reach an ending (terminal node or a None choice).
+        can_end: Set[str] = {
+            nid
+            for nid, n in self.nodes.items()
+            if n.terminal or any(c.next_node is None for c in n.choices)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for nid, n in self.nodes.items():
+                if nid in can_end:
+                    continue
+                if any(c.next_node in can_end for c in n.choices):
+                    can_end.add(nid)
+                    changed = True
+        stuck = set(self.nodes) - can_end
+        if stuck:
+            raise DialogueError(
+                f"dialogue {self.dialogue_id!r}: no exit from nodes {sorted(stuck)}"
+            )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dialogue_id": self.dialogue_id,
+            "root": self.root,
+            "nodes": [n.to_dict() for n in self.nodes.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Dialogue":
+        return cls(
+            dialogue_id=d["dialogue_id"],
+            nodes=[DialogueNode.from_dict(n) for n in d.get("nodes", [])],
+            root=d["root"],
+        )
+
+    @classmethod
+    def linear(cls, dialogue_id: str, lines: Sequence[str]) -> "Dialogue":
+        """Build a fixed (single-path) conversation from NPC lines —
+        the paper's "fixed conversation to guide players"."""
+        if not lines:
+            raise DialogueError("linear dialogue needs at least one line")
+        nodes: List[DialogueNode] = []
+        for i, line in enumerate(lines):
+            nxt = f"n{i + 1}" if i + 1 < len(lines) else None
+            choices = [DialogueChoice(text="(continue)", next_node=nxt)] if nxt else []
+            nodes.append(DialogueNode(node_id=f"n{i}", line=line, choices=choices))
+        return cls(dialogue_id=dialogue_id, nodes=nodes, root="n0")
+
+
+class DialogueSession:
+    """A live walk through one dialogue.
+
+    The engine owns the session while a conversation is open; choosing a
+    reply returns that choice's actions for the engine to execute.
+    """
+
+    def __init__(self, dialogue: Dialogue) -> None:
+        self.dialogue = dialogue
+        self._current: Optional[str] = dialogue.root
+        self.transcript: List[str] = [dialogue.nodes[dialogue.root].line]
+
+    @property
+    def active(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current_node(self) -> DialogueNode:
+        if self._current is None:
+            raise DialogueError("conversation has ended")
+        return self.dialogue.nodes[self._current]
+
+    @property
+    def choices(self) -> List[str]:
+        """Choice texts at the current node (empty == press to close)."""
+        return [] if self._current is None else [c.text for c in self.current_node.choices]
+
+    def choose(self, index: int) -> List[Action]:
+        """Take choice ``index``; returns the actions to execute.
+
+        Choosing at a terminal node (no choices) ends the conversation
+        with no actions; any index is accepted there, matching the
+        "click anywhere to close" convention.
+        """
+        node = self.current_node
+        if node.terminal:
+            self._current = None
+            return []
+        if not 0 <= index < len(node.choices):
+            raise DialogueError(
+                f"choice {index} out of range ({len(node.choices)} available)"
+            )
+        choice = node.choices[index]
+        self.transcript.append(f"> {choice.text}")
+        self._current = choice.next_node
+        if self._current is not None:
+            self.transcript.append(self.dialogue.nodes[self._current].line)
+        return list(choice.actions)

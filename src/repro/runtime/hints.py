@@ -1,0 +1,148 @@
+"""Adaptive hints: keeping stuck students moving.
+
+§3.1's NPCs "guide players", but a player who has exhausted the fixed
+conversations can still stall.  The :class:`HintAdvisor` uses the
+winnability solver as an oracle: from the player's *current* state it
+finds the shortest completing script and phrases its first move as a
+hint, escalating in specificity the longer the player has been stuck:
+
+=====  =========================================================
+level  hint
+=====  =========================================================
+0      nudge — name the scenario where the next step happens
+1      direction — name the interaction kind ("examine something
+       here", "someone here can help")
+2      explicit — the solver move verbatim ("use X on Y")
+=====  =========================================================
+
+The advisor is deliberately stateless about *why* the player is stuck;
+it recomputes from the live state, so hints are always achievable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from .state import GameState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids runtime<->core cycle)
+    from ..core.project import CompiledGame
+    from ..core.solver import Move
+
+__all__ = ["Hint", "HintAdvisor", "HintError"]
+
+
+class HintError(RuntimeError):
+    """Raised when hinting is impossible (game unwinnable from here)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Hint:
+    """One issued hint."""
+
+    level: int
+    text: str
+    moves_remaining: int  #: length of the shortest completing script
+
+
+class HintAdvisor:
+    """Solver-backed hint generation for one compiled game."""
+
+    def __init__(self, game: "CompiledGame", max_states: int = 20000) -> None:
+        self.game = game
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def shortest_completion(self, state: GameState) -> Optional[List["Move"]]:
+        """Shortest winning script from ``state``, or None.
+
+        Runs the solver's BFS but seeded from the player's state rather
+        than the start state.
+        """
+        from collections import deque
+
+        from ..core.solver import _apply, _canonical, _legal_moves
+
+        engine = self.game.new_engine(with_video=False)
+        engine.start()
+        engine.state = GameState.from_dict(state.to_dict())
+        engine.state.popups.clear()
+        # Re-inject authored base props (start() built them on the
+        # engine's own fresh state).
+        engine._inject_base_props()
+
+        seen = {_canonical(engine.state)}
+        queue = deque([(engine.state.to_dict(), [])])
+        explored = 0
+        while queue and explored < self.max_states:
+            snapshot, script = queue.popleft()
+            explored += 1
+            engine.state = GameState.from_dict(snapshot)
+            if engine.state.outcome == "won":
+                return script
+            if engine.state.outcome is not None:
+                continue
+            for move in _legal_moves(engine):
+                engine.state = GameState.from_dict(snapshot)
+                try:
+                    _apply(engine, move)
+                except Exception:
+                    continue
+                key = _canonical(engine.state)
+                if key in seen:
+                    continue
+                seen.add(key)
+                queue.append((engine.state.to_dict(), script + [move]))
+        return None
+
+    # ------------------------------------------------------------------
+    def hint(self, state: GameState, level: int = 0) -> Hint:
+        """Produce a hint at the given escalation level (clamped 0-2)."""
+        level = max(0, min(2, level))
+        script = self.shortest_completion(state)
+        if script is None:
+            raise HintError("no completion exists from the current state")
+        if not script:
+            return Hint(level=level, text="You have already won!", moves_remaining=0)
+        move = script[0]
+        destination = self._destination_of(state, move)
+
+        if destination is not None:
+            # The next step is navigation: phrase it as "go to X".
+            texts = {
+                0: f"Your next step is somewhere else - try going to {destination}.",
+                1: f"Head for {destination}; what you need is that way.",
+                2: f"Do this: {move.describe()} (it leads to {destination}).",
+            }
+        else:
+            texts = {
+                0: "What you need is right here - look around this scene.",
+                1: {
+                    "take": "Something here looks worth picking up.",
+                    "use": "Something in your backpack fits something in this scene.",
+                    "examine": "Examine things here more closely.",
+                    "click": "Something here responds to a click.",
+                    "talk": "Someone here can help you.",
+                    "dialogue": "Someone here can help you.",
+                    "approach": "Walk the avatar up to something here.",
+                }[move.kind],
+                2: f"Do this: {move.describe()}.",
+            }
+        return Hint(level=level, text=texts[level], moves_remaining=len(script))
+
+    def _destination_of(self, state: GameState, move: "Move") -> Optional[str]:
+        """If ``move`` changes the scenario, return the destination."""
+        from ..core.solver import _apply
+
+        engine = self.game.new_engine(with_video=False)
+        engine.start()
+        engine.state = GameState.from_dict(state.to_dict())
+        engine._inject_base_props()
+        before = engine.state.current_scenario
+        try:
+            _apply(engine, move)
+        except Exception:
+            return None
+        after = engine.state.current_scenario
+        return after if after != before else None

@@ -1,0 +1,160 @@
+"""The backpack and its inventory window (§3.1).
+
+"Like ordinary adventure games, the players have a backpack to collect
+items in game.  An inventory window is used for displaying what items the
+player owned."
+
+The model keeps insertion order (the window displays slots in acquisition
+order), supports stacking of identical items, a capacity bound, and a
+*selected* slot — selecting an item then clicking an object is the
+"use item on object" gesture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Inventory", "InventoryError", "InventorySlot"]
+
+
+class InventoryError(ValueError):
+    """Raised on invalid inventory operations."""
+
+
+@dataclass(slots=True)
+class InventorySlot:
+    """One display slot: an item id, its stack count and display name."""
+
+    item_id: str
+    name: str
+    count: int = 1
+    is_reward: bool = False
+
+
+class Inventory:
+    """Ordered, stacking item container with a selection cursor.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *slots* (stacks), not items.  The paper's
+        screenshots show a small fixed window; 12 is the default.
+    """
+
+    def __init__(self, capacity: int = 12) -> None:
+        if capacity < 1:
+            raise InventoryError("capacity must be >= 1")
+        self.capacity = capacity
+        self._slots: List[InventorySlot] = []
+        self._selected: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def add(self, item_id: str, name: Optional[str] = None, is_reward: bool = False) -> None:
+        """Add one unit of ``item_id``; stacks onto an existing slot.
+
+        Raises :class:`InventoryError` when a new slot is needed but the
+        window is full — the runtime surfaces this as feedback text.
+        """
+        if not item_id:
+            raise InventoryError("item_id must be non-empty")
+        for slot in self._slots:
+            if slot.item_id == item_id:
+                slot.count += 1
+                return
+        if len(self._slots) >= self.capacity:
+            raise InventoryError("backpack is full")
+        self._slots.append(
+            InventorySlot(item_id=item_id, name=name or item_id, count=1, is_reward=is_reward)
+        )
+
+    def remove(self, item_id: str) -> None:
+        """Remove one unit; drops the slot when the stack empties."""
+        for i, slot in enumerate(self._slots):
+            if slot.item_id == item_id:
+                slot.count -= 1
+                if slot.count <= 0:
+                    self._slots.pop(i)
+                    if self._selected == item_id:
+                        self._selected = None
+                return
+        raise InventoryError(f"item {item_id!r} not in backpack")
+
+    def has(self, item_id: str) -> bool:
+        return any(s.item_id == item_id for s in self._slots)
+
+    def count(self, item_id: str) -> int:
+        for s in self._slots:
+            if s.item_id == item_id:
+                return s.count
+        return 0
+
+    @property
+    def slots(self) -> List[InventorySlot]:
+        """Display slots in acquisition order (copies not needed: the
+        window renders read-only)."""
+        return list(self._slots)
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def total_items(self) -> int:
+        return sum(s.count for s in self._slots)
+
+    @property
+    def rewards(self) -> List[InventorySlot]:
+        """Reward slots only — the achievement shelf (§3.3)."""
+        return [s for s in self._slots if s.is_reward]
+
+    # ------------------------------------------------------------------
+    # Selection (the "use item on…" gesture's first half)
+    # ------------------------------------------------------------------
+    def select(self, item_id: str) -> None:
+        """Select an owned item for a subsequent use-on-object click."""
+        if not self.has(item_id):
+            raise InventoryError(f"cannot select {item_id!r}: not owned")
+        self._selected = item_id
+
+    def deselect(self) -> None:
+        self._selected = None
+
+    @property
+    def selected(self) -> Optional[str]:
+        return self._selected
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "selected": self._selected,
+            "slots": [
+                {
+                    "item_id": s.item_id,
+                    "name": s.name,
+                    "count": s.count,
+                    "is_reward": s.is_reward,
+                }
+                for s in self._slots
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Inventory":
+        inv = cls(capacity=d.get("capacity", 12))
+        for s in d.get("slots", []):
+            inv._slots.append(
+                InventorySlot(
+                    item_id=s["item_id"],
+                    name=s.get("name", s["item_id"]),
+                    count=s.get("count", 1),
+                    is_reward=s.get("is_reward", False),
+                )
+            )
+        if len(inv._slots) > inv.capacity:
+            raise InventoryError("saved inventory exceeds capacity")
+        sel = d.get("selected")
+        if sel is not None:
+            inv.select(sel)
+        return inv

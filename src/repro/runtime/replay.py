@@ -1,0 +1,160 @@
+"""Input recording and deterministic replay.
+
+The runtime is deterministic given a clock and an input stream, which
+makes recorded sessions *regression tests for authored content*: record
+a teacher's reference playthrough once; after every edit, replay it and
+assert the outcome still holds.  The authoring tool's "verify course"
+button is exactly this.
+
+A recording is a JSON-safe list of timestamped input events plus the
+dialogue choices taken; :func:`replay` feeds them into a fresh engine on
+a simulated clock and returns the final state for assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..video.player import SimulatedClock
+from .engine import GameEngine
+from .inputs import KeyPress, MouseClick, MouseDrag
+
+__all__ = ["InputRecorder", "Recording", "ReplayMismatch", "replay"]
+
+
+class ReplayMismatch(AssertionError):
+    """Raised when a replay's expectations are violated."""
+
+
+def _event_to_dict(event: Any) -> Dict[str, Any]:
+    if isinstance(event, MouseClick):
+        return {"kind": "click", "x": event.x, "y": event.y, "button": event.button}
+    if isinstance(event, MouseDrag):
+        return {"kind": "drag", "x0": event.x0, "y0": event.y0,
+                "x1": event.x1, "y1": event.y1}
+    if isinstance(event, KeyPress):
+        return {"kind": "key", "key": event.key}
+    raise TypeError(f"unrecordable event type {type(event).__name__}")
+
+
+def _event_from_dict(d: Dict[str, Any]) -> Any:
+    kind = d.get("kind")
+    if kind == "click":
+        return MouseClick(d["x"], d["y"], d.get("button", "left"))
+    if kind == "drag":
+        return MouseDrag(d["x0"], d["y0"], d["x1"], d["y1"])
+    if kind == "key":
+        return KeyPress(d["key"])
+    raise ValueError(f"unknown recorded event kind {kind!r}")
+
+
+@dataclass(slots=True)
+class Recording:
+    """A timestamped input script plus expected outcomes."""
+
+    game_title: str
+    steps: List[Dict[str, Any]] = field(default_factory=list)
+    expected_outcome: Optional[str] = None
+    expected_score: Optional[int] = None
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "game_title": self.game_title,
+            "steps": self.steps,
+            "expected_outcome": self.expected_outcome,
+            "expected_score": self.expected_score,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Recording":
+        d = json.loads(text)
+        return cls(
+            game_title=d["game_title"],
+            steps=list(d.get("steps", [])),
+            expected_outcome=d.get("expected_outcome"),
+            expected_score=d.get("expected_score"),
+        )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class InputRecorder:
+    """Wraps a live engine; forwards inputs while recording them.
+
+    Use the recorder's :meth:`handle_input`, :meth:`choose_dialogue` and
+    :meth:`tick` in place of the engine's; call :meth:`finish` to stamp
+    the expected outcome.
+    """
+
+    def __init__(self, engine: GameEngine, game_title: str) -> None:
+        self.engine = engine
+        self.recording = Recording(game_title=game_title)
+
+    def handle_input(self, event: Any):
+        self.recording.steps.append(
+            {"at": self.engine.clock.now(), "event": _event_to_dict(event)}
+        )
+        return self.engine.handle_input(event)
+
+    def choose_dialogue(self, index: int) -> None:
+        self.recording.steps.append(
+            {"at": self.engine.clock.now(), "dialogue_choice": index}
+        )
+        self.engine.choose_dialogue(index)
+
+    def tick(self, dt: float) -> None:
+        self.recording.steps.append(
+            {"at": self.engine.clock.now(), "tick": dt}
+        )
+        self.engine.tick(dt)
+
+    def finish(self) -> Recording:
+        """Stamp the live outcome as the replay expectation."""
+        self.recording.expected_outcome = self.engine.state.outcome
+        self.recording.expected_score = self.engine.state.score
+        return self.recording
+
+
+def replay(
+    game,
+    recording: Recording,
+    with_video: bool = False,
+    strict: bool = True,
+):
+    """Re-run a recording against a (possibly re-authored) game.
+
+    Returns the finished engine.  With ``strict`` (default) the recorded
+    expected outcome and score must match, else :class:`ReplayMismatch`
+    is raised with a diff-style message — the authoring tool surfaces
+    that message as "your edit broke the reference playthrough".
+    """
+    engine = game.new_engine(clock=SimulatedClock(), with_video=with_video)
+    engine.start()
+    for step in recording.steps:
+        if "event" in step:
+            engine.handle_input(_event_from_dict(step["event"]))
+        elif "dialogue_choice" in step:
+            if engine.dialogue_session is not None:
+                engine.choose_dialogue(step["dialogue_choice"])
+        elif "tick" in step:
+            engine.tick(step["tick"])
+        else:
+            raise ValueError(f"malformed recording step {step!r}")
+    if strict:
+        if engine.state.outcome != recording.expected_outcome:
+            raise ReplayMismatch(
+                f"outcome drifted: recorded {recording.expected_outcome!r}, "
+                f"replay produced {engine.state.outcome!r}"
+            )
+        if (
+            recording.expected_score is not None
+            and engine.state.score != recording.expected_score
+        ):
+            raise ReplayMismatch(
+                f"score drifted: recorded {recording.expected_score}, "
+                f"replay produced {engine.state.score}"
+            )
+    return engine

@@ -1,0 +1,104 @@
+"""The rewarding mechanism (§3.3).
+
+"Players can get bonus if they make the right decisions which the content
+providers set in the authoring system … some objects are considered as
+rewards.  If players complete some requests or missions, they can get
+special objects in the inventory windows."
+
+The :class:`RewardManager` interprets ``AwardBonus`` actions: it adds the
+bonus to the score, and when the action names a reward object it grants
+that object into the inventory as an achievement (idempotently — an
+achievement is earned once, even if the authored event can re-fire).
+A grant ledger records what was earned when, which the learning-analytics
+layer reads as the student's achievement history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .inventory import InventoryError
+from .state import GameState
+
+__all__ = ["GrantRecord", "RewardManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class GrantRecord:
+    """One awarded bonus/reward."""
+
+    at_time: float
+    points: int
+    reward_id: Optional[str]
+    repeated: bool  #: True when the reward object was already owned
+
+
+class RewardManager:
+    """Applies bonuses and grants reward objects.
+
+    Parameters
+    ----------
+    reward_names:
+        Display names of reward objects, keyed by object id (built by the
+        project from its ``RewardObject`` definitions).
+    reward_bonuses:
+        Intrinsic bonus of each reward object; added on first grant on
+        top of the action's explicit points.
+    """
+
+    def __init__(
+        self,
+        reward_names: Optional[Dict[str, str]] = None,
+        reward_bonuses: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.reward_names = dict(reward_names or {})
+        self.reward_bonuses = dict(reward_bonuses or {})
+        self.ledger: List[GrantRecord] = []
+
+    def award(
+        self, state: GameState, points: int, reward_id: Optional[str], at_time: float
+    ) -> GrantRecord:
+        """Apply one ``AwardBonus``; returns the ledger record."""
+        repeated = False
+        total = points
+        if reward_id is not None:
+            if state.inventory.has(reward_id):
+                repeated = True  # achievement already earned: points only
+            else:
+                name = self.reward_names.get(reward_id, reward_id)
+                try:
+                    state.inventory.add(reward_id, name=name, is_reward=True)
+                except InventoryError:
+                    # A full backpack never blocks achievements: rewards are
+                    # achievements first, objects second.  Count the points.
+                    repeated = True
+                else:
+                    total += self.reward_bonuses.get(reward_id, 0)
+        state.add_score(total)
+        record = GrantRecord(
+            at_time=at_time, points=total, reward_id=reward_id, repeated=repeated
+        )
+        self.ledger.append(record)
+        return record
+
+    @property
+    def total_points_awarded(self) -> int:
+        return sum(r.points for r in self.ledger)
+
+    def achievements(self, state: GameState) -> List[str]:
+        """Reward object ids currently displayed on the achievement shelf."""
+        return [s.item_id for s in state.inventory.rewards]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ledger": [
+                {
+                    "at_time": r.at_time,
+                    "points": r.points,
+                    "reward_id": r.reward_id,
+                    "repeated": r.repeated,
+                }
+                for r in self.ledger
+            ]
+        }

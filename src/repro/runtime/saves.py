@@ -1,0 +1,175 @@
+"""Save-game slots: course resume for the gaming platform.
+
+Students play educational games across sittings; §3.2's knowledge-
+delivery arc (hear the quest → investigate → fetch → fix) often spans a
+lesson boundary.  The :class:`SaveManager` persists
+:class:`~repro.runtime.state.GameState` snapshots into named slots under
+a directory, with integrity checksums, per-slot metadata (when, where,
+score) for the "continue" menu, and an autosave policy the engine can
+drive on scenario switches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time as _time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .engine import GameEngine
+from .state import GameState
+
+__all__ = ["AutosavePolicy", "SaveError", "SaveManager", "SlotInfo"]
+
+_SLOT_RE = re.compile(r"^[a-z0-9][a-z0-9_\-]*$")
+AUTOSAVE_SLOT = "autosave"
+
+
+class SaveError(ValueError):
+    """Raised on invalid save/load operations."""
+
+
+@dataclass(frozen=True, slots=True)
+class SlotInfo:
+    """Metadata shown in the continue menu."""
+
+    slot: str
+    game_title: str
+    scenario_id: str
+    score: int
+    play_time: float
+    saved_at: float  #: caller-supplied timestamp (simulated or wall)
+
+
+class SaveManager:
+    """Slot-based persistence of game states.
+
+    File layout: one ``<slot>.save.json`` per slot containing the state
+    dict, metadata and a SHA-256 of the state payload — a corrupted or
+    hand-edited save is rejected at load, never half-applied.
+    """
+
+    def __init__(self, directory: Union[str, Path], game_title: str) -> None:
+        if not game_title:
+            raise SaveError("game title required")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.game_title = game_title
+
+    def _path(self, slot: str) -> Path:
+        if not _SLOT_RE.match(slot):
+            raise SaveError(f"slot name {slot!r} must be a lowercase slug")
+        return self.directory / f"{slot}.save.json"
+
+    # ------------------------------------------------------------------
+    def save(self, slot: str, state: GameState, saved_at: Optional[float] = None) -> SlotInfo:
+        """Write a state snapshot into a slot (overwrites)."""
+        state_dict = state.to_dict()
+        payload = json.dumps(state_dict, sort_keys=True)
+        info = SlotInfo(
+            slot=slot,
+            game_title=self.game_title,
+            scenario_id=state.current_scenario,
+            score=state.score,
+            play_time=state.play_time,
+            saved_at=saved_at if saved_at is not None else _time.time(),
+        )
+        doc = {
+            "game_title": info.game_title,
+            "scenario_id": info.scenario_id,
+            "score": info.score,
+            "play_time": info.play_time,
+            "saved_at": info.saved_at,
+            "state_sha256": hashlib.sha256(payload.encode()).hexdigest(),
+            "state": state_dict,
+        }
+        self._path(slot).write_text(json.dumps(doc, sort_keys=True))
+        return info
+
+    def load(self, slot: str) -> GameState:
+        """Load a slot; integrity-checked."""
+        path = self._path(slot)
+        if not path.exists():
+            raise SaveError(f"no save in slot {slot!r}")
+        doc = json.loads(path.read_text())
+        if doc.get("game_title") != self.game_title:
+            raise SaveError(
+                f"slot {slot!r} belongs to {doc.get('game_title')!r}, "
+                f"not {self.game_title!r}"
+            )
+        payload = json.dumps(doc["state"], sort_keys=True)
+        if hashlib.sha256(payload.encode()).hexdigest() != doc.get("state_sha256"):
+            raise SaveError(f"slot {slot!r} is corrupted (checksum mismatch)")
+        return GameState.from_dict(doc["state"])
+
+    def delete(self, slot: str) -> bool:
+        """Remove a slot; True if it existed."""
+        path = self._path(slot)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def slots(self) -> List[SlotInfo]:
+        """All slots of this game, newest first."""
+        infos: List[SlotInfo] = []
+        for path in sorted(self.directory.glob("*.save.json")):
+            try:
+                doc = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                continue
+            if doc.get("game_title") != self.game_title:
+                continue
+            infos.append(
+                SlotInfo(
+                    slot=path.name[: -len(".save.json")],
+                    game_title=doc["game_title"],
+                    scenario_id=doc.get("scenario_id", "?"),
+                    score=doc.get("score", 0),
+                    play_time=doc.get("play_time", 0.0),
+                    saved_at=doc.get("saved_at", 0.0),
+                )
+            )
+        infos.sort(key=lambda i: i.saved_at, reverse=True)
+        return infos
+
+    # ------------------------------------------------------------------
+    def resume_engine(self, slot: str, engine: GameEngine) -> None:
+        """Load a slot into a *started* engine (player re-syncs video)."""
+        state = self.load(slot)
+        engine.state = state
+        if engine.player is not None:
+            sc = engine.scenarios[state.current_scenario]
+            engine.player.loop_segment = sc.loop
+            engine.player.play(sc.segment_ref)
+        engine.compositor.invalidate()
+
+
+class AutosavePolicy:
+    """Autosave on scenario switches, rate-limited.
+
+    Subscribe it to an engine's bus; it writes the ``autosave`` slot at
+    most every ``min_interval`` seconds of play time.
+    """
+
+    def __init__(self, manager: SaveManager, engine: GameEngine,
+                 min_interval: float = 30.0) -> None:
+        if min_interval < 0:
+            raise SaveError("min_interval must be non-negative")
+        self.manager = manager
+        self.engine = engine
+        self.min_interval = min_interval
+        self._last_saved_at = -float("inf")
+        self.saves_written = 0
+        engine.bus.subscribe("scenario", self._on_scenario)
+
+    def _on_scenario(self, notice) -> None:
+        now = self.engine.state.play_time
+        if now - self._last_saved_at < self.min_interval:
+            return
+        self.manager.save(AUTOSAVE_SLOT, self.engine.state, saved_at=notice.time)
+        self._last_saved_at = now
+        self.saves_written += 1

@@ -1,0 +1,239 @@
+"""Game state: everything that changes while a student plays.
+
+The state is the single mutable record a play session owns: current
+scenario, flags, score, visited scenarios, the backpack, per-session
+object-property overrides, fired once-bindings, popup stack and outcome.
+It implements the :class:`~repro.events.conditions.ConditionContext`
+protocol so authored guards evaluate directly against it.
+
+Save/load round-trips through plain dicts (JSON-safe), giving the
+platform the "continue where you left off" behaviour course delivery
+needs; property-based tests assert ``load(save(s)) == s`` observationally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .inventory import Inventory
+
+__all__ = ["GameOutcome", "GameState", "PopupRecord", "StateError"]
+
+
+class StateError(ValueError):
+    """Raised on invalid state transitions."""
+
+
+class GameOutcome:
+    """Terminal outcomes; ``None`` on the state means still playing."""
+
+    WON = "won"
+    LOST = "lost"
+    QUIT = "quit"
+
+
+class PopupRecord:
+    """One popup overlay (text/image/web) currently displayed.
+
+    Popups stack; the runtime dismisses the top one on the next click
+    (standard adventure-game modality).
+    """
+
+    __slots__ = ("kind", "content", "shown_at")
+
+    def __init__(self, kind: str, content: str, shown_at: float) -> None:
+        if kind not in ("text", "image", "web", "dialogue"):
+            raise StateError(f"unknown popup kind {kind!r}")
+        self.kind = kind
+        self.content = content
+        self.shown_at = shown_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "content": self.content, "shown_at": self.shown_at}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "PopupRecord":
+        return cls(d["kind"], d["content"], d.get("shown_at", 0.0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PopupRecord):
+            return NotImplemented
+        return (self.kind, self.content) == (other.kind, other.content)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PopupRecord({self.kind!r}, {self.content!r})"
+
+
+class GameState:
+    """Mutable play-session state; implements ``ConditionContext``."""
+
+    def __init__(self, start_scenario: str, inventory_capacity: int = 12) -> None:
+        if not start_scenario:
+            raise StateError("start_scenario required")
+        self.current_scenario = start_scenario
+        self.flags: Dict[str, bool] = {}
+        self.score = 0
+        self.visited: Set[str] = {start_scenario}
+        self.inventory = Inventory(capacity=inventory_capacity)
+        #: per-session object property overrides: (object_id, key) -> value
+        self.prop_overrides: Dict[Tuple[str, str], Any] = {}
+        #: authored base properties, injected by the engine at start
+        self.base_props: Dict[Tuple[str, str], Any] = {}
+        #: ids of once-bindings that already fired
+        self.fired_once: Set[str] = set()
+        #: per-session visibility overrides (reveal/hide actions)
+        self.visibility: Dict[str, bool] = {}
+        self.popups: List[PopupRecord] = []
+        self.outcome: Optional[str] = None
+        #: seconds of play time accumulated (simulated clock)
+        self.play_time = 0.0
+        #: scenario dwell clock, reset on every switch (drives timers)
+        self.scenario_time = 0.0
+        #: timer bindings already fired for the current scenario visit
+        self.fired_timers: Set[str] = set()
+        #: URLs surfaced by OpenWeb actions, in order
+        self.web_visits: List[str] = []
+        #: avatar position on the frame (the player can "manipulate the
+        #: avatar in a game scenario", §4.3)
+        self.avatar_xy: Tuple[float, float] = (0.0, 0.0)
+        #: objects the avatar has approached this scenario visit (the
+        #: approach trigger fires once per entry, re-arming on re-entry)
+        self.approached: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # ConditionContext protocol
+    # ------------------------------------------------------------------
+    def has_item(self, item_id: str) -> bool:
+        return self.inventory.has(item_id)
+
+    def item_count(self, item_id: str) -> int:
+        return self.inventory.count(item_id)
+
+    def get_flag(self, name: str) -> bool:
+        return self.flags.get(name, False)
+
+    def has_visited(self, scenario_id: str) -> bool:
+        return scenario_id in self.visited
+
+    def get_score(self) -> int:
+        return self.score
+
+    def get_prop(self, object_id: str, key: str) -> Any:
+        k = (object_id, key)
+        if k in self.prop_overrides:
+            return self.prop_overrides[k]
+        if k in self.base_props:
+            return self.base_props[k]
+        return False  # absent properties read as false, never raise mid-game
+
+    # ------------------------------------------------------------------
+    # Mutations (engine-driven)
+    # ------------------------------------------------------------------
+    def set_flag(self, name: str, value: bool) -> None:
+        if not name:
+            raise StateError("flag name must be non-empty")
+        self.flags[name] = bool(value)
+
+    def add_score(self, points: int) -> None:
+        if points < 0:
+            raise StateError("score increments must be non-negative")
+        self.score += points
+
+    def switch_to(self, scenario_id: str) -> None:
+        """Move to another scenario, resetting the dwell clock/timers."""
+        if self.outcome is not None:
+            raise StateError("game already ended")
+        self.current_scenario = scenario_id
+        self.visited.add(scenario_id)
+        self.scenario_time = 0.0
+        self.fired_timers = set()
+        self.approached = set()
+
+    def push_popup(self, kind: str, content: str, at: float) -> None:
+        self.popups.append(PopupRecord(kind, content, at))
+
+    def dismiss_popup(self) -> Optional[PopupRecord]:
+        """Dismiss the top popup, if any."""
+        return self.popups.pop() if self.popups else None
+
+    @property
+    def modal_active(self) -> bool:
+        """True while a popup is consuming clicks."""
+        return bool(self.popups)
+
+    def end(self, outcome: str) -> None:
+        if self.outcome is not None:
+            raise StateError("game already ended")
+        self.outcome = outcome
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome is not None
+
+    def advance_time(self, dt: float) -> None:
+        if dt < 0:
+            raise StateError("time cannot go backwards")
+        self.play_time += dt
+        self.scenario_time += dt
+
+    def object_visible(self, object_id: str, default: bool) -> bool:
+        """Effective visibility respecting per-session overrides."""
+        return self.visibility.get(object_id, default)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "current_scenario": self.current_scenario,
+            "flags": dict(self.flags),
+            "score": self.score,
+            "visited": sorted(self.visited),
+            "inventory": self.inventory.to_dict(),
+            "prop_overrides": [
+                {"object_id": o, "key": k, "value": v}
+                for (o, k), v in sorted(self.prop_overrides.items())
+            ],
+            "base_props": [
+                {"object_id": o, "key": k, "value": v}
+                for (o, k), v in sorted(self.base_props.items())
+            ],
+            "fired_once": sorted(self.fired_once),
+            "visibility": dict(self.visibility),
+            "popups": [p.to_dict() for p in self.popups],
+            "outcome": self.outcome,
+            "play_time": self.play_time,
+            "scenario_time": self.scenario_time,
+            "fired_timers": sorted(self.fired_timers),
+            "web_visits": list(self.web_visits),
+            "avatar_xy": list(self.avatar_xy),
+            "approached": sorted(self.approached),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "GameState":
+        st = cls(start_scenario=d["current_scenario"])
+        st.flags = dict(d.get("flags", {}))
+        st.score = int(d.get("score", 0))
+        st.visited = set(d.get("visited", [st.current_scenario]))
+        st.inventory = Inventory.from_dict(d.get("inventory", {"capacity": 12}))
+        st.prop_overrides = {
+            (p["object_id"], p["key"]): p["value"]
+            for p in d.get("prop_overrides", [])
+        }
+        st.base_props = {
+            (p["object_id"], p["key"]): p["value"]
+            for p in d.get("base_props", [])
+        }
+        st.fired_once = set(d.get("fired_once", []))
+        st.visibility = dict(d.get("visibility", {}))
+        st.popups = [PopupRecord.from_dict(p) for p in d.get("popups", [])]
+        st.outcome = d.get("outcome")
+        st.play_time = float(d.get("play_time", 0.0))
+        st.scenario_time = float(d.get("scenario_time", 0.0))
+        st.fired_timers = set(d.get("fired_timers", []))
+        st.web_visits = list(d.get("web_visits", []))
+        xy = d.get("avatar_xy", [0.0, 0.0])
+        st.avatar_xy = (float(xy[0]), float(xy[1]))
+        st.approached = set(d.get("approached", []))
+        return st

@@ -1,0 +1,25 @@
+"""Simulated student cohorts: profiles, attention dynamics, play policies
+and cohort aggregation (the E6 substrate)."""
+
+from .cohort import (
+    PRIOR_KNOWLEDGE_P,
+    ExposureReport,
+    roll_acquisition,
+    run_vgbl_cohort,
+)
+from .model import ARCHETYPES, AttentionModel, StudentProfile, sample_profile
+from .player import DEVICE_TIME_FACTORS, PlayResult, simulate_play
+
+__all__ = [
+    "ARCHETYPES",
+    "DEVICE_TIME_FACTORS",
+    "AttentionModel",
+    "ExposureReport",
+    "PRIOR_KNOWLEDGE_P",
+    "PlayResult",
+    "StudentProfile",
+    "roll_acquisition",
+    "run_vgbl_cohort",
+    "sample_profile",
+    "simulate_play",
+]

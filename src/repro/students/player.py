@@ -1,0 +1,224 @@
+"""Simulated play of a compiled VGBL game by one student.
+
+The simulated student drives the *real* engine (video decode skipped)
+through the same abstract moves the winnability solver uses, but chooses
+them with a behavioural policy instead of BFS:
+
+* unexplored moves are preferred, proportionally to curiosity;
+* quest-advancing moves (take / use-item) are preferred proportionally
+  to diligence;
+* moves whose feedback was already seen are discouraged.
+
+Attention evolves per :class:`~repro.students.model.AttentionModel`;
+the run ends on win, dropout, or the time cap.  The function returns the
+raw material E6 needs: outcome flags, interaction counts, attention
+trace, and the session's knowledge-exposure sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.project import CompiledGame
+from ..core.solver import Move, _apply, _legal_moves
+from ..events.bus import Notice
+from .model import AttentionModel, StudentProfile
+
+__all__ = ["PlayResult", "simulate_play"]
+
+
+@dataclass(slots=True)
+class PlayResult:
+    """Everything observable about one simulated session."""
+
+    completed: bool
+    dropped_out: bool
+    time_on_task: float
+    interactions: int
+    final_attention: float
+    mean_attention: float
+    score: int
+    scenarios_visited: int
+    #: exposure sets for the knowledge map
+    entered_scenarios: Set[str] = field(default_factory=set)
+    fired_bindings: Set[str] = field(default_factory=set)
+    examined_objects: Set[str] = field(default_factory=set)
+    dialogue_nodes: Set[str] = field(default_factory=set)
+    #: (time, attention) trace, one sample per action
+    attention_trace: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def _move_key(m: Move) -> Tuple:
+    return (m.kind, m.object_id, m.item_id, m.dialogue_path)
+
+
+def _choose_move(
+    moves: Sequence[Move],
+    tried: Set[Tuple],
+    profile: StudentProfile,
+    rng: np.random.Generator,
+) -> Move:
+    """Behavioural softmax-free weighted choice over candidate moves."""
+    weights = np.empty(len(moves), dtype=np.float64)
+    for i, m in enumerate(moves):
+        w = 1.0
+        if _move_key(m) not in tried:
+            w *= 1.0 + 2.0 * profile.curiosity
+        else:
+            w *= 0.15
+        if m.kind in ("take", "use"):
+            w *= 1.0 + 2.0 * profile.diligence
+        if m.kind == "dialogue" and _move_key(m) not in tried:
+            w *= 1.5
+        weights[i] = w
+    weights /= weights.sum()
+    idx = int(rng.choice(len(moves), p=weights))
+    return moves[idx]
+
+
+#: action-time multipliers per control device, calibrated to the E5
+#: device-cost measurements (keyboard_mouse is the reference).
+DEVICE_TIME_FACTORS = {
+    "keyboard_mouse": 1.0,
+    "tablet": 1.2,
+    "pda": 1.7,
+    "remote": 2.3,
+}
+
+
+def simulate_play(
+    game: CompiledGame,
+    profile: StudentProfile,
+    rng: np.random.Generator,
+    max_seconds: float = 1800.0,
+    max_actions: int = 400,
+    device: str = "keyboard_mouse",
+) -> PlayResult:
+    """Run one student through one game; see module docstring.
+
+    ``device`` scales per-action time by the E5-calibrated factor —
+    slower devices stretch sessions and therefore attention decay,
+    which is how input hardware reaches the engagement results.
+    """
+    try:
+        time_factor = DEVICE_TIME_FACTORS[device]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {device!r}; known: {sorted(DEVICE_TIME_FACTORS)}"
+        ) from None
+    engine = game.new_engine(with_video=False)
+    engine.start()
+    attention = AttentionModel(profile)
+
+    fired_bindings: Set[str] = set()
+    dialogue_nodes: Set[str] = set()
+    seen_popups: Set[str] = set()
+    # Per-action effect collectors, filled by the bus subscriber.
+    effects: List[Notice] = []
+    engine.bus.subscribe("*", effects.append)
+
+    examined: Set[str] = set()
+    tried: Set[Tuple] = set()
+    trace: List[Tuple[float, float]] = []
+    elapsed = 0.0
+    interactions = 0
+
+    while (
+        engine.running
+        and not attention.dropped_out
+        and elapsed < max_seconds
+        and interactions < max_actions
+    ):
+        moves = _legal_moves(engine)
+        if not moves:
+            break
+        move = _choose_move(moves, tried, profile, rng)
+        tried.add(_move_key(move))
+
+        before_score = engine.state.score
+        before_scene = engine.state.current_scenario
+        before_visited = set(engine.state.visited)
+        before_flags = dict(engine.state.flags)
+        before_props = dict(engine.state.prop_overrides)
+
+        effects.clear()
+        try:
+            _apply(engine, move)
+        except Exception:
+            # A move the real UI would have prevented; costs time, gives
+            # nothing back.
+            pass
+        interactions += 1
+        if move.kind == "examine" and move.object_id:
+            examined.add(move.object_id)
+
+        # Time passes for the action itself (device-scaled).
+        dt = time_factor * float(
+            rng.gamma(shape=4.0, scale=profile.action_seconds / 4.0)
+        )
+        attention.decay(dt)
+        elapsed += dt
+
+        # Translate observed effects into attention events.
+        got_response = False
+        for n in effects:
+            if n.topic == "binding":
+                fired_bindings.add(n.payload["binding_id"])
+            elif n.topic == "dialogue":
+                dialogue_nodes.add(
+                    f"{n.payload['dialogue_id']}:{n.payload['node']}"
+                )
+                got_response = True
+                attention.event("feedback")
+            elif n.topic == "popup":
+                got_response = True
+                key = f"{n.payload['kind']}:{n.payload['content']}"
+                if n.payload["content"] == "Nothing happens.":
+                    attention.event("nothing")
+                elif key in seen_popups:
+                    attention.event("repeat")
+                else:
+                    seen_popups.add(key)
+                    attention.event("feedback")
+            elif n.topic == "reward":
+                got_response = True
+                attention.event("reward")
+            elif n.topic == "item":
+                got_response = True
+                attention.event("progress")
+        if engine.state.current_scenario != before_scene:
+            got_response = True
+            if engine.state.current_scenario not in before_visited:
+                attention.event("new_scene")
+        if (
+            engine.state.flags != before_flags
+            or engine.state.prop_overrides != before_props
+        ):
+            attention.event("progress")
+        if engine.state.score > before_score:
+            pass  # already credited via the reward notice
+        if not got_response and move.kind in ("click", "use"):
+            attention.event("nothing")
+
+        trace.append((elapsed, attention.level))
+        engine.state.popups.clear()
+
+    result = PlayResult(
+        completed=engine.state.outcome == "won",
+        dropped_out=attention.dropped_out and engine.state.outcome != "won",
+        time_on_task=elapsed,
+        interactions=interactions,
+        final_attention=attention.level,
+        mean_attention=attention.mean_level,
+        score=engine.state.score,
+        scenarios_visited=len(engine.state.visited),
+        entered_scenarios=set(engine.state.visited),
+        fired_bindings=fired_bindings,
+        examined_objects=examined,
+        dialogue_nodes=dialogue_nodes,
+        attention_trace=trace,
+    )
+    return result

@@ -1,0 +1,128 @@
+"""Synthetic video substrate: frames, footage, codecs, container,
+shot detection, segments/timeline, clocked playback and parallel kernels.
+
+This package replaces the real video stack (cameras, files "from network",
+OpenCV-style decode) the paper's system used — see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .codec import (
+    Codec,
+    CodecError,
+    DeltaCodec,
+    QuantCodec,
+    RawCodec,
+    RleCodec,
+    available_codecs,
+    get_codec,
+    mse,
+    psnr,
+)
+from .container import (
+    ContainerError,
+    SegmentIndexEntry,
+    VideoReader,
+    VideoWriter,
+    read_video,
+    write_video,
+)
+from .filters import (
+    FilterChain,
+    FilterError,
+    adjust_brightness_contrast,
+    crop,
+    fade_in,
+    fade_out,
+    grayscale,
+    letterbox,
+    scale_nearest,
+    stamp_caption,
+    tint,
+)
+from .frame import Frame, FrameSize, color_histogram, frame_absdiff, hist_l1_distance
+from .thumbnails import Thumbnail, keyframe_index, segment_thumbnail, storyboard
+from .parallel import (
+    ParallelStats,
+    chunk_spans,
+    parallel_difference_signal,
+    parallel_encode_segments,
+)
+from .player import PlaybackState, PlayerError, SegmentPlayer, SimulatedClock
+from .segment import SegmentError, Timeline, VideoSegment, segments_from_boundaries
+from .shots import (
+    BoundaryScore,
+    DetectorConfig,
+    ShotDetector,
+    detect_shots,
+    score_detection,
+)
+from .synthesis import (
+    MovingSprite,
+    ShotSpec,
+    SyntheticClip,
+    TransitionKind,
+    generate_clip,
+    random_shot_script,
+)
+
+__all__ = [
+    "BoundaryScore",
+    "Codec",
+    "CodecError",
+    "ContainerError",
+    "DeltaCodec",
+    "DetectorConfig",
+    "FilterChain",
+    "FilterError",
+    "Frame",
+    "FrameSize",
+    "MovingSprite",
+    "ParallelStats",
+    "PlaybackState",
+    "PlayerError",
+    "QuantCodec",
+    "RawCodec",
+    "RleCodec",
+    "SegmentError",
+    "SegmentIndexEntry",
+    "SegmentPlayer",
+    "ShotDetector",
+    "ShotSpec",
+    "SimulatedClock",
+    "SyntheticClip",
+    "Thumbnail",
+    "Timeline",
+    "TransitionKind",
+    "VideoReader",
+    "VideoSegment",
+    "VideoWriter",
+    "adjust_brightness_contrast",
+    "available_codecs",
+    "chunk_spans",
+    "color_histogram",
+    "crop",
+    "detect_shots",
+    "fade_in",
+    "fade_out",
+    "frame_absdiff",
+    "generate_clip",
+    "get_codec",
+    "grayscale",
+    "hist_l1_distance",
+    "keyframe_index",
+    "letterbox",
+    "mse",
+    "scale_nearest",
+    "segment_thumbnail",
+    "stamp_caption",
+    "storyboard",
+    "tint",
+    "parallel_difference_signal",
+    "parallel_encode_segments",
+    "psnr",
+    "random_shot_script",
+    "read_video",
+    "score_detection",
+    "segments_from_boundaries",
+    "write_video",
+]

@@ -1,0 +1,299 @@
+"""RVID: the on-disk container for interactive-video segments.
+
+The scenario editor "divides video into scenario components" (§4.1) and
+the runtime player seeks between segments when the player triggers a
+transition.  RVID is the container that makes this cheap: a flat chunked
+file with a *segment index* so any segment (and any frame inside it) can
+be located with one index lookup, and every segment is independently
+decodable (codecs reset at segment boundaries).
+
+Layout (all little-endian)::
+
+    magic   "RVID"            4 bytes
+    version u16               currently 1
+    width   u16
+    height  u16
+    fps     f32
+    codec   u8 len + utf-8    codec registry name
+    params  u8 len + utf-8    JSON codec kwargs
+    nseg    u32
+    -- per segment: nframes u32, then nframes x (u32 payload length)
+    -- then all payloads, segment by segment, frame by frame
+
+The whole header (including the index) is written before any payload so a
+streaming client can fetch the index first and plan prefetches (E5).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
+
+from .codec import Codec, CodecError, get_codec
+from .frame import Frame, FrameSize
+
+__all__ = [
+    "ContainerError",
+    "RVID_MAGIC",
+    "SegmentIndexEntry",
+    "VideoReader",
+    "VideoWriter",
+    "read_video",
+    "write_video",
+]
+
+RVID_MAGIC = b"RVID"
+_VERSION = 1
+
+
+class ContainerError(ValueError):
+    """Raised on malformed container data."""
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentIndexEntry:
+    """Index record for one segment.
+
+    ``offset`` is the absolute byte offset of the segment's first payload;
+    ``frame_lengths`` are the payload sizes, so frame *k*'s payload starts
+    at ``offset + sum(frame_lengths[:k])``.
+    """
+
+    segment_id: int
+    offset: int
+    frame_lengths: Tuple[int, ...]
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frame_lengths)
+
+    @property
+    def byte_size(self) -> int:
+        return sum(self.frame_lengths)
+
+    def frame_offset(self, k: int) -> int:
+        """Absolute byte offset of frame ``k``'s payload."""
+        if not 0 <= k < self.frame_count:
+            raise IndexError(f"frame {k} out of range for segment {self.segment_id}")
+        return self.offset + sum(self.frame_lengths[:k])
+
+
+def _write_str(fh: BinaryIO, s: str) -> None:
+    raw = s.encode("utf-8")
+    if len(raw) > 255:
+        raise ContainerError("string field too long")
+    fh.write(struct.pack("<B", len(raw)))
+    fh.write(raw)
+
+
+def _read_str(fh: BinaryIO) -> str:
+    (n,) = struct.unpack("<B", _read_exact(fh, 1))
+    return _read_exact(fh, n).decode("utf-8")
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    buf = fh.read(n)
+    if len(buf) != n:
+        raise ContainerError("truncated container")
+    return buf
+
+
+class VideoWriter:
+    """Accumulates encoded segments and serialises an RVID stream.
+
+    Usage::
+
+        w = VideoWriter(size, fps=24.0, codec_name="delta")
+        w.add_segment(frames_a)
+        w.add_segment(frames_b)
+        data = w.tobytes()          # or w.save(path)
+    """
+
+    def __init__(
+        self,
+        size: FrameSize,
+        fps: float = 24.0,
+        codec_name: str = "rle",
+        codec_params: Optional[Dict] = None,
+    ) -> None:
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.size = size
+        self.fps = float(fps)
+        self.codec_name = codec_name
+        self.codec_params = dict(codec_params or {})
+        # Validate codec name/params eagerly.
+        self._codec: Codec = get_codec(codec_name, **self.codec_params)
+        self._segments: List[List[bytes]] = []
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def add_segment(self, frames: Sequence[Frame]) -> int:
+        """Encode ``frames`` as a new independent segment; returns its id."""
+        if not frames:
+            raise ValueError("segment must contain at least one frame")
+        for f in frames:
+            if f.size != self.size:
+                raise ValueError(
+                    f"frame size {f.size} does not match container size {self.size}"
+                )
+        payloads = self._codec.encode_all(frames)
+        self._segments.append(payloads)
+        return len(self._segments) - 1
+
+    def add_encoded_segment(self, payloads: Sequence[bytes]) -> int:
+        """Add an already-encoded segment (e.g. spliced from another file)."""
+        if not payloads:
+            raise ValueError("segment must contain at least one payload")
+        self._segments.append(list(payloads))
+        return len(self._segments) - 1
+
+    def tobytes(self) -> bytes:
+        """Serialise the container to a byte string."""
+        if not self._segments:
+            raise ContainerError("cannot write a container with no segments")
+        out = io.BytesIO()
+        out.write(RVID_MAGIC)
+        out.write(struct.pack("<HHHf", _VERSION, self.size.width, self.size.height, self.fps))
+        _write_str(out, self.codec_name)
+        _write_str(out, json.dumps(self.codec_params, sort_keys=True))
+        out.write(struct.pack("<I", len(self._segments)))
+        for seg in self._segments:
+            out.write(struct.pack("<I", len(seg)))
+            for payload in seg:
+                out.write(struct.pack("<I", len(payload)))
+        for seg in self._segments:
+            for payload in seg:
+                out.write(payload)
+        return out.getvalue()
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write the container to ``path``; returns bytes written."""
+        data = self.tobytes()
+        Path(path).write_bytes(data)
+        return len(data)
+
+
+class VideoReader:
+    """Random-access reader over an RVID byte string.
+
+    The reader parses the header and index once; segment and frame reads
+    are then O(1) index lookups plus a decode.  Decoding a frame mid-
+    segment requires decoding from the segment start when the codec is
+    temporal (``delta``) — segments are the seek granularity by design,
+    which is why the scenario editor keeps segments short.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        fh = io.BytesIO(data)
+        if _read_exact(fh, 4) != RVID_MAGIC:
+            raise ContainerError("bad magic: not an RVID container")
+        version, w, h, fps = struct.unpack("<HHHf", _read_exact(fh, 10))
+        if version != _VERSION:
+            raise ContainerError(f"unsupported RVID version {version}")
+        self.size = FrameSize(w, h)
+        self.fps = float(fps)
+        self.codec_name = _read_str(fh)
+        try:
+            self.codec_params: Dict = json.loads(_read_str(fh))
+        except json.JSONDecodeError as exc:
+            raise ContainerError(f"bad codec params: {exc}") from exc
+        (nseg,) = struct.unpack("<I", _read_exact(fh, 4))
+        lengths_per_seg: List[Tuple[int, ...]] = []
+        for _ in range(nseg):
+            (nframes,) = struct.unpack("<I", _read_exact(fh, 4))
+            if nframes == 0:
+                raise ContainerError("empty segment in index")
+            lens = struct.unpack(f"<{nframes}I", _read_exact(fh, 4 * nframes))
+            lengths_per_seg.append(lens)
+        offset = fh.tell()
+        self.index: List[SegmentIndexEntry] = []
+        for sid, lens in enumerate(lengths_per_seg):
+            self.index.append(SegmentIndexEntry(sid, offset, lens))
+            offset += sum(lens)
+        if offset != len(data):
+            raise ContainerError(
+                f"payload size mismatch: index says {offset}, file has {len(data)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def segment_count(self) -> int:
+        return len(self.index)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(e.frame_count for e in self.index)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self._data)
+
+    def segment_payloads(self, segment_id: int) -> List[bytes]:
+        """Raw encoded payloads of one segment (no decode)."""
+        entry = self._entry(segment_id)
+        out: List[bytes] = []
+        pos = entry.offset
+        for ln in entry.frame_lengths:
+            out.append(self._data[pos : pos + ln])
+            pos += ln
+        return out
+
+    def decode_segment(self, segment_id: int) -> List[Frame]:
+        """Decode all frames of one segment."""
+        codec = get_codec(self.codec_name, **self.codec_params)
+        return codec.decode_all(self.segment_payloads(segment_id), self.size)
+
+    def decode_frame(self, segment_id: int, frame_idx: int) -> Frame:
+        """Decode a single frame (decodes the prefix for temporal codecs)."""
+        entry = self._entry(segment_id)
+        if not 0 <= frame_idx < entry.frame_count:
+            raise IndexError(
+                f"frame {frame_idx} out of range for segment {segment_id}"
+            )
+        codec = get_codec(self.codec_name, **self.codec_params)
+        codec.reset()
+        payloads = self.segment_payloads(segment_id)
+        frame: Optional[Frame] = None
+        for payload in payloads[: frame_idx + 1]:
+            frame = codec.decode(payload, self.size)
+        assert frame is not None
+        return frame
+
+    def segment_duration_seconds(self, segment_id: int) -> float:
+        """Playback duration of a segment at the container's fps."""
+        return self._entry(segment_id).frame_count / self.fps
+
+    def _entry(self, segment_id: int) -> SegmentIndexEntry:
+        if not 0 <= segment_id < len(self.index):
+            raise IndexError(f"segment {segment_id} out of range")
+        return self.index[segment_id]
+
+
+def write_video(
+    path: Union[str, Path],
+    segments: Sequence[Sequence[Frame]],
+    fps: float = 24.0,
+    codec_name: str = "rle",
+    codec_params: Optional[Dict] = None,
+) -> int:
+    """Convenience: encode ``segments`` and write an RVID file."""
+    if not segments:
+        raise ValueError("at least one segment required")
+    size = segments[0][0].size
+    writer = VideoWriter(size, fps=fps, codec_name=codec_name, codec_params=codec_params)
+    for seg in segments:
+        writer.add_segment(seg)
+    return writer.save(path)
+
+
+def read_video(path: Union[str, Path]) -> VideoReader:
+    """Open an RVID file for random access."""
+    return VideoReader(Path(path).read_bytes())

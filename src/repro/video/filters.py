@@ -1,0 +1,226 @@
+"""Editor-side video filters and adjustments.
+
+The scenario editor's "Video" menu (Fig. 1): footage rarely arrives
+ready to use — designers brighten a murky classroom shot, crop out a
+boom microphone, letterbox a mismatched aspect ratio, stamp a title, or
+add a fade-in before the first scenario.  Each filter is a pure function
+``frame → frame`` (or a sequence transform), vectorised, composable via
+:class:`FilterChain`, and cheap enough to preview live in the canvas.
+
+All filters validate their parameters eagerly so the editor can reject
+bad dialog input before touching frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .frame import Frame, FrameSize, clip_rect
+
+__all__ = [
+    "FilterChain",
+    "FilterError",
+    "adjust_brightness_contrast",
+    "crop",
+    "fade_in",
+    "fade_out",
+    "grayscale",
+    "letterbox",
+    "scale_nearest",
+    "stamp_caption",
+    "tint",
+]
+
+
+class FilterError(ValueError):
+    """Raised on invalid filter parameters."""
+
+
+# ----------------------------------------------------------------------
+# Per-frame filters
+# ----------------------------------------------------------------------
+
+def adjust_brightness_contrast(
+    frame: Frame, brightness: float = 0.0, contrast: float = 1.0
+) -> Frame:
+    """Linear tone adjustment: ``out = (in - 128) * contrast + 128 + b``.
+
+    ``brightness`` in [-255, 255], ``contrast`` in [0, 4].
+    """
+    if not -255.0 <= brightness <= 255.0:
+        raise FilterError("brightness must be in [-255, 255]")
+    if not 0.0 <= contrast <= 4.0:
+        raise FilterError("contrast must be in [0, 4]")
+    f = frame.data.astype(np.float32)
+    out = (f - 128.0) * contrast + 128.0 + brightness
+    np.clip(out, 0.0, 255.0, out=out)
+    return Frame(out.astype(np.uint8))
+
+
+def grayscale(frame: Frame) -> Frame:
+    """Replace chroma with luma (the editor's 'flashback' look)."""
+    luma = frame.to_gray().astype(np.uint8)
+    return Frame(np.repeat(luma[:, :, None], 3, axis=2))
+
+
+def tint(frame: Frame, color: Tuple[int, int, int], strength: float = 0.3) -> Frame:
+    """Blend a solid colour over the frame (scene mood labelling)."""
+    if not 0.0 <= strength <= 1.0:
+        raise FilterError("tint strength must be in [0, 1]")
+    f = frame.data.astype(np.float32)
+    c = np.asarray(color, dtype=np.float32)
+    out = f * (1.0 - strength) + c * strength
+    return Frame(out.astype(np.uint8))
+
+
+def crop(frame: Frame, x: int, y: int, w: int, h: int) -> Frame:
+    """Cut a sub-rectangle; must lie fully inside the frame."""
+    size = frame.size
+    if w <= 0 or h <= 0:
+        raise FilterError("crop size must be positive")
+    if x < 0 or y < 0 or x + w > size.width or y + h > size.height:
+        raise FilterError(
+            f"crop ({x},{y},{w},{h}) exceeds frame {size}"
+        )
+    return Frame(frame.data[y : y + h, x : x + w].copy())
+
+
+def scale_nearest(frame: Frame, size: FrameSize) -> Frame:
+    """Nearest-neighbour resample to ``size`` (fast preview scaling)."""
+    h, w = frame.height, frame.width
+    ys = (np.arange(size.height) * h // size.height).clip(0, h - 1)
+    xs = (np.arange(size.width) * w // size.width).clip(0, w - 1)
+    return Frame(frame.data[np.ix_(ys, xs)].copy())
+
+
+def letterbox(frame: Frame, size: FrameSize, bar_color: Tuple[int, int, int] = (0, 0, 0)) -> Frame:
+    """Fit the frame into ``size`` preserving aspect, with bars."""
+    sw, sh = size.width, size.height
+    fw, fh = frame.width, frame.height
+    scale = min(sw / fw, sh / fh)
+    tw, th = max(1, int(fw * scale)), max(1, int(fh * scale))
+    scaled = scale_nearest(frame, FrameSize(tw, th))
+    out = Frame.blank(size, bar_color)
+    out.blit(scaled.data, (sw - tw) // 2, (sh - th) // 2)
+    return out
+
+
+def stamp_caption(
+    frame: Frame,
+    height: int = 12,
+    bg: Tuple[int, int, int] = (0, 0, 0),
+    fg: Tuple[int, int, int] = (255, 255, 255),
+    ticks: int = 0,
+) -> Frame:
+    """Burn a caption bar into the bottom of the frame.
+
+    Text rendering is out of scope for the raster substrate; the bar
+    carries ``ticks`` marker blocks (one per caption word), which is
+    what the figure renders need to show "this frame is captioned".
+    """
+    if height < 3 or height > frame.height:
+        raise FilterError("caption bar height out of range")
+    out = frame.copy()
+    y = frame.height - height
+    out.fill_rect(0, y, frame.width, height, bg)
+    for k in range(max(0, ticks)):
+        out.fill_rect(3 + k * 8, y + 2, 6, height - 4, fg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sequence transforms
+# ----------------------------------------------------------------------
+
+def fade_in(frames: Sequence[Frame], n: int, color: Tuple[int, int, int] = (0, 0, 0)) -> List[Frame]:
+    """Fade the first ``n`` frames up from a solid colour."""
+    if n < 0 or n > len(frames):
+        raise FilterError("fade length out of range")
+    out = [f.copy() for f in frames]
+    c = np.asarray(color, dtype=np.float32)
+    for k in range(n):
+        alpha = (k + 1) / (n + 1)
+        f = out[k].data.astype(np.float32)
+        out[k] = Frame((f * alpha + c * (1 - alpha)).astype(np.uint8))
+    return out
+
+
+def fade_out(frames: Sequence[Frame], n: int, color: Tuple[int, int, int] = (0, 0, 0)) -> List[Frame]:
+    """Fade the last ``n`` frames down to a solid colour."""
+    if n < 0 or n > len(frames):
+        raise FilterError("fade length out of range")
+    out = [f.copy() for f in frames]
+    c = np.asarray(color, dtype=np.float32)
+    total = len(frames)
+    for k in range(n):
+        idx = total - n + k          # fade deepens toward the last frame
+        alpha = (k + 1) / (n + 1)
+        f = out[idx].data.astype(np.float32)
+        out[idx] = Frame((f * (1 - alpha) + c * alpha).astype(np.uint8))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class _Step:
+    name: str
+    fn: Callable[[Frame], Frame]
+
+
+class FilterChain:
+    """A named, ordered composition of per-frame filters.
+
+    The editor builds a chain from dialog settings and applies it to a
+    whole segment; chains are reusable across segments ("apply the same
+    grade to all classroom shots").
+    """
+
+    def __init__(self) -> None:
+        self._steps: List[_Step] = []
+
+    def add(self, name: str, fn: Callable[[Frame], Frame]) -> "FilterChain":
+        """Append a step; returns self for chaining."""
+        if not name:
+            raise FilterError("filter step needs a name")
+        self._steps.append(_Step(name, fn))
+        return self
+
+    def brightness_contrast(self, brightness: float = 0.0, contrast: float = 1.0) -> "FilterChain":
+        # Validate eagerly, not at apply time.
+        adjust_brightness_contrast(Frame.blank(FrameSize(1, 1)), brightness, contrast)
+        return self.add(
+            f"bc({brightness},{contrast})",
+            lambda f: adjust_brightness_contrast(f, brightness, contrast),
+        )
+
+    def grayscale(self) -> "FilterChain":
+        return self.add("grayscale", grayscale)
+
+    def tint(self, color: Tuple[int, int, int], strength: float = 0.3) -> "FilterChain":
+        tint(Frame.blank(FrameSize(1, 1)), color, strength)
+        return self.add(f"tint{color}@{strength}", lambda f: tint(f, color, strength))
+
+    def caption(self, height: int = 12, ticks: int = 3) -> "FilterChain":
+        return self.add(
+            f"caption({ticks})", lambda f: stamp_caption(f, height=height, ticks=ticks)
+        )
+
+    @property
+    def step_names(self) -> List[str]:
+        return [s.name for s in self._steps]
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def apply(self, frame: Frame) -> Frame:
+        """Run the chain on one frame."""
+        out = frame
+        for step in self._steps:
+            out = step.fn(out)
+        return out
+
+    def apply_all(self, frames: Sequence[Frame]) -> List[Frame]:
+        """Run the chain on a whole segment."""
+        return [self.apply(f) for f in frames]

@@ -1,0 +1,225 @@
+"""Clocked segment playback: the base layer of the gaming platform.
+
+§4.3: "The gaming platform is an augmented video player with the
+interaction functionalities."  This module is the *un*-augmented player:
+a deterministic, simulated-clock playback engine over the segments of an
+RVID container (or raw frame lists).  The runtime engine augments it with
+hotspots, object overlays and scenario switching.
+
+The clock is injected, not wall time: tests and benchmarks advance a
+:class:`SimulatedClock` manually, so playback behaviour (frame due times,
+pauses, seeks, segment switches) is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence
+
+from .container import VideoReader
+from .frame import Frame
+
+__all__ = [
+    "Clock",
+    "PlaybackState",
+    "PlayerError",
+    "SegmentPlayer",
+    "SimulatedClock",
+]
+
+
+class PlayerError(RuntimeError):
+    """Raised on invalid playback operations."""
+
+
+class Clock(Protocol):
+    """Minimal clock interface: monotonically non-decreasing seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class SimulatedClock:
+    """A manually-advanced clock for deterministic playback."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+
+    def now(self) -> float:
+        return self._t
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (must be >= 0)."""
+        if dt < 0:
+            raise ValueError("clock cannot move backwards")
+        self._t += dt
+        return self._t
+
+
+class PlaybackState:
+    """Playback lifecycle states."""
+
+    IDLE = "idle"
+    PLAYING = "playing"
+    PAUSED = "paused"
+    FINISHED = "finished"
+
+
+@dataclass(slots=True)
+class _SegmentSource:
+    """Decoded frames of the active segment."""
+
+    segment_id: int
+    frames: List[Frame]
+    fps: float
+
+
+class SegmentPlayer:
+    """Plays one segment at a time with pause/seek/switch.
+
+    Parameters
+    ----------
+    reader:
+        The RVID container to play from.
+    clock:
+        Time source; defaults to a fresh :class:`SimulatedClock`.
+    on_frame:
+        Optional callback invoked with ``(frame, frame_index)`` every time
+        :meth:`tick` emits a new frame (the compositor hooks in here).
+    loop_segment:
+        If True, the active segment loops instead of finishing — the
+        paper's scenarios idle on their video while the player explores,
+        so the runtime engine enables this by default.
+
+    Typical loop::
+
+        player.play(segment_id=0)
+        while ...:
+            clock.advance(1 / fps)
+            frame = player.tick()
+    """
+
+    def __init__(
+        self,
+        reader: VideoReader,
+        clock: Optional[Clock] = None,
+        on_frame: Optional[Callable[[Frame, int], None]] = None,
+        loop_segment: bool = True,
+    ) -> None:
+        self.reader = reader
+        self.clock: Clock = clock or SimulatedClock()
+        self.on_frame = on_frame
+        self.loop_segment = loop_segment
+        self.state = PlaybackState.IDLE
+        self._source: Optional[_SegmentSource] = None
+        self._segment_start_time = 0.0
+        self._paused_at: Optional[float] = None
+        self._pause_accum = 0.0
+        self._last_emitted_idx: Optional[int] = None
+        #: cumulative count of segment switches (E4 latency accounting)
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_segment(self) -> Optional[int]:
+        """Id of the active segment, or None when idle."""
+        return self._source.segment_id if self._source else None
+
+    @property
+    def fps(self) -> float:
+        return self.reader.fps
+
+    def play(self, segment_id: int) -> None:
+        """Start (or switch) playback at the first frame of ``segment_id``."""
+        frames = self.reader.decode_segment(segment_id)
+        if self._source is not None:
+            self.switch_count += 1
+        self._source = _SegmentSource(segment_id, frames, self.reader.fps)
+        self._segment_start_time = self.clock.now()
+        self._pause_accum = 0.0
+        self._paused_at = None
+        self._last_emitted_idx = None
+        self.state = PlaybackState.PLAYING
+
+    def pause(self) -> None:
+        """Freeze playback; the current frame stays current."""
+        if self.state != PlaybackState.PLAYING:
+            raise PlayerError(f"cannot pause in state {self.state}")
+        self._paused_at = self.clock.now()
+        self.state = PlaybackState.PAUSED
+
+    def resume(self) -> None:
+        """Resume after :meth:`pause`; elapsed pause time is excluded."""
+        if self.state != PlaybackState.PAUSED or self._paused_at is None:
+            raise PlayerError(f"cannot resume in state {self.state}")
+        self._pause_accum += self.clock.now() - self._paused_at
+        self._paused_at = None
+        self.state = PlaybackState.PLAYING
+
+    def seek(self, frame_index: int) -> None:
+        """Jump to ``frame_index`` within the active segment."""
+        src = self._require_source()
+        if not 0 <= frame_index < len(src.frames):
+            raise PlayerError(
+                f"seek target {frame_index} out of range "
+                f"(segment has {len(src.frames)} frames)"
+            )
+        # Rebase the start time so the target frame is exactly due now.
+        self._segment_start_time = self.clock.now() - frame_index / src.fps
+        self._pause_accum = 0.0
+        if self.state == PlaybackState.PAUSED:
+            self._paused_at = self.clock.now()
+        self._last_emitted_idx = None
+
+    def position(self) -> int:
+        """Frame index currently due (clamped / wrapped per loop mode)."""
+        src = self._require_source()
+        ref = self._paused_at if self._paused_at is not None else self.clock.now()
+        elapsed = ref - self._segment_start_time - self._pause_accum
+        idx = int(elapsed * src.fps + 1e-9)
+        n = len(src.frames)
+        if idx < 0:
+            return 0
+        if idx >= n:
+            return idx % n if self.loop_segment else n - 1
+        return idx
+
+    def finished(self) -> bool:
+        """True when a non-looping segment has played past its last frame."""
+        if self._source is None or self.loop_segment:
+            return False
+        ref = self._paused_at if self._paused_at is not None else self.clock.now()
+        elapsed = ref - self._segment_start_time - self._pause_accum
+        return elapsed * self._source.fps >= len(self._source.frames)
+
+    def tick(self) -> Optional[Frame]:
+        """Emit the frame due at the current clock time.
+
+        Returns the frame if it differs from the last emitted one, else
+        ``None`` (the caller need not recomposite).  On a finished
+        non-looping segment the state flips to ``FINISHED`` and the final
+        frame is returned once.
+        """
+        if self.state not in (PlaybackState.PLAYING, PlaybackState.PAUSED):
+            return None
+        src = self._require_source()
+        if self.finished():
+            self.state = PlaybackState.FINISHED
+        idx = self.position()
+        if idx == self._last_emitted_idx:
+            return None
+        self._last_emitted_idx = idx
+        frame = src.frames[idx]
+        if self.on_frame is not None:
+            self.on_frame(frame, idx)
+        return frame
+
+    def current_frame(self) -> Frame:
+        """The frame due now, without advancing emission bookkeeping."""
+        src = self._require_source()
+        return src.frames[self.position()]
+
+    def _require_source(self) -> _SegmentSource:
+        if self._source is None:
+            raise PlayerError("no segment loaded; call play() first")
+        return self._source

@@ -1,0 +1,242 @@
+"""Video segments and timelines: the editing model of the scenario editor.
+
+§2.1: "The basic idea of interactive video is to divide the video file
+into several small video segments as scenarios."  This module provides
+the in-memory editing representation: a :class:`VideoSegment` is a named,
+contiguous run of frames; a :class:`Timeline` is an ordered arrangement
+of segments with cut/splice/trim operations, from which the editor
+produces the container segments that the scenario graph references.
+
+Segments hold *references* to frame lists (views of the source clip's
+frame sequence, not pixel copies) until exported, keeping editing cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .frame import Frame, FrameSize
+
+__all__ = ["SegmentError", "Timeline", "VideoSegment", "segments_from_boundaries"]
+
+
+class SegmentError(ValueError):
+    """Raised on invalid segment operations."""
+
+
+@dataclass(slots=True)
+class VideoSegment:
+    """A named contiguous run of frames.
+
+    Parameters
+    ----------
+    name:
+        Editor-visible label ("Classroom wide shot").
+    frames:
+        The segment's frames, in order.  At least one frame.
+    source:
+        Optional provenance string (file the segment was cut from).
+    source_span:
+        Optional ``(start, end)`` frame range in the source clip.
+    """
+
+    name: str
+    frames: List[Frame]
+    source: Optional[str] = None
+    source_span: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SegmentError("segment name must be non-empty")
+        if not self.frames:
+            raise SegmentError(f"segment {self.name!r} has no frames")
+        size0 = self.frames[0].size
+        for f in self.frames:
+            if f.size != size0:
+                raise SegmentError(
+                    f"segment {self.name!r} mixes frame sizes {size0} and {f.size}"
+                )
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    @property
+    def size(self) -> FrameSize:
+        return self.frames[0].size
+
+    def duration_seconds(self, fps: float) -> float:
+        """Playback duration at ``fps``."""
+        if fps <= 0:
+            raise SegmentError("fps must be positive")
+        return self.frame_count / fps
+
+    def trim(self, start: int, end: int, name: Optional[str] = None) -> "VideoSegment":
+        """Return a new segment containing frames ``[start, end)``."""
+        if not 0 <= start < end <= self.frame_count:
+            raise SegmentError(
+                f"invalid trim [{start}, {end}) of {self.frame_count}-frame segment"
+            )
+        span = None
+        if self.source_span is not None:
+            s0, _ = self.source_span
+            span = (s0 + start, s0 + end)
+        return VideoSegment(
+            name=name or f"{self.name}[{start}:{end}]",
+            frames=self.frames[start:end],
+            source=self.source,
+            source_span=span,
+        )
+
+    def split(self, at: int) -> Tuple["VideoSegment", "VideoSegment"]:
+        """Split into two segments at frame ``at`` (first gets [0, at))."""
+        if not 0 < at < self.frame_count:
+            raise SegmentError(f"split point {at} must be interior")
+        return self.trim(0, at, f"{self.name}/a"), self.trim(
+            at, self.frame_count, f"{self.name}/b"
+        )
+
+    def concat(self, other: "VideoSegment", name: Optional[str] = None) -> "VideoSegment":
+        """Splice ``other`` after this segment (sizes must match)."""
+        if other.size != self.size:
+            raise SegmentError("cannot concat segments of different frame sizes")
+        return VideoSegment(
+            name=name or f"{self.name}+{other.name}",
+            frames=self.frames + other.frames,
+            source=self.source if self.source == other.source else None,
+            source_span=None,
+        )
+
+
+def segments_from_boundaries(
+    frames: Sequence[Frame],
+    boundaries: Sequence[int],
+    name_prefix: str = "scene",
+    source: Optional[str] = None,
+) -> List[VideoSegment]:
+    """Cut a frame sequence into segments at the given boundary indices.
+
+    ``boundaries`` are new-shot start indices (as produced by
+    :func:`repro.video.shots.detect_shots`); indices outside ``(0, n)``
+    and duplicates are ignored.  This is the bridge from shot detection to
+    the scenario editor's proposed segment list.
+    """
+    n = len(frames)
+    if n == 0:
+        raise SegmentError("no frames to segment")
+    cuts = sorted({b for b in boundaries if 0 < b < n})
+    starts = [0] + cuts
+    ends = cuts + [n]
+    return [
+        VideoSegment(
+            name=f"{name_prefix}-{i:03d}",
+            frames=list(frames[s:e]),
+            source=source,
+            source_span=(s, e),
+        )
+        for i, (s, e) in enumerate(zip(starts, ends))
+    ]
+
+
+class Timeline:
+    """An ordered, named arrangement of segments under editing.
+
+    The timeline is what the authoring tool's segmentation strip (Fig. 1)
+    displays: editors reorder, rename, merge and re-split the proposed
+    segments before committing them as scenarios.
+    """
+
+    def __init__(self, segments: Optional[Iterable[VideoSegment]] = None) -> None:
+        self._segments: List[VideoSegment] = list(segments or [])
+        self._check_names()
+
+    def _check_names(self) -> None:
+        names = [s.name for s in self._segments]
+        if len(set(names)) != len(names):
+            raise SegmentError("duplicate segment names on timeline")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    def __getitem__(self, idx: int) -> VideoSegment:
+        return self._segments[idx]
+
+    @property
+    def names(self) -> List[str]:
+        return [s.name for s in self._segments]
+
+    @property
+    def total_frames(self) -> int:
+        return sum(s.frame_count for s in self._segments)
+
+    def index_of(self, name: str) -> int:
+        """Position of the segment named ``name``."""
+        for i, s in enumerate(self._segments):
+            if s.name == name:
+                return i
+        raise SegmentError(f"no segment named {name!r}")
+
+    def get(self, name: str) -> VideoSegment:
+        return self._segments[self.index_of(name)]
+
+    # ------------------------------------------------------------------
+    def append(self, segment: VideoSegment) -> None:
+        """Add a segment at the end."""
+        if segment.name in self.names:
+            raise SegmentError(f"duplicate segment name {segment.name!r}")
+        if self._segments and segment.size != self._segments[0].size:
+            raise SegmentError("timeline mixes frame sizes")
+        self._segments.append(segment)
+
+    def remove(self, name: str) -> VideoSegment:
+        """Remove and return the named segment."""
+        return self._segments.pop(self.index_of(name))
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename a segment (names must stay unique)."""
+        if not new:
+            raise SegmentError("new name must be non-empty")
+        if new != old and new in self.names:
+            raise SegmentError(f"name {new!r} already on timeline")
+        i = self.index_of(old)
+        s = self._segments[i]
+        self._segments[i] = VideoSegment(
+            name=new, frames=s.frames, source=s.source, source_span=s.source_span
+        )
+
+    def move(self, name: str, new_index: int) -> None:
+        """Reorder: move the named segment to ``new_index``."""
+        if not 0 <= new_index < len(self._segments):
+            raise SegmentError(f"index {new_index} out of range")
+        s = self.remove(name)
+        self._segments.insert(new_index, s)
+
+    def merge(self, first: str, second: str, name: Optional[str] = None) -> str:
+        """Merge two adjacent segments into one; returns the new name."""
+        i, j = self.index_of(first), self.index_of(second)
+        if j != i + 1:
+            raise SegmentError(f"{first!r} and {second!r} are not adjacent")
+        merged = self._segments[i].concat(self._segments[j], name=name)
+        if merged.name in (n for k, n in enumerate(self.names) if k not in (i, j)):
+            raise SegmentError(f"merged name {merged.name!r} collides")
+        self._segments[i : j + 1] = [merged]
+        return merged.name
+
+    def split(self, name: str, at: int) -> Tuple[str, str]:
+        """Split the named segment at frame ``at``; returns the new names."""
+        i = self.index_of(name)
+        a, b = self._segments[i].split(at)
+        for nm in (a.name, b.name):
+            if nm in (n for k, n in enumerate(self.names) if k != i):
+                raise SegmentError(f"split name {nm!r} collides")
+        self._segments[i : i + 1] = [a, b]
+        return a.name, b.name
+
+    def as_frame_lists(self) -> List[List[Frame]]:
+        """Export: per-segment frame lists for the container writer."""
+        return [list(s.frames) for s in self._segments]

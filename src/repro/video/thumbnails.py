@@ -1,0 +1,95 @@
+"""Storyboard thumbnails: the segment strip's visual index.
+
+Fig. 1's segmentation strip shows one key image per proposed segment so
+the designer can recognise scenes at a glance.  This module picks
+*representative* keyframes (the frame closest to the segment's mean
+colour histogram — a medoid, robust against transition residue at the
+edges) and renders storyboard sheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .filters import scale_nearest
+from .frame import Frame, FrameSize, color_histogram
+from .segment import VideoSegment
+
+__all__ = ["Thumbnail", "keyframe_index", "segment_thumbnail", "storyboard"]
+
+
+@dataclass(frozen=True, slots=True)
+class Thumbnail:
+    """One storyboard cell."""
+
+    segment_name: str
+    frame_index: int       #: index within the segment
+    image: Frame           #: scaled-down key frame
+
+
+def keyframe_index(frames: Sequence[Frame], bins_per_channel: int = 8) -> int:
+    """Index of the histogram-medoid frame.
+
+    The medoid (minimum summed L1 distance to all other frames'
+    histograms) is the frame most typical of the segment — a fade tail
+    or a sprite-occluded frame never wins.
+    """
+    n = len(frames)
+    if n == 0:
+        raise ValueError("no frames")
+    if n == 1:
+        return 0
+    hists = np.stack([color_histogram(f, bins_per_channel) for f in frames])
+    # Pairwise L1 distances via broadcasting: (n, n, bins) is fine at
+    # storyboard scale (segments are short by design).
+    diffs = np.abs(hists[:, None, :] - hists[None, :, :]).sum(axis=2)
+    return int(diffs.sum(axis=1).argmin())
+
+
+def segment_thumbnail(
+    segment: VideoSegment, thumb_size: FrameSize = FrameSize(40, 30)
+) -> Thumbnail:
+    """The representative thumbnail of one segment."""
+    idx = keyframe_index(segment.frames)
+    return Thumbnail(
+        segment_name=segment.name,
+        frame_index=idx,
+        image=scale_nearest(segment.frames[idx], thumb_size),
+    )
+
+
+def storyboard(
+    segments: Sequence[VideoSegment],
+    thumb_size: FrameSize = FrameSize(40, 30),
+    columns: int = 6,
+    gap: int = 4,
+    bg: Tuple[int, int, int] = (24, 24, 28),
+) -> Tuple[Frame, List[Thumbnail]]:
+    """Render a storyboard sheet: thumbnails laid out in a grid.
+
+    Returns ``(sheet, thumbnails)``; the sheet is a single frame the
+    editor displays (and the docs embed via the ASCII renderer).
+    """
+    if not segments:
+        raise ValueError("no segments to storyboard")
+    if columns < 1:
+        raise ValueError("columns must be >= 1")
+    thumbs = [segment_thumbnail(s, thumb_size) for s in segments]
+    n = len(thumbs)
+    rows = (n + columns - 1) // columns
+    cell_w = thumb_size.width + gap
+    cell_h = thumb_size.height + gap
+    sheet = Frame.blank(
+        FrameSize(gap + columns * cell_w, gap + rows * cell_h), bg
+    )
+    for i, t in enumerate(thumbs):
+        r, c = divmod(i, columns)
+        x = gap + c * cell_w
+        y = gap + r * cell_h
+        sheet.blit(t.image.data, x, y)
+        sheet.draw_border(x - 1, y - 1, thumb_size.width + 2, thumb_size.height + 2,
+                          (90, 90, 110))
+    return sheet, thumbs

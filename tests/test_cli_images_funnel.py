@@ -1,0 +1,147 @@
+"""Tests for the CLI, PPM export and the scenario funnel."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import save_project
+from repro.learning import scenario_funnel
+from repro.reporting import read_ppm, write_ppm
+from repro.runtime import MouseClick, SessionRecorder
+from repro.video import Frame, FrameSize
+
+
+class TestPpm:
+    def test_roundtrip(self, tmp_path):
+        frame = Frame.from_gradient(FrameSize(17, 11), (10, 200, 30), (200, 10, 230))
+        path = tmp_path / "img.ppm"
+        nbytes = write_ppm(frame, path)
+        assert path.stat().st_size == nbytes
+        assert read_ppm(path) == frame
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        write_ppm(Frame.blank(FrameSize(3, 2)), path)
+        assert path.read_bytes().startswith(b"P6\n3 2\n255\n")
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"GIF89a....")
+        with pytest.raises(ValueError):
+            read_ppm(path)
+
+    def test_read_skips_comments(self, tmp_path):
+        frame = Frame.blank(FrameSize(2, 2), (9, 8, 7))
+        path = tmp_path / "c.ppm"
+        data = b"P6\n# a comment\n2 2\n255\n" + frame.tobytes()
+        path.write_bytes(data)
+        assert read_ppm(path) == frame
+
+    def test_read_rejects_bad_maxval(self, tmp_path):
+        path = tmp_path / "m.ppm"
+        path.write_bytes(b"P6\n1 1\n65535\n\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_ppm(path)
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "winnable=True" in out
+        assert "walkthrough:" in out
+        assert "Interactive VGBL Player" in out
+
+    def test_validate_ok(self, tmp_path, classroom_wizard, capsys):
+        save_project(classroom_wizard.project, tmp_path)
+        assert main(["validate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "winnable: True" in out
+
+    def test_validate_failing_project(self, tmp_path, capsys):
+        from repro.core import GameProject, ScenarioEditor
+        from repro.core.templates import scene_footage
+        from repro.video import FrameSize
+
+        project = GameProject("Broken")
+        editor = ScenarioEditor(project)
+        editor.import_footage("c", scene_footage(FrameSize(48, 36), 1, duration=4))
+        editor.commit_whole("c")
+        editor.create_scenario("room", "Room", "c")
+        save_project(project, tmp_path)
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "unwinnable" in capsys.readouterr().out
+
+    def test_solve(self, tmp_path, classroom_wizard, capsys):
+        save_project(classroom_wizard.project, tmp_path)
+        assert main(["solve", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "winnable in 4 moves" in out
+        assert "use ram on computer" in out
+
+    def test_solve_bounded_inconclusive(self, tmp_path, classroom_wizard, capsys):
+        save_project(classroom_wizard.project, tmp_path)
+        assert main(["solve", str(tmp_path), "--max-states", "1"]) == 2
+
+    def test_figures(self, tmp_path, classroom_wizard, capsys):
+        proj = tmp_path / "proj"
+        out = tmp_path / "figs"
+        save_project(classroom_wizard.project, proj)
+        assert main(["figures", str(proj), str(out)]) == 0
+        assert (out / "fig1_authoring_tool.txt").exists()
+        sheet = read_ppm(out / "storyboard.ppm")
+        assert sheet.width > 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--students", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vgbl" in out and "slideshow" in out
+
+
+class TestScenarioFunnel:
+    def _play_session(self, game, visit_market: bool):
+        eng = game.new_engine(with_video=False)
+        # Subscribe before start() so the initial scenario notice is seen.
+        rec = SessionRecorder(eng.bus, "p")
+        eng.start()
+        # Click the computer (interaction in the classroom), then dismiss
+        # its description popup so later clicks are not modal-captured.
+        x, y = game.scenarios["classroom"].get_object("computer").hotspot.center()
+        eng.handle_input(MouseClick(x, y))
+        eng.handle_input(MouseClick(1, 1))
+        if visit_market:
+            bx, by = game.scenarios["classroom"].get_object(
+                "classroom-go-market").hotspot.center()
+            eng.handle_input(MouseClick(bx, by))
+        return rec.finish(10.0, None, 0, len(eng.state.visited))
+
+    def test_reach_fractions(self, classroom_game):
+        logs = [
+            self._play_session(classroom_game, visit_market=True),
+            self._play_session(classroom_game, visit_market=True),
+            self._play_session(classroom_game, visit_market=False),
+        ]
+        rows = scenario_funnel(logs)
+        by_id = {r.scenario_id: r for r in rows}
+        assert by_id["classroom"].sessions_reached == 3
+        assert by_id["classroom"].reach_fraction == 1.0
+        assert by_id["market"].sessions_reached == 2
+        assert by_id["market"].reach_fraction == pytest.approx(2 / 3)
+
+    def test_interactions_attributed_to_scenario(self, classroom_game):
+        logs = [self._play_session(classroom_game, visit_market=False)]
+        rows = scenario_funnel(logs)
+        by_id = {r.scenario_id: r for r in rows}
+        # Both gestures (click + dismissal-free click) land in the classroom.
+        assert by_id["classroom"].mean_interactions >= 1
+
+    def test_sorted_by_reach(self, classroom_game):
+        logs = [self._play_session(classroom_game, visit_market=i == 0)
+                for i in range(2)]
+        rows = scenario_funnel(logs)
+        reaches = [r.sessions_reached for r in rows]
+        assert reaches == sorted(reaches, reverse=True)
+
+    def test_requires_logs(self):
+        with pytest.raises(ValueError):
+            scenario_funnel([])

@@ -1,0 +1,100 @@
+"""Tests for the difficulty estimator and device-scaled simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DifficultyReport,
+    GameProject,
+    ScenarioEditor,
+    estimate_difficulty,
+    exploration_game,
+    fetch_quest_game,
+    random_rollout,
+)
+from repro.core.templates import scene_footage
+from repro.students import DEVICE_TIME_FACTORS, sample_profile, simulate_play
+from repro.video import FrameSize
+
+SIZE = FrameSize(64, 48)
+
+
+class TestRandomRollout:
+    def test_rollout_can_win_small_game(self, classroom_game):
+        rng = np.random.default_rng(1)
+        wins = sum(random_rollout(classroom_game, rng, max_actions=200)[0]
+                   for _ in range(10))
+        assert wins >= 5  # the classroom game is tiny; chance finds it
+
+    def test_rollout_respects_cap(self, classroom_game):
+        rng = np.random.default_rng(2)
+        won, moves = random_rollout(classroom_game, rng, max_actions=3)
+        assert moves <= 3
+
+
+class TestEstimateDifficulty:
+    def test_report_fields(self, classroom_game):
+        r = estimate_difficulty(classroom_game, n_rollouts=8, max_actions=150)
+        assert isinstance(r, DifficultyReport)
+        assert r.solution_length == 4
+        assert 0.0 <= r.distractor_ratio <= 1.0
+        assert r.guidance_gap >= 1.0
+        assert r.label in ("warm-up", "lesson", "challenge")
+
+    def test_bigger_games_score_higher(self):
+        small = estimate_difficulty(
+            fetch_quest_game(1, size=SIZE).build(), n_rollouts=6, max_actions=150
+        )
+        big = estimate_difficulty(
+            fetch_quest_game(4, size=SIZE).build(), n_rollouts=6, max_actions=150
+        )
+        assert big.score > small.score
+        assert big.states_explored > small.states_explored
+
+    def test_deterministic_given_seed(self, classroom_game):
+        a = estimate_difficulty(classroom_game, seed=5, n_rollouts=6)
+        b = estimate_difficulty(classroom_game, seed=5, n_rollouts=6)
+        assert a == b
+
+    def test_unwinnable_rejected(self):
+        project = GameProject("Broken")
+        editor = ScenarioEditor(project)
+        editor.import_footage("c", scene_footage(SIZE, 1, duration=4))
+        editor.commit_whole("c")
+        editor.create_scenario("room", "Room", "c")
+        with pytest.raises(ValueError):
+            estimate_difficulty(project.compile(), n_rollouts=2)
+
+    def test_distractors_counted(self):
+        # exploration game: every artifact is on the solution path.
+        museum = estimate_difficulty(
+            exploration_game(2, size=SIZE).build(), n_rollouts=4, max_actions=150
+        )
+        # quest chain: only the last machine/part matter for the win.
+        quest = estimate_difficulty(
+            fetch_quest_game(3, size=SIZE).build(), n_rollouts=4, max_actions=150
+        )
+        assert quest.distractor_ratio > museum.distractor_ratio
+
+
+class TestDeviceScaledPlay:
+    def test_unknown_device(self, classroom_game):
+        rng = np.random.default_rng(0)
+        p = sample_profile("s", rng, archetype="achiever")
+        with pytest.raises(ValueError):
+            simulate_play(classroom_game, p, rng, device="neural-lace")
+
+    def test_slower_device_longer_sessions(self, classroom_game):
+        times = {}
+        for device in ("keyboard_mouse", "remote"):
+            rng = np.random.default_rng(3)
+            p = sample_profile("s", rng, archetype="achiever")
+            res = simulate_play(classroom_game, p, rng, device=device)
+            times[device] = res.time_on_task / max(1, res.interactions)
+        ratio = times["remote"] / times["keyboard_mouse"]
+        assert ratio == pytest.approx(DEVICE_TIME_FACTORS["remote"], rel=0.05)
+
+    def test_factors_cover_all_devices(self):
+        from repro.net.devices import _DEVICES
+
+        assert set(DEVICE_TIME_FACTORS) == set(_DEVICES)

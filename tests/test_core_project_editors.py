@@ -1,0 +1,235 @@
+"""Tests for the project model and the two §4 editors."""
+
+import pytest
+
+from repro.core import (
+    AuthoringLedger,
+    GameProject,
+    ObjectEditor,
+    ProjectError,
+    ScenarioEditor,
+)
+from repro.core.templates import scene_footage
+from repro.events import ShowText, SwitchScenario, Trigger
+from repro.objects import RectHotspot
+from repro.runtime import Dialogue
+from repro.video import FrameSize, VideoSegment
+
+SIZE = FrameSize(48, 36)
+
+
+def _project_with_scene():
+    ledger = AuthoringLedger()
+    project = GameProject("T")
+    se = ScenarioEditor(project, ledger)
+    oe = ObjectEditor(project, ledger)
+    se.import_footage("clip", scene_footage(SIZE, 1, duration=5))
+    se.commit_whole("clip")
+    se.create_scenario("room", "Room", "clip")
+    return project, se, oe, ledger
+
+
+class TestGameProject:
+    def test_title_required(self):
+        with pytest.raises(ProjectError):
+            GameProject("")
+
+    def test_footage_size_locking(self):
+        p = GameProject("T")
+        p.import_footage("a", scene_footage(SIZE, 1, duration=3))
+        with pytest.raises(ProjectError):
+            p.import_footage("b", scene_footage(FrameSize(20, 20), 1, duration=3))
+
+    def test_duplicate_footage_rejected(self):
+        p = GameProject("T")
+        p.import_footage("a", scene_footage(SIZE, 1, duration=3))
+        with pytest.raises(ProjectError):
+            p.import_footage("a", scene_footage(SIZE, 2, duration=3))
+
+    def test_segment_ref_lookup(self):
+        p = GameProject("T")
+        p.commit_segment(VideoSegment(name="s0", frames=scene_footage(SIZE, 1, duration=3)))
+        assert p.segment_ref("s0") == 0
+        with pytest.raises(ProjectError):
+            p.segment_ref("nope")
+
+    def test_scenario_requires_committed_segment(self):
+        from repro.graph import Scenario
+
+        p = GameProject("T")
+        with pytest.raises(ProjectError):
+            p.add_scenario(Scenario("s", "S", 0))
+
+    def test_first_scenario_becomes_start(self):
+        project, *_ = _project_with_scene()
+        assert project.start_scenario == "room"
+
+    def test_compile_requirements(self):
+        p = GameProject("T")
+        with pytest.raises(ProjectError):
+            p.compile()
+
+    def test_compile_produces_playable(self):
+        project, se, oe, _ = _project_with_scene()
+        game = project.compile()
+        eng = game.new_engine()
+        eng.start()
+        assert eng.current_scenario.scenario_id == "room"
+
+    def test_find_object(self):
+        project, se, oe, _ = _project_with_scene()
+        oe.place_image("room", "thing", "Thing", RectHotspot(1, 1, 5, 5))
+        sid, obj = project.find_object("thing")
+        assert sid == "room" and obj.name == "Thing"
+        with pytest.raises(ProjectError):
+            project.find_object("ghost")
+
+
+class TestScenarioEditor:
+    def test_auto_segment_and_commit(self):
+        import numpy as np
+
+        from repro.video import generate_clip, random_shot_script
+
+        rng = np.random.default_rng(2)
+        clip = generate_clip(
+            SIZE, random_shot_script(3, rng, size=SIZE, min_duration=8, max_duration=10),
+            seed=2,
+        )
+        project = GameProject("T")
+        se = ScenarioEditor(project)
+        se.import_footage("movie", clip.frames)
+        tl = se.auto_segment("movie")
+        assert len(tl) == 3
+        refs = se.commit("movie")
+        assert sorted(refs.values()) == [0, 1, 2]
+        assert "movie" not in se.proposals
+
+    def test_parallel_auto_segment_same_result(self):
+        import numpy as np
+
+        from repro.video import generate_clip, random_shot_script
+
+        rng = np.random.default_rng(3)
+        clip = generate_clip(
+            SIZE, random_shot_script(3, rng, size=SIZE, min_duration=8, max_duration=10),
+            seed=3,
+        )
+        p1, p2 = GameProject("A"), GameProject("B")
+        s1, s2 = ScenarioEditor(p1), ScenarioEditor(p2)
+        s1.import_footage("m", clip.frames)
+        s2.import_footage("m", clip.frames)
+        t1 = s1.auto_segment("m")
+        t2 = s2.auto_segment("m", parallel_workers=2)
+        assert [s.frame_count for s in t1] == [s.frame_count for s in t2]
+
+    def test_proposal_adjustments(self):
+        import numpy as np
+
+        from repro.video import generate_clip, random_shot_script
+
+        rng = np.random.default_rng(4)
+        clip = generate_clip(
+            SIZE, random_shot_script(2, rng, size=SIZE, min_duration=8, max_duration=10),
+            seed=4,
+        )
+        project = GameProject("T")
+        se = ScenarioEditor(project)
+        se.import_footage("m", clip.frames)
+        tl = se.auto_segment("m")
+        a, b = tl.names
+        se.rename_segment("m", a, "intro")
+        merged = se.merge_segments("m", "intro", b)
+        names = se.split_segment("m", merged, 4)
+        se.drop_segment("m", names[1])
+        refs = se.commit("m")
+        assert len(refs) == 1
+
+    def test_commit_requires_proposal(self):
+        project, se, *_ = _project_with_scene()
+        with pytest.raises(ProjectError):
+            se.commit("never-imported")
+
+    def test_set_start(self):
+        project, se, oe, _ = _project_with_scene()
+        se.import_footage("clip2", scene_footage(SIZE, 2, duration=5))
+        se.commit_whole("clip2")
+        se.create_scenario("room2", "Room 2", "clip2")
+        se.set_start("room2")
+        assert project.start_scenario == "room2"
+
+
+class TestObjectEditor:
+    def test_placement_kinds_and_ledger(self):
+        project, se, oe, ledger = _project_with_scene()
+        before = len(ledger)
+        oe.place_image("room", "img", "Img", RectHotspot(0, 0, 4, 4))
+        oe.place_button("room", "btn", "Go", RectHotspot(5, 0, 8, 4))
+        oe.place_item("room", "itm", "Item", RectHotspot(10, 0, 4, 4))
+        oe.place_npc("room", "npc", "Guide", RectHotspot(15, 0, 4, 8),
+                     dialogue=Dialogue.linear("dlg-x", ["Hi"]))
+        oe.place_reward("room", "rwd", "Badge", RectHotspot(20, 0, 4, 4))
+        oe.place_text("room", "txt", "hello", RectHotspot(25, 0, 6, 4))
+        oe.place_weblink("room", "web", "Docs", "https://x/y", RectHotspot(31, 0, 6, 4))
+        assert project.object_count == 7
+        assert "dlg-x" in project.dialogues
+        assert len(ledger) > before
+
+    def test_global_id_uniqueness(self):
+        project, se, oe, _ = _project_with_scene()
+        se.import_footage("clip2", scene_footage(SIZE, 2, duration=5))
+        se.commit_whole("clip2")
+        se.create_scenario("room2", "Room 2", "clip2")
+        oe.place_image("room", "thing", "A", RectHotspot(0, 0, 4, 4))
+        with pytest.raises(ProjectError):
+            oe.place_image("room2", "thing", "B", RectHotspot(0, 0, 4, 4))
+
+    def test_property_and_description(self):
+        project, se, oe, _ = _project_with_scene()
+        oe.place_image("room", "pc", "PC", RectHotspot(0, 0, 4, 4))
+        oe.set_property("pc", "state", "broken")
+        oe.set_description("pc", "A beige box.")
+        oe.set_z_order("pc", 7)
+        _, obj = project.find_object("pc")
+        assert obj.properties.get("state") == "broken"
+        assert obj.description == "A beige box."
+        assert obj.z_order == 7
+
+    def test_link_scenes_creates_button_and_edge(self):
+        project, se, oe, _ = _project_with_scene()
+        se.import_footage("clip2", scene_footage(SIZE, 2, duration=5))
+        se.commit_whole("clip2")
+        se.create_scenario("room2", "Room 2", "clip2")
+        oe.link_scenes("room", "room2", "Go")
+        g = project.graph()
+        assert g.successors("room") == ["room2"]
+
+    def test_link_to_unknown_scene(self):
+        project, se, oe, _ = _project_with_scene()
+        with pytest.raises(ProjectError):
+            oe.link_scenes("room", "mars", "Go")
+
+    def test_fetch_puzzle_bindings(self):
+        project, se, oe, _ = _project_with_scene()
+        oe.place_image("room", "machine", "Machine", RectHotspot(0, 0, 8, 8))
+        oe.place_item("room", "part", "Part", RectHotspot(10, 10, 4, 4))
+        oe.place_item("room", "junk", "Junk", RectHotspot(20, 10, 4, 4))
+        oe.fetch_puzzle(
+            target_scenario="room", target_object="machine", item_id="part",
+            success_text="Done!", end_outcome="won", wrong_items=["junk"],
+        )
+        use = [b for b in project.events if b.trigger == Trigger.USE_ITEM]
+        assert len(use) == 2
+        right = next(b for b in use if b.item_id == "part")
+        assert right.once
+        assert any(a.kind == "end_game" for a in right.actions)
+        wrong = next(b for b in use if b.item_id == "junk")
+        assert not wrong.once
+
+    def test_bind_skill_charged(self):
+        project, se, oe, ledger = _project_with_scene()
+        oe.place_image("room", "pc", "PC", RectHotspot(0, 0, 4, 4))
+        oe.bind("room", Trigger.CLICK, object_id="pc",
+                actions=[ShowText(text="x")])
+        report = ledger.report()
+        assert report.ops_by_skill.get("editor", 0) >= 1

@@ -1,0 +1,204 @@
+"""Tests for project persistence, templates, wizard and effort ledger."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SKILL_WEIGHTS,
+    AuthoringLedger,
+    GameWizard,
+    WizardError,
+    exploration_game,
+    fetch_quest_game,
+    load_project,
+    project_to_dict,
+    quiz_game,
+    save_project,
+    solve,
+)
+from repro.core.serialize import MEDIA_FILE, PROJECT_JSON
+from repro.core.templates import scene_footage
+from repro.video import FrameSize
+
+SIZE = FrameSize(48, 36)
+
+
+class TestSerialize:
+    def test_save_creates_files(self, tmp_path, classroom_wizard):
+        save_project(classroom_wizard.project, tmp_path)
+        assert (tmp_path / PROJECT_JSON).exists()
+        assert (tmp_path / MEDIA_FILE).exists()
+
+    def test_roundtrip_structure_identical(self, tmp_path, classroom_wizard):
+        project = classroom_wizard.project
+        save_project(project, tmp_path)
+        loaded = load_project(tmp_path)
+        assert project_to_dict(loaded) == project_to_dict(project)
+
+    def test_roundtrip_still_winnable(self, tmp_path, classroom_wizard):
+        save_project(classroom_wizard.project, tmp_path)
+        loaded = load_project(tmp_path)
+        assert solve(loaded.compile()).winnable is True
+
+    def test_roundtrip_video_lossless(self, tmp_path, classroom_wizard):
+        project = classroom_wizard.project
+        save_project(project, tmp_path)
+        loaded = load_project(tmp_path)
+        for a, b in zip(project.segments, loaded.segments):
+            assert a.name == b.name
+            assert a.frames == b.frames
+
+    def test_missing_files(self, tmp_path):
+        from repro.core import ProjectError
+
+        with pytest.raises(ProjectError):
+            load_project(tmp_path)
+
+    def test_version_check(self, tmp_path, classroom_wizard):
+        from repro.core import ProjectError
+
+        save_project(classroom_wizard.project, tmp_path)
+        meta = json.loads((tmp_path / PROJECT_JSON).read_text())
+        meta["format_version"] = 99
+        (tmp_path / PROJECT_JSON).write_text(json.dumps(meta))
+        with pytest.raises(ProjectError):
+            load_project(tmp_path)
+
+    def test_segment_count_mismatch(self, tmp_path, classroom_wizard):
+        from repro.core import ProjectError
+
+        save_project(classroom_wizard.project, tmp_path)
+        meta = json.loads((tmp_path / PROJECT_JSON).read_text())
+        meta["segment_names"] = meta["segment_names"][:-1]
+        (tmp_path / PROJECT_JSON).write_text(json.dumps(meta))
+        with pytest.raises(ProjectError):
+            load_project(tmp_path)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_fetch_quest_game_winnable(self, n):
+        wiz = fetch_quest_game(n_quests=n, size=SIZE)
+        report = wiz.check()
+        assert report.ok and report.winnable
+
+    def test_fetch_quest_scales_scenarios(self):
+        wiz = fetch_quest_game(n_quests=3, size=SIZE)
+        assert len(wiz.project.scenarios) == 4  # hub + 3 places
+
+    def test_quiz_game_winnable_and_structured(self):
+        wiz = quiz_game(
+            [("Q1?", ["a", "b"], 0), ("Q2?", ["a", "b", "c"], 2)], size=SIZE
+        )
+        report = wiz.check()
+        assert report.ok and report.winnable
+        assert len(wiz.project.scenarios) == 3  # lesson + 2 questions
+
+    def test_quiz_validation(self):
+        with pytest.raises(ValueError):
+            quiz_game([], size=SIZE)
+        with pytest.raises(ValueError):
+            quiz_game([("Q?", ["only"], 0)], size=SIZE)
+        with pytest.raises(ValueError):
+            quiz_game([("Q?", ["a", "b"], 5)], size=SIZE)
+
+    def test_exploration_game_winnable(self):
+        wiz = exploration_game(n_exhibits=2, size=SIZE)
+        report = wiz.check()
+        assert report.ok and report.winnable
+
+    def test_templates_deterministic(self):
+        a = fetch_quest_game(n_quests=1, size=SIZE, seed=5).build()
+        b = fetch_quest_game(n_quests=1, size=SIZE, seed=5).build()
+        assert a.container == b.container
+
+
+class TestWizard:
+    def test_build_refuses_broken_game(self):
+        wiz = GameWizard("Broken").scene("a", "A", scene_footage(SIZE, 1, duration=4))
+        with pytest.raises(WizardError) as exc:
+            wiz.build()
+        assert "unwinnable" in str(exc.value)
+
+    def test_build_force(self):
+        wiz = GameWizard("Broken").scene("a", "A", scene_footage(SIZE, 1, duration=4))
+        game = wiz.build(require_valid=False)
+        assert game.title == "Broken"
+
+    def test_movie_scene_count_mismatch_message(self):
+        import numpy as np
+
+        from repro.video import generate_clip, random_shot_script
+
+        rng = np.random.default_rng(1)
+        clip = generate_clip(
+            SIZE, random_shot_script(3, rng, size=SIZE, min_duration=8, max_duration=10),
+            seed=1,
+        )
+        with pytest.raises(WizardError) as exc:
+            GameWizard("M").movie(clip.frames, scene_titles=["Only one"])
+        assert "3 scenes" in str(exc.value)
+
+    def test_movie_happy_path(self):
+        import numpy as np
+
+        from repro.video import generate_clip, random_shot_script
+
+        rng = np.random.default_rng(2)
+        clip = generate_clip(
+            SIZE, random_shot_script(2, rng, size=SIZE, min_duration=8, max_duration=10),
+            seed=2,
+        )
+        wiz = GameWizard("M").movie(clip.frames, scene_titles=["Start", "End"])
+        assert set(wiz.project.scenarios) == {"start", "end"}
+
+    def test_helper_requires_lines(self):
+        wiz = GameWizard("W").scene("a", "A", scene_footage(SIZE, 1, duration=4))
+        with pytest.raises(WizardError):
+            wiz.helper("a", "npc", "N", at=(0, 0, 4, 6), lines=[])
+
+    def test_wizard_is_novice_only(self, classroom_wizard):
+        report = classroom_wizard.ledger.report()
+        assert report.max_skill_required == "novice"
+        assert report.total_ops > 10
+
+
+class TestEffortLedger:
+    def test_weights_and_report(self):
+        ledger = AuthoringLedger()
+        ledger.record("a", "novice")
+        ledger.record("b", "programmer")
+        ledger.record("c", "programmer")
+        report = ledger.report()
+        assert report.total_ops == 3
+        assert report.weighted_cost == pytest.approx(
+            SKILL_WEIGHTS["novice"] + 2 * SKILL_WEIGHTS["programmer"]
+        )
+        assert report.ops_by_skill == {"novice": 1, "programmer": 2}
+        assert report.max_skill_required == "programmer"
+
+    def test_unknown_skill(self):
+        ledger = AuthoringLedger()
+        with pytest.raises(ValueError):
+            ledger.record("a", "wizard-level")
+
+    def test_custom_weights(self):
+        ledger = AuthoringLedger(weights={"novice": 2.0, "editor": 4.0,
+                                          "programmer": 8.0, "specialist": 16.0})
+        ledger.record("a", "editor")
+        assert ledger.report().weighted_cost == 4.0
+
+    @given(counts=st.dictionaries(
+        st.sampled_from(sorted(SKILL_WEIGHTS)), st.integers(0, 20), min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_cost_is_linear_property(self, counts):
+        """Property: cost == sum(count * weight)."""
+        ledger = AuthoringLedger()
+        for skill, n in counts.items():
+            for _ in range(n):
+                ledger.record("op", skill)
+        expected = sum(n * SKILL_WEIGHTS[s] for s, n in counts.items())
+        assert ledger.report().weighted_cost == pytest.approx(expected)

@@ -1,0 +1,161 @@
+"""Tests for the authoring undo/redo stack."""
+
+import pytest
+
+from repro.core import (
+    Command,
+    CommandRecorder,
+    GameProject,
+    ObjectEditor,
+    ScenarioEditor,
+    UndoError,
+    UndoStack,
+)
+from repro.core.templates import scene_footage
+from repro.events import ShowText, Trigger
+from repro.objects import RectHotspot
+from repro.video import FrameSize
+
+SIZE = FrameSize(48, 36)
+
+
+@pytest.fixture()
+def workspace():
+    project = GameProject("U")
+    scenes = ScenarioEditor(project)
+    objects = ObjectEditor(project)
+    scenes.import_footage("clip", scene_footage(SIZE, 1, duration=4))
+    scenes.commit_whole("clip")
+    scenes.create_scenario("room", "Room", "clip")
+    recorder = CommandRecorder(project, objects)
+    return project, objects, recorder
+
+
+class TestUndoStack:
+    def _counter_command(self, state, label="inc"):
+        return Command(
+            label=label,
+            do=lambda: state.__setitem__("n", state["n"] + 1),
+            undo=lambda: state.__setitem__("n", state["n"] - 1),
+        )
+
+    def test_execute_undo_redo(self):
+        stack = UndoStack()
+        state = {"n": 0}
+        stack.execute(self._counter_command(state))
+        assert state["n"] == 1
+        assert stack.undo() == "inc"
+        assert state["n"] == 0
+        assert stack.redo() == "inc"
+        assert state["n"] == 1
+
+    def test_empty_operations_raise(self):
+        stack = UndoStack()
+        with pytest.raises(UndoError):
+            stack.undo()
+        with pytest.raises(UndoError):
+            stack.redo()
+
+    def test_new_command_truncates_redo(self):
+        stack = UndoStack()
+        state = {"n": 0}
+        stack.execute(self._counter_command(state, "a"))
+        stack.undo()
+        stack.execute(self._counter_command(state, "b"))
+        assert not stack.can_redo
+
+    def test_labels(self):
+        stack = UndoStack()
+        state = {"n": 0}
+        stack.execute(self._counter_command(state, "first"))
+        assert stack.undo_label == "first"
+        stack.undo()
+        assert stack.redo_label == "first"
+
+    def test_history_limit(self):
+        stack = UndoStack(limit=2)
+        state = {"n": 0}
+        for label in ("a", "b", "c"):
+            stack.execute(self._counter_command(state, label))
+        assert len(stack) == 2
+        stack.undo()
+        stack.undo()
+        with pytest.raises(UndoError):
+            stack.undo()  # "a" fell off the history
+        assert state["n"] == 1
+
+    def test_clear(self):
+        stack = UndoStack()
+        stack.execute(Command("x", lambda: None, lambda: None))
+        stack.clear()
+        assert not stack.can_undo and not stack.can_redo
+
+    def test_limit_validation(self):
+        with pytest.raises(UndoError):
+            UndoStack(limit=0)
+
+
+class TestCommandRecorder:
+    def test_place_undo_redo(self, workspace):
+        project, objects, recorder = workspace
+        recorder.place(objects.place_item, "room", "key", "Key",
+                       RectHotspot(1, 1, 4, 4))
+        assert project.scenarios["room"].has_object("key")
+        recorder.stack.undo()
+        assert not project.scenarios["room"].has_object("key")
+        recorder.stack.redo()
+        assert project.scenarios["room"].has_object("key")
+
+    def test_remove_undo(self, workspace):
+        project, objects, recorder = workspace
+        objects.place_item("room", "key", "Key", RectHotspot(1, 1, 4, 4))
+        recorder.remove_object("key")
+        assert not project.scenarios["room"].has_object("key")
+        recorder.stack.undo()
+        assert project.scenarios["room"].has_object("key")
+
+    def test_move_undo_restores_hotspot(self, workspace):
+        project, objects, recorder = workspace
+        obj = objects.place_item("room", "key", "Key", RectHotspot(1, 1, 4, 4))
+        recorder.move_object("key", 20, 10)
+        assert obj.hotspot.bounding_box()[:2] == (20, 10)
+        recorder.stack.undo()
+        assert obj.hotspot.bounding_box()[:2] == (1, 1)
+
+    def test_description_undo(self, workspace):
+        project, objects, recorder = workspace
+        obj = objects.place_item("room", "key", "Key", RectHotspot(1, 1, 4, 4),
+                                 description="old")
+        recorder.set_description("key", "new")
+        assert obj.description == "new"
+        recorder.stack.undo()
+        assert obj.description == "old"
+
+    def test_bind_unbind_roundtrip(self, workspace):
+        project, objects, recorder = workspace
+        objects.place_item("room", "key", "Key", RectHotspot(1, 1, 4, 4))
+        bid = recorder.bind("room", Trigger.CLICK, object_id="key",
+                            actions=[ShowText(text="hi")])
+        assert len(project.events) == 1
+        recorder.stack.undo()
+        assert len(project.events) == 0
+        recorder.stack.redo()
+        assert len(project.events) == 1
+        recorder.unbind(bid)
+        assert len(project.events) == 0
+        recorder.stack.undo()
+        assert project.events.get(bid).binding_id == bid
+
+    def test_interleaved_history(self, workspace):
+        """A realistic session: place, bind, move, then unwind all of it."""
+        project, objects, recorder = workspace
+        recorder.place(objects.place_item, "room", "key", "Key",
+                       RectHotspot(1, 1, 4, 4))
+        recorder.bind("room", Trigger.CLICK, object_id="key",
+                      actions=[ShowText(text="hi")])
+        recorder.move_object("key", 30, 20)
+        assert len(recorder.stack) == 3
+        while recorder.stack.can_undo:
+            recorder.stack.undo()
+        assert len(project.events) == 0
+        assert not project.scenarios["room"].has_object("key")

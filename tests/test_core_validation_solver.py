@@ -1,0 +1,263 @@
+"""Tests for the validator and the winnability solver."""
+
+import pytest
+
+from repro.core import (
+    GameProject,
+    ObjectEditor,
+    ScenarioEditor,
+    solve,
+    validate,
+)
+from repro.core.solver import enumerate_dialogue_paths
+from repro.core.templates import scene_footage
+from repro.events import (
+    AwardBonus,
+    EndGame,
+    EventBinding,
+    GiveItem,
+    PopupImage,
+    SetFlag,
+    ShowText,
+    StartDialogue,
+    SwitchScenario,
+    Trigger,
+)
+from repro.objects import RectHotspot
+from repro.runtime import Dialogue, DialogueChoice, DialogueNode
+from repro.video import FrameSize
+
+SIZE = FrameSize(48, 36)
+
+
+def _base_project(n_rooms=2):
+    project = GameProject("V")
+    se = ScenarioEditor(project)
+    oe = ObjectEditor(project)
+    for k in range(n_rooms):
+        se.import_footage(f"clip{k}", scene_footage(SIZE, k, duration=4))
+        se.commit_whole(f"clip{k}")
+        se.create_scenario(f"room{k}", f"Room {k}", f"clip{k}")
+    return project, se, oe
+
+
+class TestValidatorStructural:
+    def test_empty_project(self):
+        report = validate(GameProject("X"))
+        assert not report.ok
+        assert report.issues[0].code == "no-scenarios"
+
+    def test_clean_winnable_project(self):
+        project, se, oe = _base_project()
+        oe.place_item("room0", "key", "Key", RectHotspot(1, 1, 4, 4),
+                      description="a key")
+        oe.place_image("room0", "door", "Door", RectHotspot(10, 1, 6, 10),
+                       description="a door")
+        oe.fetch_puzzle(target_scenario="room0", target_object="door",
+                        item_id="key", success_text="Open!", end_outcome="won")
+        report = validate(project)
+        assert report.ok
+        assert report.winnable is True
+        assert report.solution_length == 2  # take key, use key
+
+    def test_bad_switch_target(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "b", "B", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="b",
+            actions=[SwitchScenario(target="mars")]))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "bad-switch-target" for i in report.errors)
+
+    def test_unknown_binding_object(self):
+        project, se, oe = _base_project()
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="ghost",
+            actions=[ShowText(text="x")]))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "bad-binding-object" for i in report.errors)
+
+    def test_object_in_wrong_scenario(self):
+        project, se, oe = _base_project()
+        oe.place_image("room1", "thing", "T", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="thing",
+            actions=[ShowText(text="x")]))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "object-wrong-scenario" for i in report.errors)
+
+    def test_missing_dialogue(self):
+        from repro.objects import NPCObject
+
+        project, se, oe = _base_project()
+        project.scenarios["room0"].add_object(
+            NPCObject(object_id="npc", name="N", hotspot=RectHotspot(0, 0, 4, 4),
+                      dialogue_id="ghost-dialogue"))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "missing-dialogue" for i in report.errors)
+
+    def test_unobtainable_item_warning(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "door", "Door", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.USE_ITEM, object_id="door",
+            item_id="phantom", actions=[EndGame(outcome="won")]))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "unobtainable-item" for i in report.warnings)
+
+    def test_item_via_dialogue_counts_as_obtainable(self):
+        project, se, oe = _base_project()
+        dlg = Dialogue("d", [DialogueNode("a", "Take it", [
+            DialogueChoice("ok", None, actions=[GiveItem(item_id="gift")])])],
+            root="a")
+        oe.place_npc("room0", "npc", "N", RectHotspot(0, 0, 4, 6), dialogue=dlg)
+        oe.place_image("room0", "door", "Door", RectHotspot(10, 0, 4, 6), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.USE_ITEM, object_id="door",
+            item_id="gift", actions=[EndGame(outcome="won")]))
+        report = validate(project, check_winnable=False)
+        assert not any(i.code == "unobtainable-item" for i in report.warnings)
+
+    def test_unreachable_and_dead_end_warnings(self):
+        project, se, oe = _base_project(n_rooms=3)
+        oe.place_image("room0", "b", "B", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="b",
+            actions=[SwitchScenario(target="room1")]))
+        report = validate(project, check_winnable=False)
+        codes = {i.code for i in report.warnings}
+        assert "unreachable-scenario" in codes  # room2
+        assert "dead-end" in codes              # room1
+
+    def test_mute_object_warning(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "vase", "Vase", RectHotspot(0, 0, 4, 4))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "mute-object" for i in report.warnings)
+
+    def test_ungranted_reward_warning(self):
+        project, se, oe = _base_project()
+        oe.place_reward("room0", "badge", "Badge", RectHotspot(0, 0, 4, 4))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "ungranted-reward" for i in report.warnings)
+
+    def test_condition_reference_warnings(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "b", "B", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="b",
+            condition="has('never') and visited('mars') and prop('ghost','x')",
+            actions=[ShowText(text="x")]))
+        report = validate(project, check_winnable=False)
+        codes = {i.code for i in report.warnings}
+        assert {"condition-unknown-item", "condition-unknown-scenario",
+                "condition-unknown-object"} <= codes
+
+    def test_duplicate_object_id_error(self):
+        from repro.objects import ImageObject
+
+        project, se, oe = _base_project()
+        project.scenarios["room0"].add_object(
+            ImageObject(object_id="dup", name="a", hotspot=RectHotspot(0, 0, 4, 4)))
+        project.scenarios["room1"].add_object(
+            ImageObject(object_id="dup", name="b", hotspot=RectHotspot(0, 0, 4, 4)))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "duplicate-object-id" for i in report.errors)
+
+    def test_bad_action_object_error(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "b", "B", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="b",
+            actions=[PopupImage(object_id="ghost")]))
+        report = validate(project, check_winnable=False)
+        assert any(i.code == "bad-action-object" for i in report.errors)
+
+
+class TestSolver:
+    def test_unwinnable_detected(self):
+        project, se, oe = _base_project()
+        report = validate(project)  # no EndGame anywhere
+        assert any(i.code == "unwinnable" for i in report.errors)
+        assert report.winnable is False
+
+    def test_multi_step_solution_found(self, classroom_game):
+        result = solve(classroom_game)
+        assert result.winnable is True
+        kinds = [m.kind for m in result.winning_script]
+        assert "take" in kinds and "use" in kinds
+
+    def test_solution_is_shortest(self, classroom_game):
+        result = solve(classroom_game)
+        # classroom: go market, take ram, go back, use -> 4 moves
+        assert len(result.winning_script) == 4
+
+    def test_bound_returns_unknown(self, classroom_game):
+        result = solve(classroom_game, max_states=1)
+        assert result.winnable is None
+        assert result.hit_bound
+
+    def test_loss_is_not_a_win(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "bomb", "Bomb", RectHotspot(0, 0, 4, 4), description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="bomb",
+            actions=[EndGame(outcome="lost")]))
+        result = solve(project.compile())
+        assert result.winnable is False
+        assert result.outcomes_seen == {"lost"}
+
+    def test_win_through_dialogue(self):
+        project, se, oe = _base_project()
+        dlg = Dialogue("d", [DialogueNode("a", "Win?", [
+            DialogueChoice("Yes", None, actions=[EndGame(outcome="won")]),
+            DialogueChoice("No", None),
+        ])], root="a")
+        oe.place_npc("room0", "npc", "N", RectHotspot(0, 0, 4, 6), dialogue=dlg)
+        result = solve(project.compile())
+        assert result.winnable is True
+        assert result.winning_script[0].kind == "dialogue"
+
+    def test_win_behind_flag_condition(self):
+        project, se, oe = _base_project()
+        oe.place_image("room0", "lever", "Lever", RectHotspot(0, 0, 4, 4),
+                       description="d")
+        oe.place_image("room0", "door", "Door", RectHotspot(10, 0, 4, 8),
+                       description="d")
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="lever",
+            actions=[SetFlag(name="open")]))
+        project.events.add(EventBinding(
+            scenario_id="room0", trigger=Trigger.CLICK, object_id="door",
+            condition="flag('open')", actions=[EndGame(outcome="won")]))
+        result = solve(project.compile())
+        assert result.winnable is True
+        assert [m.object_id for m in result.winning_script] == ["lever", "door"]
+
+
+class TestDialoguePaths:
+    def test_linear(self):
+        d = Dialogue.linear("d", ["a", "b", "c"])
+        assert enumerate_dialogue_paths(d) == [(0, 0)]
+
+    def test_branching(self):
+        d = Dialogue("d", [
+            DialogueNode("a", "q", [
+                DialogueChoice("x", None),
+                DialogueChoice("y", "b"),
+            ]),
+            DialogueNode("b", "r"),
+        ], root="a")
+        paths = set(enumerate_dialogue_paths(d))
+        assert paths == {(0,), (1,)}
+
+    def test_cycle_bounded(self):
+        d = Dialogue("d", [
+            DialogueNode("a", "again?", [
+                DialogueChoice("loop", "a"),
+                DialogueChoice("stop", None),
+            ]),
+        ], root="a")
+        paths = enumerate_dialogue_paths(d, max_paths=8, max_depth=5)
+        assert 0 < len(paths) <= 8
+        assert all(len(p) <= 5 for p in paths)

@@ -1,0 +1,212 @@
+"""Tests for the condition expression language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.conditions import (
+    ConditionError,
+    compile_condition,
+    evaluate,
+    parse_condition,
+)
+
+
+class Ctx:
+    """A configurable test context."""
+
+    def __init__(self, items=(), flags=(), visited=(), score=0, props=None, counts=None):
+        self._items = set(items)
+        self._flags = set(flags)
+        self._visited = set(visited)
+        self._score = score
+        self._props = props or {}
+        self._counts = counts or {}
+
+    def has_item(self, i):
+        return i in self._items
+
+    def item_count(self, i):
+        return self._counts.get(i, 1 if i in self._items else 0)
+
+    def get_flag(self, n):
+        return n in self._flags
+
+    def has_visited(self, s):
+        return s in self._visited
+
+    def get_score(self):
+        return self._score
+
+    def get_prop(self, o, k):
+        return self._props.get((o, k), False)
+
+
+def ev(src, **kw):
+    return compile_condition(src)(Ctx(**kw))
+
+
+class TestLiterals:
+    def test_empty_is_true(self):
+        assert ev("") and ev("   ")
+
+    def test_booleans(self):
+        assert ev("true")
+        assert not ev("false")
+
+    def test_numbers_truthy(self):
+        assert ev("1")
+        assert not ev("0")
+
+    def test_strings_truthy(self):
+        assert ev("'x'")
+        assert not ev("''")
+
+
+class TestPredicates:
+    def test_has(self):
+        assert ev("has('key')", items=["key"])
+        assert not ev("has('key')")
+
+    def test_flag(self):
+        assert ev("flag('done')", flags=["done"])
+        assert not ev("flag('done')")
+
+    def test_visited(self):
+        assert ev("visited('market')", visited=["market"])
+
+    def test_count_comparison(self):
+        assert ev("count('coin') >= 3", counts={"coin": 3})
+        assert not ev("count('coin') >= 3", counts={"coin": 2})
+
+    def test_score(self):
+        assert ev("score > 10", score=11)
+        assert not ev("score > 10", score=10)
+
+    def test_prop_string_compare(self):
+        assert ev("prop('pc','state') == 'broken'", props={("pc", "state"): "broken"})
+        assert ev("prop('pc','state') != 'fixed'", props={("pc", "state"): "broken"})
+
+    def test_prop_missing_reads_false(self):
+        assert not ev("prop('pc','state')")
+
+
+class TestBooleanOperators:
+    def test_and_or_not(self):
+        assert ev("true and true")
+        assert not ev("true and false")
+        assert ev("false or true")
+        assert ev("not false")
+
+    def test_precedence_and_over_or(self):
+        # a or b and c == a or (b and c)
+        assert ev("true or false and false")
+
+    def test_parentheses(self):
+        assert not ev("(true or false) and false")
+
+    def test_double_negation(self):
+        assert ev("not not true")
+
+    def test_complex_realistic(self):
+        src = "has('ram') and not flag('fixed') and prop('pc','state') == 'broken'"
+        assert ev(src, items=["ram"], props={("pc", "state"): "broken"})
+        assert not ev(src, items=["ram"], flags=["fixed"],
+                      props={("pc", "state"): "broken"})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("src,expected", [
+        ("1 < 2", True), ("2 < 1", False),
+        ("2 <= 2", True), ("3 <= 2", False),
+        ("3 > 2", True), ("2 > 2", False),
+        ("2 >= 2", True), ("1 >= 2", False),
+        ("2 == 2", True), ("2 != 2", False),
+        ("'a' == 'a'", True), ("'a' == 'b'", False),
+    ])
+    def test_table(self, src, expected):
+        assert ev(src) is expected
+
+    def test_mixed_string_number_unequal(self):
+        assert ev("'1' != 1")
+        assert not ev("'1' == 1")
+
+    def test_ordering_strings_rejected(self):
+        with pytest.raises(ConditionError):
+            ev("'a' < 'b'")
+
+    def test_negative_numbers(self):
+        assert ev("score > -5", score=0)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "has(", "has()", "has(ram)", "(true", "true)", "and true",
+        "1 ==", "== 1", "unknown('x')", "score score", "has('a' 'b')",
+        "prop('a')", "@", "true &&",
+    ])
+    def test_rejected(self, src):
+        with pytest.raises(ConditionError):
+            parse_condition(src)
+
+    def test_error_mentions_position_or_token(self):
+        try:
+            parse_condition("true or @")
+        except ConditionError as e:
+            assert "@" in str(e) or "8" in str(e)
+        else:
+            pytest.fail("expected ConditionError")
+
+
+class TestCompileCondition:
+    def test_equality_by_source(self):
+        assert compile_condition("has('a')") == compile_condition("has('a')")
+        assert compile_condition("has('a')") != compile_condition("has('b')")
+        assert hash(compile_condition("x" == "x" and "true")) == hash(compile_condition("true"))
+
+    def test_reusable(self):
+        c = compile_condition("score >= 2")
+        assert not c(Ctx(score=1))
+        assert c(Ctx(score=2))
+
+
+# --- property tests: generated expressions always parse and evaluate ------
+
+_atoms = st.sampled_from([
+    "true", "false", "score > 5", "score <= 10", "has('a')", "has('b')",
+    "flag('f')", "visited('v')", "count('a') >= 1",
+    "prop('o','k') == 'x'", "1 < 2", "'s' == 's'",
+])
+
+
+@st.composite
+def _exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return draw(_atoms)
+    op = draw(st.sampled_from(["and", "or"]))
+    left = draw(_exprs(depth=depth + 1))
+    right = draw(_exprs(depth=depth + 1))
+    neg = draw(st.booleans())
+    e = f"({left} {op} {right})"
+    return f"not {e}" if neg else e
+
+
+@given(src=_exprs(), score=st.integers(0, 20), has_a=st.booleans(), f=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_generated_expressions_total(src, score, has_a, f):
+    """Property: every generated expression parses and evaluates to a bool."""
+    ctx = Ctx(items=["a"] if has_a else [], flags=["f"] if f else [],
+              visited=["v"], score=score, props={("o", "k"): "x"})
+    result = evaluate(parse_condition(src), ctx)
+    assert isinstance(result, bool)
+
+
+@given(src=_exprs())
+@settings(max_examples=60, deadline=None)
+def test_double_negation_involution(src):
+    """Property: not (not e) == e for any context."""
+    ctx = Ctx(items=["a"], flags=["f"], visited=["v"], score=7,
+              props={("o", "k"): "x"})
+    inner = evaluate(parse_condition(src), ctx)
+    outer = evaluate(parse_condition(f"not (not ({src}))"), ctx)
+    assert inner == outer

@@ -1,0 +1,181 @@
+"""Tests for scenarios and the derived scenario graph."""
+
+import pytest
+
+from repro.events import EventBinding, EventTable, ShowText, SwitchScenario, Trigger
+from repro.graph import GraphError, Scenario, ScenarioError, build_graph
+from repro.objects import ImageObject, ItemObject, RectHotspot
+
+HS = RectHotspot(0, 0, 10, 10)
+
+
+def _click_switch(table, src, obj, dst, condition=""):
+    table.add(EventBinding(scenario_id=src, trigger=Trigger.CLICK, object_id=obj,
+                           condition=condition,
+                           actions=[SwitchScenario(target=dst)]))
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            Scenario("Bad Id", "t", 0)
+        with pytest.raises(ScenarioError):
+            Scenario("ok", "", 0)
+        with pytest.raises(ScenarioError):
+            Scenario("ok", "t", -1)
+        with pytest.raises(ScenarioError):
+            Scenario("ok", "t", 0, loop=False)  # needs on_finish
+
+    def test_object_management(self):
+        sc = Scenario("s", "S", 0)
+        sc.add_object(ImageObject(object_id="a", name="a", hotspot=HS))
+        assert sc.has_object("a") and len(sc) == 1
+        with pytest.raises(ScenarioError):
+            sc.add_object(ImageObject(object_id="a", name="dup", hotspot=HS))
+        removed = sc.remove_object("a")
+        assert removed.object_id == "a"
+        with pytest.raises(ScenarioError):
+            sc.get_object("a")
+
+    def test_objects_sorted_by_z(self):
+        sc = Scenario("s", "S", 0)
+        sc.add_object(ImageObject(object_id="top", name="t", hotspot=HS, z_order=5))
+        sc.add_object(ImageObject(object_id="bottom", name="b", hotspot=HS, z_order=1))
+        assert [o.object_id for o in sc.objects] == ["bottom", "top"]
+
+    def test_object_at_topmost_wins(self):
+        sc = Scenario("s", "S", 0)
+        sc.add_object(ImageObject(object_id="under", name="u", hotspot=HS, z_order=0))
+        sc.add_object(ImageObject(object_id="over", name="o", hotspot=HS, z_order=9))
+        assert sc.object_at(5, 5).object_id == "over"
+
+    def test_object_at_skips_invisible(self):
+        sc = Scenario("s", "S", 0)
+        o = ImageObject(object_id="ghost", name="g", hotspot=HS, visible=False)
+        sc.add_object(o)
+        assert sc.object_at(5, 5) is None
+
+    def test_dict_roundtrip(self):
+        sc = Scenario("s", "S", 2, loop=False, on_finish="next")
+        sc.add_object(ItemObject(object_id="i", name="i", hotspot=HS))
+        sc2 = Scenario.from_dict(sc.to_dict())
+        assert sc2.scenario_id == "s" and sc2.segment_ref == 2
+        assert sc2.on_finish == "next" and not sc2.loop
+        assert sc2.has_object("i")
+
+
+class TestBuildGraph:
+    def _setup(self):
+        scenarios = {
+            "a": Scenario("a", "A", 0),
+            "b": Scenario("b", "B", 1),
+            "c": Scenario("c", "C", 2),
+        }
+        for sid, sc in scenarios.items():
+            sc.add_object(ImageObject(object_id=f"btn-{sid}", name="x", hotspot=HS))
+        table = EventTable()
+        return scenarios, table
+
+    def test_edges_from_switch_actions(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        _click_switch(table, "b", "btn-b", "c")
+        g = build_graph(scenarios, table, "a")
+        assert g.successors("a") == ["b"]
+        assert g.edge_count == 2
+        assert g.reachable() == {"a", "b", "c"}
+        assert g.unreachable() == set()
+
+    def test_on_finish_edges(self):
+        scenarios, table = self._setup()
+        scenarios["a"] = Scenario("a", "A", 0, loop=False, on_finish="b")
+        g = build_graph(scenarios, table, "a")
+        assert g.successors("a") == ["b"]
+        infos = g.out_edges("a")
+        assert infos[0].trigger == "on_finish"
+
+    def test_global_binding_edges_from_everywhere(self):
+        scenarios, table = self._setup()
+        scenarios["a"].add_object(ImageObject(object_id="menu", name="m", hotspot=HS))
+        table.add(EventBinding(scenario_id="*", trigger=Trigger.ENTER,
+                               actions=[SwitchScenario(target="a")]))
+        g = build_graph(scenarios, table, "a")
+        for sid in scenarios:
+            assert "a" in g.successors(sid)
+
+    def test_unknown_target_rejected(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "nowhere")
+        with pytest.raises(GraphError):
+            build_graph(scenarios, table, "a")
+
+    def test_unknown_binding_scenario_rejected(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "zz", "btn-a", "b")
+        with pytest.raises(GraphError):
+            build_graph(scenarios, table, "a")
+
+    def test_unknown_start_rejected(self):
+        scenarios, table = self._setup()
+        with pytest.raises(GraphError):
+            build_graph(scenarios, table, "zz")
+
+    def test_unreachable_and_dead_ends(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        g = build_graph(scenarios, table, "a")
+        assert g.unreachable() == {"c"}
+        assert g.dead_ends() == {"b"}
+
+    def test_conditional_edges_marked(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b", condition="flag('x')")
+        g = build_graph(scenarios, table, "a")
+        assert g.out_edges("a")[0].conditional
+
+    def test_shortest_path(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        _click_switch(table, "b", "btn-b", "c")
+        g = build_graph(scenarios, table, "a")
+        assert g.shortest_path("c") == ["a", "b", "c"]
+        assert g.shortest_path("a") == ["a"]
+
+    def test_shortest_path_none_when_unreachable(self):
+        scenarios, table = self._setup()
+        g = build_graph(scenarios, table, "a")
+        assert g.shortest_path("c") is None
+        with pytest.raises(GraphError):
+            g.shortest_path("zz")
+
+    def test_branching_factor(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        table.add(EventBinding(scenario_id="a", trigger=Trigger.EXAMINE,
+                               object_id="btn-a",
+                               actions=[SwitchScenario(target="c")]))
+        g = build_graph(scenarios, table, "a")
+        # a has 2 distinct successors, b and c have 0; reachable = {a,b,c}.
+        assert g.branching_factor() == pytest.approx(2 / 3)
+
+    def test_cycles(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        _click_switch(table, "b", "btn-b", "a")
+        g = build_graph(scenarios, table, "a")
+        cycles = g.cycles()
+        assert any(set(c) == {"a", "b"} for c in cycles)
+
+    def test_eccentricity(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        _click_switch(table, "b", "btn-b", "c")
+        g = build_graph(scenarios, table, "a")
+        assert g.eccentricity_from_start() == {"a": 0, "b": 1, "c": 2}
+
+    def test_to_dot_contains_nodes_and_edges(self):
+        scenarios, table = self._setup()
+        _click_switch(table, "a", "btn-a", "b")
+        dot = build_graph(scenarios, table, "a").to_dot()
+        assert '"a"' in dot and '"b" ' in dot or '"a" -> "b"' in dot
+        assert "digraph" in dot

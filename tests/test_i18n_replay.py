@@ -1,0 +1,163 @@
+"""Tests for localisation and input recording/replay."""
+
+import pytest
+
+from repro.core import (
+    LocalePack,
+    extract_strings,
+    localize_game,
+    missing_translations,
+    solve,
+)
+from repro.runtime import (
+    InputRecorder,
+    MouseClick,
+    MouseDrag,
+    Recording,
+    ReplayMismatch,
+    replay,
+)
+
+
+class TestExtractStrings:
+    def test_covers_all_surfaces(self, classroom_game):
+        strings = extract_strings(classroom_game)
+        assert "Classroom" in strings                 # scenario title
+        assert "Computer" in strings                  # object name
+        assert "It will not boot." in strings         # description
+        assert "To market" in strings                 # button label
+        assert "The computer boots!" in strings       # ShowText action
+        assert "The computer is broken." in strings   # dialogue line
+        assert "(continue)" in strings                # dialogue choice
+
+    def test_deduplicated_and_stable(self, classroom_game):
+        a = extract_strings(classroom_game)
+        b = extract_strings(classroom_game)
+        assert a == b
+        assert len(a) == len(set(a))
+
+
+class TestLocalize:
+    def _pack(self, game):
+        pack = LocalePack("de")
+        for s in extract_strings(game):
+            pack.add(s, f"DE[{s}]")
+        return pack
+
+    def test_missing_translations(self, classroom_game):
+        pack = LocalePack("de")
+        missing = missing_translations(classroom_game, pack)
+        assert "Classroom" in missing
+        pack.add("Classroom", "Klassenzimmer")
+        assert "Classroom" not in missing_translations(classroom_game, pack)
+
+    def test_localized_strings_swapped(self, classroom_game):
+        pack = self._pack(classroom_game)
+        localized = localize_game(classroom_game, pack)
+        assert localized.scenarios["classroom"].title == "DE[Classroom]"
+        obj = localized.scenarios["classroom"].get_object("computer")
+        assert obj.description == "DE[It will not boot.]"
+        lines = [n.line for d in localized.dialogues.values()
+                 for n in d.nodes.values()]
+        assert all(l.startswith("DE[") for l in lines)
+
+    def test_ids_and_structure_unchanged(self, classroom_game):
+        pack = self._pack(classroom_game)
+        localized = localize_game(classroom_game, pack)
+        assert set(localized.scenarios) == set(classroom_game.scenarios)
+        assert localized.container is classroom_game.container
+        assert [b.binding_id for b in localized.events] == [
+            b.binding_id for b in classroom_game.events
+        ]
+
+    def test_localized_game_still_winnable_same_length(self, classroom_game):
+        pack = self._pack(classroom_game)
+        localized = localize_game(classroom_game, pack)
+        a = solve(classroom_game)
+        b = solve(localized)
+        assert b.winnable
+        assert len(a.winning_script) == len(b.winning_script)
+
+    def test_original_untouched(self, classroom_game):
+        title_before = classroom_game.scenarios["classroom"].title
+        localize_game(classroom_game, self._pack(classroom_game))
+        assert classroom_game.scenarios["classroom"].title == title_before
+
+    def test_fallback_for_untranslated(self, classroom_game):
+        pack = LocalePack("fr", {"Classroom": "Salle de classe"})
+        localized = localize_game(classroom_game, pack)
+        assert localized.scenarios["classroom"].title == "Salle de classe"
+        assert localized.scenarios["market"].title == "Market"  # fallback
+
+    def test_locale_validation(self):
+        with pytest.raises(ValueError):
+            LocalePack("")
+        pack = LocalePack("x")
+        with pytest.raises(ValueError):
+            pack.add("", "y")
+
+
+class TestReplay:
+    def _record_win(self, game):
+        engine = game.new_engine(with_video=False)
+        engine.start()
+        rec = InputRecorder(engine, game.title)
+        go = game.scenarios["classroom"].get_object(
+            "classroom-go-market").hotspot.center()
+        back = game.scenarios["market"].get_object(
+            "market-go-classroom").hotspot.center()
+        ram = game.scenarios["market"].get_object("ram").hotspot.center()
+        pc = game.scenarios["classroom"].get_object("computer").hotspot.center()
+        rec.handle_input(MouseClick(*go))
+        rec.tick(0.5)
+        rec.handle_input(MouseDrag(ram[0], ram[1], 2, engine.layout.inv_y + 2))
+        rec.handle_input(MouseClick(*back))
+        rec.handle_input(MouseClick(engine.layout.inv_x + 2,
+                                    engine.layout.inv_y + 2))
+        rec.handle_input(MouseClick(*pc))
+        return rec.finish()
+
+    def test_record_and_replay_exact(self, classroom_game):
+        recording = self._record_win(classroom_game)
+        assert recording.expected_outcome == "won"
+        engine = replay(classroom_game, recording)
+        assert engine.state.outcome == "won"
+        assert engine.state.score == recording.expected_score
+
+    def test_json_roundtrip(self, classroom_game):
+        recording = self._record_win(classroom_game)
+        restored = Recording.from_json(recording.to_json())
+        assert len(restored) == len(recording)
+        engine = replay(classroom_game, restored)
+        assert engine.state.outcome == "won"
+
+    def test_broken_edit_detected(self, classroom_game, classroom_wizard):
+        """Re-author the game with the puzzle removed: replay must flag it."""
+        recording = self._record_win(classroom_game)
+        project = classroom_wizard.project
+        # Break the game: remove the winning binding.
+        use = [b for b in project.events if b.trigger == "use_item"][0]
+        project.events.remove(use.binding_id)
+        broken = project.compile()
+        with pytest.raises(ReplayMismatch):
+            replay(broken, recording)
+        # Restore for other tests sharing the fixture.
+        project.events.add(use)
+
+    def test_non_strict_returns_engine(self, classroom_game):
+        recording = self._record_win(classroom_game)
+        recording.expected_score = 99999
+        engine = replay(classroom_game, recording, strict=False)
+        assert engine.state.outcome == "won"
+
+    def test_replay_dialogue_choices(self, classroom_game):
+        engine = classroom_game.new_engine(with_video=False)
+        engine.start()
+        rec = InputRecorder(engine, classroom_game.title)
+        teacher = classroom_game.scenarios["classroom"].get_object(
+            "teacher").hotspot.center()
+        rec.handle_input(MouseClick(*teacher))
+        rec.choose_dialogue(0)
+        recording = rec.finish()
+        replayed = replay(classroom_game, recording)
+        assert replayed.state.outcome is None  # talked, no win — consistent

@@ -1,0 +1,242 @@
+"""Tests for the learning layer: knowledge, assessment, analytics,
+packaging and production-cost models."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    PIPELINES,
+    CoursePackage,
+    DeliveryPoint,
+    KnowledgeError,
+    KnowledgeItem,
+    KnowledgeMap,
+    OutcomeRecord,
+    PackageError,
+    Question,
+    Test,
+    compare_pipelines,
+    estimate_cost,
+    hake_gain,
+    load_package,
+    mean_ci,
+    save_package,
+    summarize,
+)
+from repro.learning.assessment import TestResult
+
+
+class TestKnowledgeMap:
+    def _map(self):
+        m = KnowledgeMap()
+        m.add(KnowledgeItem("k1", "fact one"),
+              [DeliveryPoint(kind="enter", ref="room")])
+        m.add(KnowledgeItem("k2", "fact two", weight=2.0),
+              [DeliveryPoint(kind="binding", ref="ev-1"),
+               DeliveryPoint(kind="time", t0=0, t1=30)])
+        return m
+
+    def test_item_validation(self):
+        with pytest.raises(KnowledgeError):
+            KnowledgeItem("", "x")
+        with pytest.raises(KnowledgeError):
+            KnowledgeItem("k", "")
+        with pytest.raises(KnowledgeError):
+            KnowledgeItem("k", "x", weight=0)
+
+    def test_delivery_validation(self):
+        with pytest.raises(KnowledgeError):
+            DeliveryPoint(kind="osmosis", ref="x")
+        with pytest.raises(KnowledgeError):
+            DeliveryPoint(kind="enter", ref="")
+        with pytest.raises(KnowledgeError):
+            DeliveryPoint(kind="time", t0=5, t1=5)
+
+    def test_active_flag(self):
+        assert DeliveryPoint(kind="binding", ref="b").active
+        assert DeliveryPoint(kind="examine", ref="o").active
+        assert not DeliveryPoint(kind="enter", ref="s").active
+        assert not DeliveryPoint(kind="time", t0=0, t1=1).active
+
+    def test_duplicate_and_undelivered_rejected(self):
+        m = self._map()
+        with pytest.raises(KnowledgeError):
+            m.add(KnowledgeItem("k1", "again"), [DeliveryPoint(kind="enter", ref="r")])
+        with pytest.raises(KnowledgeError):
+            m.add(KnowledgeItem("k3", "x"), [])
+
+    def test_exposures_resolution(self):
+        m = self._map()
+        exp = m.exposures_from_session(
+            entered_scenarios={"room"},
+            fired_bindings=set(),
+            examined_objects=set(),
+            dialogue_nodes=set(),
+            watched_seconds=40.0,
+        )
+        assert exp == {"k1": False, "k2": False}
+
+    def test_active_beats_passive(self):
+        m = self._map()
+        exp = m.exposures_from_session(
+            entered_scenarios=set(),
+            fired_bindings={"ev-1"},
+            examined_objects=set(),
+            dialogue_nodes=set(),
+            watched_seconds=40.0,
+        )
+        assert exp["k2"] is True
+
+    def test_gain_score_weighted(self):
+        m = self._map()
+        assert m.gain_score({"k1"}) == pytest.approx(1 / 3)
+        assert m.gain_score({"k2"}) == pytest.approx(2 / 3)
+        assert m.gain_score({"k1", "k2", "ghost"}) == pytest.approx(1.0)
+
+
+class TestAssessment:
+    def _map(self, n=5):
+        m = KnowledgeMap()
+        for k in range(n):
+            m.add(KnowledgeItem(f"k{k}", f"fact {k}"),
+                  [DeliveryPoint(kind="enter", ref="r")])
+        return m
+
+    def test_knowing_items_scores_higher(self):
+        m = self._map(8)
+        test = Test(m, repeats=3)
+        rng = np.random.default_rng(0)
+        knowing = [test.administer({f"k{k}" for k in range(8)}, rng).fraction
+                   for _ in range(20)]
+        guessing = [test.administer(set(), rng).fraction for _ in range(20)]
+        assert np.mean(knowing) > np.mean(guessing) + 0.3
+
+    def test_guess_floor(self):
+        m = self._map(10)
+        test = Test(m, n_options=4, repeats=5)
+        rng = np.random.default_rng(1)
+        fractions = [test.administer(set(), rng).fraction for _ in range(30)]
+        assert abs(float(np.mean(fractions)) - 0.25) < 0.08
+
+    def test_repeats_multiply_questions(self):
+        m = self._map(4)
+        assert len(Test(m, repeats=3).questions) == 12
+
+    def test_validation(self):
+        m = self._map(2)
+        with pytest.raises(ValueError):
+            Test(m, p_known=0.0)
+        with pytest.raises(ValueError):
+            Test(m, repeats=0)
+        with pytest.raises(ValueError):
+            Question(item_id="k", prompt="p", n_options=1)
+
+    def test_hake_gain(self):
+        assert hake_gain(TestResult(2, 10), TestResult(6, 10)) == pytest.approx(0.5)
+        assert hake_gain(TestResult(10, 10), TestResult(10, 10)) == 0.0
+        assert hake_gain(TestResult(5, 10), TestResult(3, 10)) < 0
+
+
+class TestAnalytics:
+    def _record(self, **kw):
+        defaults = dict(
+            player_id="p", platform="vgbl", time_on_task=100.0, completed=True,
+            dropped_out=False, interactions=10, knowledge_gain=0.5,
+            final_engagement=0.8, score=20,
+        )
+        defaults.update(kw)
+        return OutcomeRecord(**defaults)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            self._record(completed=True, dropped_out=True)
+        with pytest.raises(ValueError):
+            self._record(time_on_task=-1)
+
+    def test_mean_ci(self):
+        m, h = mean_ci([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert h > 0
+        assert mean_ci([5.0]) == (5.0, 0.0)
+        assert mean_ci([]) == (0.0, 0.0)
+
+    def test_summarize(self):
+        records = [
+            self._record(player_id="a"),
+            self._record(player_id="b", completed=False, dropped_out=True,
+                         knowledge_gain=0.1),
+        ]
+        s = summarize(records)
+        assert s.n == 2
+        assert s.completion_rate == 0.5
+        assert s.dropout_rate == 0.5
+        assert s.mean_knowledge_gain == pytest.approx(0.3)
+
+    def test_summarize_rejects_mixed_platforms(self):
+        with pytest.raises(ValueError):
+            summarize([self._record(), self._record(platform="slideshow")])
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestPackaging:
+    def test_roundtrip(self, tmp_path, classroom_game):
+        save_package(classroom_game, tmp_path, description="demo",
+                     knowledge_items={"k1": "fact"})
+        pkg = load_package(tmp_path)
+        assert isinstance(pkg, CoursePackage)
+        assert pkg.title == classroom_game.title
+        assert pkg.manifest["knowledge_items"] == {"k1": "fact"}
+        eng = pkg.game.new_engine(with_video=False)
+        eng.start()
+        assert eng.current_scenario.scenario_id == classroom_game.start
+
+    def test_media_tamper_detected(self, tmp_path, classroom_game):
+        save_package(classroom_game, tmp_path)
+        media = tmp_path / "game.rvid"
+        data = bytearray(media.read_bytes())
+        data[100] ^= 0xFF
+        media.write_bytes(bytes(data))
+        with pytest.raises(PackageError):
+            load_package(tmp_path)
+
+    def test_structure_tamper_detected(self, tmp_path, classroom_game):
+        save_package(classroom_game, tmp_path)
+        st_file = tmp_path / "structure.json"
+        st_file.write_text(st_file.read_text().replace("classroom", "clasroom"))
+        with pytest.raises(PackageError):
+            load_package(tmp_path)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PackageError):
+            load_package(tmp_path)
+
+
+class TestProductionCost:
+    def test_video_cheapest_at_any_scale(self):
+        for n in (1, 5, 20, 100):
+            costs = {c.pipeline: c.total_hours
+                     for c in compare_pipelines([n]) if c.n_scenes == n}
+            assert costs["video"] < costs["flash"] < costs["3d"]
+
+    def test_gap_grows_with_scale(self):
+        small = {c.pipeline: c.total_hours for c in compare_pipelines([2])}
+        large = {c.pipeline: c.total_hours for c in compare_pipelines([50])}
+        assert (large["3d"] - large["video"]) > (small["3d"] - small["video"])
+
+    def test_estimate_linear(self):
+        p = PIPELINES["video"]
+        c0 = estimate_cost(p, 0)
+        c10 = estimate_cost(p, 10)
+        assert c0.total_hours == pytest.approx(p.fixed_hours)
+        assert c10.total_hours == pytest.approx(
+            p.fixed_hours + 10 * p.hours_per_scene
+        )
+
+    def test_negative_scenes_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cost(PIPELINES["video"], -1)
+
+    def test_skill_levels(self):
+        assert PIPELINES["video"].skill == "novice"
+        assert PIPELINES["3d"].skill == "specialist"

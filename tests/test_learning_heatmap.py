@@ -1,0 +1,128 @@
+"""Tests for interaction heatmaps and the wizard's approach helper."""
+
+import numpy as np
+import pytest
+
+from repro.learning import ClickHeatmap, collect_heatmaps, render_heatmap_overlay
+from repro.runtime import KeyPress, MouseClick, MouseDrag, SessionRecorder
+from repro.video import Frame, FrameSize
+
+
+def _logs_for(game, click_points, n_sessions=2):
+    logs = []
+    for _ in range(n_sessions):
+        eng = game.new_engine(with_video=False)
+        rec = SessionRecorder(eng.bus, "p")
+        eng.start()
+        for (x, y) in click_points:
+            eng.handle_input(MouseClick(x, y))
+            eng.handle_input(MouseClick(1, 1))  # dismiss any popup
+        logs.append(rec.finish(10.0, None, 0, 1))
+    return logs
+
+
+class TestCollectHeatmaps:
+    def test_clicks_counted_per_scenario(self, classroom_game):
+        size = FrameSize(80, 60)
+        logs = _logs_for(classroom_game, [(40, 30), (40, 30), (41, 31)])
+        maps = collect_heatmaps(logs, size, cell=8)
+        assert "classroom" in maps
+        hm = maps["classroom"]
+        # 3 aimed clicks + 3 dismiss clicks per session x 2 sessions.
+        assert hm.total_clicks == 12
+        # The aimed cluster (all three points share the 8px cell at 40,30)
+        # holds exactly half the clicks.
+        assert hm.counts[30 // 8, 40 // 8] == 6
+        # The dismiss corner holds the other half.
+        assert hm.counts[0, 0] == 6
+
+    def test_drag_origins_counted(self, classroom_game):
+        size = FrameSize(80, 60)
+        eng = classroom_game.new_engine(with_video=False)
+        rec = SessionRecorder(eng.bus, "p")
+        eng.start()
+        eng.handle_input(MouseDrag(20, 20, 70, 55))
+        eng.handle_input(KeyPress("left"))  # no coordinates: ignored
+        log = rec.finish(1.0, None, 0, 1)
+        maps = collect_heatmaps([log], size, cell=10)
+        assert maps["classroom"].total_clicks == 1
+
+    def test_out_of_frame_clicks_clamped(self, classroom_game):
+        size = FrameSize(80, 60)
+        logs = _logs_for(classroom_game, [(500.0, -10.0)], n_sessions=1)
+        maps = collect_heatmaps(logs, size, cell=8)
+        assert maps["classroom"].counts.sum() == pytest.approx(
+            maps["classroom"].total_clicks
+        )
+
+    def test_cell_validation(self, classroom_game):
+        with pytest.raises(ValueError):
+            collect_heatmaps([], FrameSize(10, 10), cell=0)
+
+    def test_density_normalised(self):
+        counts = np.zeros((4, 4))
+        counts[1, 2] = 8
+        counts[0, 0] = 2
+        hm = ClickHeatmap("s", counts, cell=8, total_clicks=10)
+        d = hm.density()
+        assert d.max() == 1.0
+        assert d[0, 0] == pytest.approx(0.25)
+
+    def test_density_empty(self):
+        hm = ClickHeatmap("s", np.zeros((2, 2)), cell=8, total_clicks=0)
+        assert (hm.density() == 0).all()
+
+
+class TestRenderOverlay:
+    def test_hot_cells_reddened_cold_untouched(self):
+        base = Frame.blank(FrameSize(32, 32), (0, 80, 0))
+        counts = np.zeros((4, 4))
+        counts[0, 0] = 10
+        hm = ClickHeatmap("s", counts, cell=8, total_clicks=10)
+        out = render_heatmap_overlay(base, hm, max_opacity=0.5)
+        assert out.data[2, 2, 0] > 100          # hot cell pushed red
+        assert (out.data[20, 20] == (0, 80, 0)).all()  # cold untouched
+
+    def test_opacity_validation(self):
+        base = Frame.blank(FrameSize(8, 8))
+        hm = ClickHeatmap("s", np.zeros((1, 1)), cell=8, total_clicks=0)
+        with pytest.raises(ValueError):
+            render_heatmap_overlay(base, hm, max_opacity=0.0)
+
+
+class TestWizardApproach:
+    def test_on_approach_binding_fires(self):
+        from repro.core import GameWizard
+        from repro.core.templates import scene_footage
+
+        size = FrameSize(80, 60)
+        wiz = (
+            GameWizard("Walkabout")
+            .scene("yard", "Yard", scene_footage(size, 1, duration=4))
+            .prop("yard", "statue", "Statue", at=(40, 20, 16, 16),
+                  description="a statue")
+            .on_approach("yard", "statue", "The statue towers over you.")
+        )
+        game = wiz.build(require_valid=False)
+        eng = game.new_engine(with_video=False)
+        eng.start()
+        # Walk the avatar up into the statue's hotspot.
+        eng.state.avatar_xy = (47.0, 40.0)
+        for _ in range(4):
+            eng.handle_input(KeyPress("up"))
+        assert any(p.content == "The statue towers over you."
+                   for p in eng.state.popups)
+
+    def test_on_approach_is_novice(self):
+        from repro.core import GameWizard
+        from repro.core.templates import scene_footage
+
+        size = FrameSize(80, 60)
+        wiz = (
+            GameWizard("W")
+            .scene("yard", "Yard", scene_footage(size, 1, duration=4))
+            .prop("yard", "statue", "Statue", at=(40, 20, 16, 16),
+                  description="d")
+            .on_approach("yard", "statue", "text")
+        )
+        assert wiz.ledger.report().max_skill_required == "novice"

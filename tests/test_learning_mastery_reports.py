@@ -1,0 +1,161 @@
+"""Tests for Bayesian knowledge tracing and teacher reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import (
+    BktParams,
+    DeliveryPoint,
+    KnowledgeItem,
+    KnowledgeMap,
+    MasteryTracker,
+    OutcomeRecord,
+    class_report,
+    curriculum_report,
+)
+
+
+def _kmap(n=3):
+    m = KnowledgeMap()
+    for k in range(n):
+        m.add(KnowledgeItem(f"k{k}", f"fact {k}", objective=f"obj-{k}"),
+              [DeliveryPoint(kind="enter", ref="r")])
+    return m
+
+
+class TestBktParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BktParams(p_init=1.5)
+        with pytest.raises(ValueError):
+            BktParams(p_slip=0.6, p_guess=0.5)  # degeneracy guard
+
+    def test_defaults_sane(self):
+        p = BktParams()
+        assert p.p_slip + p.p_guess < 1.0
+
+
+class TestMasteryTracker:
+    def test_initial_prior(self):
+        t = MasteryTracker(_kmap(), BktParams(p_init=0.2))
+        assert t.p_known("k0") == pytest.approx(0.2)
+        assert t.mean_mastery() == pytest.approx(0.2)
+
+    def test_correct_raises_incorrect_lowers(self):
+        t = MasteryTracker(_kmap())
+        base = t.p_known("k0")
+        up = t.observe("k0", True)
+        assert up > base
+        t2 = MasteryTracker(_kmap())
+        down_then_learn = t2.observe("k0", False)
+        # An incorrect answer lowers the Bayes posterior; the learning
+        # transition then adds a bit back, but it must stay below the
+        # correct-answer path.
+        assert down_then_learn < up
+
+    def test_repeated_correct_converges_to_one(self):
+        t = MasteryTracker(_kmap())
+        for _ in range(12):
+            t.observe("k0", True)
+        assert t.p_known("k0") > 0.99
+        assert "k0" in t.mastered()
+
+    def test_practice_monotone(self):
+        t = MasteryTracker(_kmap())
+        values = [t.practice("k1") for _ in range(5)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+    def test_unknown_item(self):
+        t = MasteryTracker(_kmap())
+        with pytest.raises(KeyError):
+            t.p_known("ghost")
+
+    def test_observe_session_active_counts_double(self):
+        a = MasteryTracker(_kmap())
+        b = MasteryTracker(_kmap())
+        a.observe_session({"k0": True})    # active exposure
+        b.observe_session({"k0": False})   # passive exposure
+        assert a.p_known("k0") > b.p_known("k0")
+
+    def test_observe_session_ignores_unknown_items(self):
+        t = MasteryTracker(_kmap())
+        t.observe_session({"ghost": True}, answers={"ghost": True})  # no raise
+
+    def test_expected_correct_bounds(self):
+        t = MasteryTracker(_kmap())
+        p0 = t.expected_correct("k0")
+        for _ in range(10):
+            t.observe("k0", True)
+        p1 = t.expected_correct("k0")
+        assert 0.0 <= p0 < p1 <= 1.0
+        assert p1 <= 1.0 - BktParams().p_slip + 1e-9
+
+    def test_per_item_params(self):
+        fast = BktParams(p_learn=0.9)
+        t = MasteryTracker(_kmap(), per_item_params={"k0": fast})
+        t.practice("k0")
+        t.practice("k1")
+        assert t.p_known("k0") > t.p_known("k1")
+
+    @given(seq=st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_posterior_stays_probability(self, seq):
+        """Property: the posterior is always a valid probability."""
+        t = MasteryTracker(_kmap(1))
+        for correct in seq:
+            p = t.observe("k0", correct)
+            assert 0.0 <= p <= 1.0
+
+
+class TestReports:
+    def _records(self):
+        return [
+            OutcomeRecord(player_id="amy", platform="vgbl", time_on_task=300,
+                          completed=True, dropped_out=False, interactions=40,
+                          knowledge_gain=0.6, final_engagement=0.9, score=30),
+            OutcomeRecord(player_id="ben", platform="vgbl", time_on_task=120,
+                          completed=False, dropped_out=True, interactions=9,
+                          knowledge_gain=0.1, final_engagement=0.1, score=5),
+        ]
+
+    def test_class_report_contents(self):
+        kmap = _kmap()
+        strong = MasteryTracker(kmap)
+        for k in range(3):
+            for _ in range(8):
+                strong.observe(f"k{k}", True)
+        weak = MasteryTracker(kmap)
+        report = class_report(self._records(),
+                              {"amy": strong, "ben": weak}, mastery_bar=0.6)
+        assert "CLASS REPORT" in report
+        assert "amy" in report and "ben" in report
+        assert "dropped out): ben" in report
+        assert "mastery < 60%): ben" in report
+        assert "amy" not in report.split("NEEDS ATTENTION")[1]
+
+    def test_class_report_without_mastery(self):
+        report = class_report(self._records())
+        assert "mastery" not in report.splitlines()[2]
+
+    def test_class_report_requires_records(self):
+        with pytest.raises(ValueError):
+            class_report([])
+
+    def test_curriculum_report_flags_weak_items(self):
+        kmap = _kmap(2)
+        t1, t2 = MasteryTracker(kmap), MasteryTracker(kmap)
+        for _ in range(8):
+            t1.observe("k0", True)
+            t2.observe("k0", True)
+        report = curriculum_report(kmap, [t1, t2], weak_bar=0.5)
+        assert "CURRICULUM REPORT" in report
+        assert "WEAKLY TAUGHT" in report
+        assert "k1" in report.split("WEAKLY TAUGHT")[1]
+        assert "k0" not in report.split("WEAKLY TAUGHT")[1]
+
+    def test_curriculum_report_requires_trackers(self):
+        with pytest.raises(ValueError):
+            curriculum_report(_kmap(), [])

@@ -1,0 +1,243 @@
+"""Tests for the delivery substrate: channel, streaming, devices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph
+from repro.net import (
+    Channel,
+    KeyboardMouse,
+    PDA,
+    PREFETCH_POLICIES,
+    RemoteControl,
+    StreamSession,
+    Tablet,
+    make_device,
+)
+from repro.runtime import MouseClick, MouseDrag
+from repro.video import VideoReader
+
+
+@pytest.fixture(scope="module")
+def game_parts(classroom_game):
+    reader = VideoReader(classroom_game.container)
+    graph = build_graph(classroom_game.scenarios, classroom_game.events,
+                        classroom_game.start)
+    return reader, graph
+
+
+class TestChannel:
+    def test_latency_plus_serialisation(self):
+        ch = Channel(bandwidth_bps=1000, latency_s=0.5)
+        t = ch.request(2000, now=0.0)
+        assert t.started_at == pytest.approx(0.5)
+        assert t.finished_at == pytest.approx(2.5)
+
+    def test_fifo_queueing(self):
+        ch = Channel(bandwidth_bps=1000, latency_s=0.0)
+        a = ch.request(1000, now=0.0)   # finishes at 1.0
+        b = ch.request(1000, now=0.0)   # queued behind a
+        assert b.started_at == pytest.approx(a.finished_at)
+        assert b.finished_at == pytest.approx(2.0)
+
+    def test_idle_gap_respected(self):
+        ch = Channel(bandwidth_bps=1000, latency_s=0.0)
+        ch.request(1000, now=0.0)
+        t = ch.request(1000, now=5.0)
+        assert t.started_at == pytest.approx(5.0)
+
+    def test_accounting_and_reset(self):
+        ch = Channel(bandwidth_bps=1000)
+        ch.request(300, 0.0)
+        ch.request(700, 0.0)
+        assert ch.bytes_transferred == 1000
+        ch.reset()
+        assert ch.bytes_transferred == 0
+        assert ch.busy_until() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Channel(bandwidth_bps=100, latency_s=-1)
+        with pytest.raises(ValueError):
+            Channel(bandwidth_bps=100).request(-1, 0.0)
+
+
+class TestStreaming:
+    PATH = [("classroom", 10.0), ("market", 10.0), ("classroom", 5.0)]
+
+    def test_policies_accepted(self, game_parts):
+        reader, graph = game_parts
+        for policy in PREFETCH_POLICIES:
+            StreamSession(reader, graph, Channel(1e6), policy=policy)
+        with pytest.raises(ValueError):
+            StreamSession(reader, graph, Channel(1e6), policy="psychic")
+
+    def test_first_switch_always_stalls(self, game_parts):
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6), policy="successors")
+        stats = sess.play_path(self.PATH)
+        assert stats.switches[0].startup_delay > 0
+
+    def test_prefetch_reduces_mean_delay(self, game_parts):
+        reader, graph = game_parts
+        results = {}
+        for policy in ("none", "successors"):
+            sess = StreamSession(reader, graph, Channel(200_000, 0.05),
+                                 policy=policy)
+            results[policy] = sess.play_path(self.PATH)
+        assert (results["successors"].mean_startup_delay
+                < results["none"].mean_startup_delay)
+        assert (results["successors"].instant_switch_fraction
+                > results["none"].instant_switch_fraction)
+
+    def test_revisit_is_instant(self, game_parts):
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(200_000), policy="none")
+        stats = sess.play_path(self.PATH)
+        # third entry revisits the classroom segment: already cached
+        assert stats.switches[2].startup_delay == pytest.approx(0.0)
+
+    def test_bytes_accounting(self, game_parts):
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6), policy="all")
+        stats = sess.play_path([("classroom", 1.0)])
+        total = sum(e.byte_size for e in reader.index)
+        assert stats.bytes_fetched == total
+        # market segment was fetched but never played
+        assert stats.bytes_wasted > 0
+
+    def test_no_waste_without_prefetch(self, game_parts):
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6), policy="none")
+        stats = sess.play_path(self.PATH)
+        assert stats.bytes_wasted == 0
+
+    def test_path_validation(self, game_parts):
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6))
+        with pytest.raises(ValueError):
+            sess.play_path([])
+        with pytest.raises(ValueError):
+            sess.play_path([("classroom", -1.0)])
+
+    def test_prefetch_depth_validation(self, game_parts):
+        reader, graph = game_parts
+        with pytest.raises(ValueError):
+            StreamSession(reader, graph, Channel(1e6), prefetch_depth=0)
+
+
+class TestDevices:
+    def test_factory(self):
+        assert isinstance(make_device("pda"), PDA)
+        assert isinstance(make_device("remote"), RemoteControl)
+        with pytest.raises(ValueError):
+            make_device("neural-link")
+
+    def test_pointer_devices_single_event(self, classroom_game):
+        rng = np.random.default_rng(0)
+        sc = classroom_game.scenarios["classroom"]
+        for cls in (KeyboardMouse, Tablet):
+            plan = cls().activate(sc, "computer", rng)
+            assert len(plan.events) == 1
+            assert isinstance(plan.events[0], MouseClick)
+            x, y = sc.get_object("computer").hotspot.center()
+            assert plan.events[0].x == x and plan.events[0].y == y
+
+    def test_pda_retries_on_miss(self, classroom_game):
+        sc = classroom_game.scenarios["classroom"]
+        # Find a seed where the first tap misses.
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            plan = PDA().activate(sc, "computer", rng)
+            if len(plan.events) > 1:
+                assert plan.seconds > PDA.seconds_per_tap
+                break
+        else:
+            pytest.fail("no PDA miss in 50 seeds (miss_rate broken?)")
+
+    def test_remote_cost_grows_with_focus_distance(self, classroom_game):
+        rng = np.random.default_rng(0)
+        sc = classroom_game.scenarios["classroom"]
+        remote = RemoteControl()
+        order = [o.object_id for o in sc.objects]
+        first = remote.activate(sc, order[0], rng)
+        last = remote.activate(sc, order[-1], rng)
+        assert last.seconds > first.seconds
+        assert len(last.events) == len(order)  # n-1 arrows + OK
+
+    def test_remote_unknown_object(self, classroom_game):
+        rng = np.random.default_rng(0)
+        with pytest.raises(KeyError):
+            RemoteControl().activate(
+                classroom_game.scenarios["classroom"], "ghost", rng
+            )
+
+    def test_drag_plans_end_with_drag(self, classroom_game):
+        rng = np.random.default_rng(1)
+        sc = classroom_game.scenarios["market"]
+        for name in ("keyboard_mouse", "tablet", "pda", "remote"):
+            plan = make_device(name).drag_to_inventory(sc, "ram", 110.0, rng)
+            assert isinstance(plan.events[-1], MouseDrag)
+            assert plan.seconds > 0
+
+
+class TestProgressiveStreaming:
+    PATH = [("classroom", 10.0), ("market", 10.0), ("classroom", 5.0)]
+
+    def test_progressive_starts_earlier(self, game_parts):
+        reader, graph = game_parts
+        slow = Channel(150_000, 0.05)
+        full = StreamSession(reader, graph, Channel(150_000, 0.05),
+                             policy="none").play_path(self.PATH)
+        prog = StreamSession(reader, graph, slow, policy="none",
+                             progressive=True).play_path(self.PATH)
+        assert prog.mean_startup_delay <= full.mean_startup_delay + 1e-9
+
+    def test_slow_channel_rebuffers(self, game_parts):
+        reader, graph = game_parts
+        # Channel far below the content bitrate: rebuffering is forced.
+        bitrate = reader.index[0].byte_size / reader.segment_duration_seconds(0)
+        session = StreamSession(reader, graph, Channel(bitrate / 4, 0.01),
+                                policy="none", progressive=True)
+        stats = session.play_path([("classroom", 5.0)])
+        assert stats.total_rebuffer_seconds > 0
+
+    def test_fast_channel_no_rebuffer(self, game_parts):
+        reader, graph = game_parts
+        bitrate = reader.index[0].byte_size / reader.segment_duration_seconds(0)
+        session = StreamSession(reader, graph, Channel(bitrate * 20, 0.01),
+                                policy="none", progressive=True)
+        stats = session.play_path(self.PATH)
+        assert stats.total_rebuffer_seconds == pytest.approx(0.0, abs=1e-9)
+
+    def test_conservation_playback_ends_at_download_end(self, game_parts):
+        """Fluid-model identity: when rebuffering occurs, playback ends
+        exactly when the download ends — streaming cannot outrun bytes."""
+        reader, graph = game_parts
+        ch = Channel(200_000, 0.02)
+        session = StreamSession(reader, graph, ch, policy="none",
+                                progressive=True)
+        stats = session.play_path([("classroom", 1.0)])
+        switch = stats.switches[0]
+        finish = ch.log[0].finished_at
+        duration = reader.segment_duration_seconds(0)
+        playback_end = switch.playable_at + switch.rebuffer_seconds + duration
+        assert playback_end == pytest.approx(max(finish,
+                                                 switch.playable_at + duration))
+
+    def test_buffer_validation(self, game_parts):
+        reader, graph = game_parts
+        with pytest.raises(ValueError):
+            StreamSession(reader, graph, Channel(1e6), progressive=True,
+                          startup_buffer_s=0)
+
+    def test_resident_segment_instant(self, game_parts):
+        reader, graph = game_parts
+        session = StreamSession(reader, graph, Channel(1e6, 0.01),
+                                policy="none", progressive=True)
+        stats = session.play_path(self.PATH)
+        # Third visit re-plays the classroom segment: already resident.
+        assert stats.switches[2].startup_delay == pytest.approx(0.0)
+        assert stats.switches[2].rebuffer_seconds == 0.0

@@ -1,0 +1,170 @@
+"""Unit + property tests for hotspot geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects import (
+    CircleHotspot,
+    HotspotError,
+    PolygonHotspot,
+    RectHotspot,
+    hotspot_from_dict,
+)
+
+
+class TestRect:
+    def test_contains_half_open(self):
+        r = RectHotspot(2, 3, 4, 5)
+        assert r.contains(2, 3)
+        assert r.contains(5.9, 7.9)
+        assert not r.contains(6, 3)
+        assert not r.contains(2, 8)
+
+    def test_bbox_and_center(self):
+        r = RectHotspot(0, 0, 10, 4)
+        assert r.bounding_box() == (0, 0, 10, 4)
+        assert r.center() == (5, 2)
+
+    def test_area(self):
+        assert RectHotspot(0, 0, 3, 4).area() == 12
+
+    def test_translated(self):
+        r = RectHotspot(1, 1, 2, 2).translated(3, -1)
+        assert r.bounding_box() == (4, 0, 6, 2)
+
+    def test_validation(self):
+        with pytest.raises(HotspotError):
+            RectHotspot(0, 0, 0, 4)
+        with pytest.raises(HotspotError):
+            RectHotspot(0, 0, 4, -1)
+
+    def test_dict_roundtrip(self):
+        r = RectHotspot(1.5, 2.5, 3, 4)
+        assert hotspot_from_dict(r.to_dict()) == r
+
+
+class TestCircle:
+    def test_contains_boundary(self):
+        c = CircleHotspot(0, 0, 5)
+        assert c.contains(3, 4)  # exactly on the circle
+        assert not c.contains(3.1, 4.1)
+
+    def test_bbox(self):
+        assert CircleHotspot(10, 10, 2).bounding_box() == (8, 8, 12, 12)
+
+    def test_area(self):
+        assert CircleHotspot(0, 0, 1).area() == pytest.approx(np.pi)
+
+    def test_validation(self):
+        with pytest.raises(HotspotError):
+            CircleHotspot(0, 0, 0)
+
+    def test_dict_roundtrip(self):
+        c = CircleHotspot(3, 4, 5)
+        assert hotspot_from_dict(c.to_dict()) == c
+
+
+class TestPolygon:
+    SQUARE = [(0, 0), (10, 0), (10, 10), (0, 10)]
+
+    def test_contains_square(self):
+        p = PolygonHotspot(self.SQUARE)
+        assert p.contains(5, 5)
+        assert not p.contains(15, 5)
+        assert not p.contains(-1, 5)
+
+    def test_concave_polygon(self):
+        # L-shape: the notch must be outside.
+        p = PolygonHotspot([(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)])
+        assert p.contains(2, 8)
+        assert p.contains(8, 2)
+        assert not p.contains(8, 8)  # inside the notch
+
+    def test_area_signed_independent_of_winding(self):
+        cw = PolygonHotspot(list(reversed(self.SQUARE)))
+        ccw = PolygonHotspot(self.SQUARE)
+        assert cw.area() == ccw.area() == 100
+
+    def test_translated(self):
+        p = PolygonHotspot(self.SQUARE).translated(5, 5)
+        assert p.contains(12, 12)
+        assert not p.contains(2, 2)
+
+    def test_vertices_read_only(self):
+        p = PolygonHotspot(self.SQUARE)
+        with pytest.raises(ValueError):
+            p.vertices[0, 0] = 99
+
+    def test_validation(self):
+        with pytest.raises(HotspotError):
+            PolygonHotspot([(0, 0), (1, 1)])
+        with pytest.raises(HotspotError):
+            PolygonHotspot([(0, 0), (1, 1), (2, 2)])  # collinear: zero area
+
+    def test_dict_roundtrip(self):
+        p = PolygonHotspot(self.SQUARE)
+        assert hotspot_from_dict(p.to_dict()) == p
+
+    def test_hashable(self):
+        a = PolygonHotspot(self.SQUARE)
+        b = PolygonHotspot(self.SQUARE)
+        assert hash(a) == hash(b)
+
+
+def test_from_dict_unknown_kind():
+    with pytest.raises(HotspotError):
+        hotspot_from_dict({"kind": "blob"})
+
+
+@given(
+    cx=st.floats(-50, 50), cy=st.floats(-50, 50), r=st.floats(0.5, 30),
+    px=st.floats(-100, 100), py=st.floats(-100, 100),
+)
+@settings(max_examples=80, deadline=None)
+def test_circle_contains_matches_distance(cx, cy, r, px, py):
+    """Property: circle containment == Euclidean distance test."""
+    c = CircleHotspot(cx, cy, r)
+    expected = (px - cx) ** 2 + (py - cy) ** 2 <= r * r
+    assert c.contains(px, py) == expected
+
+
+@given(
+    x=st.floats(-20, 20), y=st.floats(-20, 20),
+    w=st.floats(0.5, 40), h=st.floats(0.5, 40),
+    dx=st.floats(-10, 10), dy=st.floats(-10, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_rect_translation_preserves_area_and_size(x, y, w, h, dx, dy):
+    """Property: translation is rigid."""
+    r = RectHotspot(x, y, w, h)
+    t = r.translated(dx, dy)
+    assert t.area() == pytest.approx(r.area())
+    x0, y0, x1, y1 = t.bounding_box()
+    assert (x1 - x0, y1 - y0) == pytest.approx((w, h))
+
+
+@given(
+    n=st.integers(3, 8),
+    seed=st.integers(0, 10_000),
+    px=st.floats(-30, 30),
+    py=st.floats(-30, 30),
+)
+@settings(max_examples=60, deadline=None)
+def test_polygon_point_in_bbox_if_contained(n, seed, px, py):
+    """Property: containment implies bounding-box containment."""
+    rng = np.random.default_rng(seed)
+    # Star-shaped polygon around the origin: guaranteed simple.
+    angles = np.sort(rng.uniform(0, 2 * np.pi, size=n))
+    if len(np.unique(angles)) < 3:
+        return
+    radii = rng.uniform(2, 20, size=n)
+    verts = [(float(r * np.cos(a)), float(r * np.sin(a))) for r, a in zip(radii, angles)]
+    try:
+        p = PolygonHotspot(verts)
+    except HotspotError:
+        return  # degenerate draw
+    if p.contains(px, py):
+        x0, y0, x1, y1 = p.bounding_box()
+        assert x0 <= px <= x1 and y0 <= py <= y1

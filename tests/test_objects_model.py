@@ -1,0 +1,189 @@
+"""Tests for the interactive object model and kinds."""
+
+import numpy as np
+import pytest
+
+from repro.objects import (
+    ButtonObject,
+    ImageObject,
+    ItemObject,
+    NPCObject,
+    ObjectError,
+    PropertyBag,
+    RectHotspot,
+    RewardObject,
+    TextObject,
+    WebLinkObject,
+    new_object_id,
+    object_from_dict,
+)
+
+HS = RectHotspot(10, 10, 16, 12)
+
+
+class TestPropertyBag:
+    def test_set_get(self):
+        bag = PropertyBag()
+        bag.set("color", "red")
+        bag.set("count", 3)
+        assert bag.get("color") == "red"
+        assert bag.get("missing", 7) == 7
+        assert "count" in bag and len(bag) == 2
+
+    def test_type_locking(self):
+        bag = PropertyBag({"n": 1})
+        bag.set("n", 2)
+        with pytest.raises(ObjectError):
+            bag.set("n", "two")
+        with pytest.raises(ObjectError):
+            bag.set("n", True)  # bool is not int here
+
+    def test_allowed_types_only(self):
+        bag = PropertyBag()
+        with pytest.raises(ObjectError):
+            bag.set("xs", [1, 2])
+
+    def test_require(self):
+        bag = PropertyBag({"a": 1})
+        assert bag.require("a") == 1
+        with pytest.raises(ObjectError):
+            bag.require("b")
+
+    def test_equality_and_copy(self):
+        a = PropertyBag({"x": 1})
+        b = a.copy()
+        assert a == b
+        b.set("y", 2)
+        assert a != b
+
+    def test_items_sorted(self):
+        bag = PropertyBag({"b": 1, "a": 2})
+        assert [k for k, _ in bag.items()] == ["a", "b"]
+
+
+class TestBaseObject:
+    def test_id_validation(self):
+        with pytest.raises(ObjectError):
+            ImageObject(object_id="Bad Id!", name="x", hotspot=HS)
+        with pytest.raises(ObjectError):
+            ImageObject(object_id="ok", name="", hotspot=HS)
+
+    def test_auto_id_unique(self):
+        a = ImageObject(name="a", hotspot=HS)
+        b = ImageObject(name="b", hotspot=HS)
+        assert a.object_id != b.object_id
+
+    def test_hit_respects_visibility(self):
+        o = ImageObject(object_id="o", name="o", hotspot=HS)
+        assert o.hit(12, 12)
+        o.visible = False
+        assert not o.hit(12, 12)
+
+    def test_move_to(self):
+        o = ImageObject(object_id="o", name="o", hotspot=HS)
+        o.move_to(50, 40)
+        assert o.hotspot.bounding_box()[:2] == (50, 40)
+
+    def test_move_by(self):
+        o = ImageObject(object_id="o", name="o", hotspot=HS)
+        o.move_by(-5, 5)
+        assert o.hotspot.bounding_box()[:2] == (5, 15)
+
+
+class TestImageObject:
+    def test_placeholder_pixels_match_hotspot(self):
+        o = ImageObject(object_id="o", name="o", hotspot=RectHotspot(0, 0, 20, 10))
+        assert o.pixels.shape == (10, 20, 3)
+
+    def test_white_key_alpha(self):
+        px = np.full((4, 4, 3), 255, dtype=np.uint8)
+        px[0, 0] = (200, 10, 10)
+        o = ImageObject(object_id="o", name="o", hotspot=HS, pixels=px)
+        rgb, alpha = o.render_sprite()
+        assert alpha[0, 0] == 1.0
+        assert alpha[1, 1] == 0.0
+
+    def test_white_key_disabled(self):
+        px = np.full((4, 4, 3), 255, dtype=np.uint8)
+        o = ImageObject(object_id="o", name="o", hotspot=HS, pixels=px, white_key=False)
+        _, alpha = o.render_sprite()
+        assert (alpha == 1.0).all()
+
+    def test_rejects_bad_pixels(self):
+        with pytest.raises(ObjectError):
+            ImageObject(object_id="o", name="o", hotspot=HS,
+                        pixels=np.zeros((4, 4), dtype=np.uint8))
+
+    def test_dict_roundtrip(self):
+        px = np.arange(48, dtype=np.uint8).reshape(4, 4, 3)
+        o = ImageObject(object_id="img-1", name="Art", hotspot=HS, pixels=px,
+                        description="nice", properties={"hot": True})
+        o2 = object_from_dict(o.to_dict())
+        assert isinstance(o2, ImageObject)
+        assert (o2.pixels == px).all()
+        assert o2.description == "nice"
+        assert o2.properties.get("hot") is True
+
+
+class TestOtherKinds:
+    def test_button_sprite_opaque(self):
+        b = ButtonObject(object_id="b", name="b", label="Go", hotspot=HS)
+        rgb, alpha = b.render_sprite()
+        assert (alpha == 1.0).all()
+        assert rgb.shape[0] >= 4
+
+    def test_button_requires_label(self):
+        with pytest.raises(ObjectError):
+            ButtonObject(object_id="b", name="b", label="", hotspot=HS)
+
+    def test_text_requires_text(self):
+        with pytest.raises(ObjectError):
+            TextObject(object_id="t", name="t", text="", hotspot=HS)
+
+    def test_weblink_validates_url(self):
+        with pytest.raises(ObjectError):
+            WebLinkObject(object_id="w", name="w", url="not-a-url", hotspot=HS)
+        w = WebLinkObject(object_id="w", name="w", url="https://x.org/a", hotspot=HS)
+        assert object_from_dict(w.to_dict()).url == "https://x.org/a"
+
+    def test_item_defaults_portable_draggable(self):
+        i = ItemObject(object_id="i", name="i", hotspot=HS)
+        assert i.portable and i.draggable
+
+    def test_reward_defaults_hidden_with_bonus(self):
+        r = RewardObject(object_id="r", name="r", hotspot=HS, bonus=5)
+        assert not r.visible
+        assert r.bonus == 5
+        r2 = object_from_dict(r.to_dict())
+        assert isinstance(r2, RewardObject) and r2.bonus == 5
+
+    def test_reward_bonus_non_negative(self):
+        with pytest.raises(ObjectError):
+            RewardObject(object_id="r", name="r", hotspot=HS, bonus=-1)
+
+    def test_npc_requires_dialogue(self):
+        with pytest.raises(ObjectError):
+            NPCObject(object_id="n", name="n", hotspot=HS, dialogue_id="")
+        n = NPCObject(object_id="n", name="n", hotspot=HS, dialogue_id="d1")
+        rgb, alpha = n.render_sprite()
+        assert 0.0 < float(alpha.mean()) < 1.0  # silhouette, keyed edges
+        assert object_from_dict(n.to_dict()).dialogue_id == "d1"
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(ObjectError):
+            object_from_dict({"kind": "portal"})
+
+    def test_kind_roundtrip_all(self):
+        objs = [
+            ImageObject(object_id="a1", name="a", hotspot=HS),
+            ButtonObject(object_id="a2", name="a", label="L", hotspot=HS),
+            TextObject(object_id="a3", name="a", text="T", hotspot=HS),
+            WebLinkObject(object_id="a4", name="a", url="http://x/y", hotspot=HS),
+            ItemObject(object_id="a5", name="a", hotspot=HS),
+            RewardObject(object_id="a6", name="a", hotspot=HS),
+            NPCObject(object_id="a7", name="a", hotspot=HS, dialogue_id="d"),
+        ]
+        for o in objs:
+            o2 = object_from_dict(o.to_dict())
+            assert type(o2) is type(o)
+            assert o2.object_id == o.object_id

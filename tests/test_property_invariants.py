@@ -1,0 +1,201 @@
+"""Cross-module property tests: structural invariants under random ops.
+
+These complement the per-module property tests with invariants that span
+operations: timelines conserve frames under arbitrary edit sequences,
+containers round-trip arbitrary segment structures, event tables
+round-trip through serialisation, and wizard-built quest games are
+always winnable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import fetch_quest_game, solve
+from repro.events import (
+    AwardBonus,
+    EventBinding,
+    EventTable,
+    SetFlag,
+    ShowText,
+    SwitchScenario,
+    Trigger,
+)
+from repro.video import (
+    Frame,
+    FrameSize,
+    SegmentError,
+    Timeline,
+    VideoReader,
+    VideoSegment,
+    VideoWriter,
+)
+
+SIZE = FrameSize(12, 10)
+
+
+def _seg(name, n):
+    return VideoSegment(name=name, frames=[Frame.blank(SIZE)] * n)
+
+
+# ----------------------------------------------------------------------
+# Timeline: frame conservation under random edit scripts
+# ----------------------------------------------------------------------
+
+@st.composite
+def _edit_scripts(draw):
+    return draw(st.lists(
+        st.tuples(st.sampled_from(["merge", "split", "move", "rename"]),
+                  st.integers(0, 10_000)),
+        max_size=25,
+    ))
+
+
+@given(script=_edit_scripts(), sizes=st.lists(st.integers(2, 9), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_timeline_conserves_frames(script, sizes):
+    """Property: merge/split/move/rename never create or destroy frames,
+    and names stay unique."""
+    tl = Timeline([_seg(f"s{i}", n) for i, n in enumerate(sizes)])
+    total = tl.total_frames
+    counter = 1000
+    for op, r in script:
+        names = tl.names
+        if op == "merge" and len(names) >= 2:
+            i = r % (len(names) - 1)
+            try:
+                tl.merge(names[i], names[i + 1], name=f"m{counter}")
+            except SegmentError:
+                pass
+            counter += 1
+        elif op == "split":
+            name = names[r % len(names)]
+            seg = tl.get(name)
+            if seg.frame_count >= 2:
+                tl.split(name, 1 + r % (seg.frame_count - 1))
+        elif op == "move":
+            tl.move(names[r % len(names)], r % len(names))
+        elif op == "rename":
+            tl.rename(names[r % len(names)], f"r{counter}")
+            counter += 1
+        assert tl.total_frames == total
+        assert len(set(tl.names)) == len(tl.names)
+
+
+# ----------------------------------------------------------------------
+# Container: arbitrary segment structures round-trip
+# ----------------------------------------------------------------------
+
+@given(
+    seg_sizes=st.lists(st.integers(1, 6), min_size=1, max_size=5),
+    codec=st.sampled_from(["raw", "rle", "delta"]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_container_roundtrip_property(seg_sizes, codec, seed):
+    """Property: any segment structure round-trips losslessly through
+    any lossless codec."""
+    rng = np.random.default_rng(seed)
+    segments = [
+        [Frame(rng.integers(0, 256, SIZE.shape, dtype=np.uint8))
+         for _ in range(n)]
+        for n in seg_sizes
+    ]
+    writer = VideoWriter(SIZE, codec_name=codec)
+    for seg in segments:
+        writer.add_segment(seg)
+    reader = VideoReader(writer.tobytes())
+    assert reader.segment_count == len(segments)
+    for i, seg in enumerate(segments):
+        assert reader.decode_segment(i) == seg
+
+
+# ----------------------------------------------------------------------
+# Event table: serialisation round-trip preserves matching behaviour
+# ----------------------------------------------------------------------
+
+_action_strategies = st.sampled_from([
+    ShowText(text="hello"),
+    SwitchScenario(target="s2"),
+    SetFlag(name="f", value=True),
+    AwardBonus(points=3),
+])
+
+
+@st.composite
+def _bindings(draw, idx):
+    trigger = draw(st.sampled_from(
+        [Trigger.CLICK, Trigger.EXAMINE, Trigger.ENTER, Trigger.USE_ITEM]
+    ))
+    kwargs = dict(
+        binding_id=f"b{idx}",
+        scenario_id=draw(st.sampled_from(["s1", "s2", "*"])),
+        trigger=trigger,
+        actions=[draw(_action_strategies)],
+        once=draw(st.booleans()),
+        priority=draw(st.integers(-3, 3)),
+        condition=draw(st.sampled_from(["", "flag('f')", "score >= 1"])),
+    )
+    if trigger in Trigger.OBJECT_SCOPED:
+        kwargs["object_id"] = draw(st.sampled_from(["o1", "o2"]))
+    if trigger == Trigger.USE_ITEM:
+        kwargs["item_id"] = draw(st.sampled_from(["i1", "i2"]))
+    return EventBinding(**kwargs)
+
+
+@st.composite
+def _tables(draw):
+    n = draw(st.integers(0, 8))
+    return EventTable(draw(_bindings(i)) for i in range(n))
+
+
+class _YesCtx:
+    def has_item(self, i): return True
+    def item_count(self, i): return 2
+    def get_flag(self, n): return True
+    def has_visited(self, s): return True
+    def get_score(self): return 10
+    def get_prop(self, o, k): return True
+
+
+@given(table=_tables())
+@settings(max_examples=50, deadline=None)
+def test_event_table_serialisation_preserves_matching(table):
+    """Property: a deserialised table matches identically to the original
+    for every probe in a covering set."""
+    restored = EventTable.from_list(table.to_list())
+    ctx = _YesCtx()
+    probes = [
+        ("s1", Trigger.CLICK, "o1", None),
+        ("s1", Trigger.CLICK, "o2", None),
+        ("s2", Trigger.EXAMINE, "o1", None),
+        ("s1", Trigger.ENTER, None, None),
+        ("s2", Trigger.ENTER, None, None),
+        ("s1", Trigger.USE_ITEM, "o1", "i1"),
+        ("s2", Trigger.USE_ITEM, "o2", "i2"),
+    ]
+    for scenario, trigger, obj, item in probes:
+        a = [b.binding_id for b in table.match(scenario, trigger, obj, item, ctx=ctx)]
+        b = [b.binding_id for b in restored.match(scenario, trigger, obj, item, ctx=ctx)]
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Wizard-built quest games are always winnable
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_quests,seed", [(1, 10), (2, 20), (3, 30), (4, 40)])
+def test_quest_template_always_winnable(n_quests, seed):
+    """The template generator's contract: every parameterisation yields a
+    provably winnable game whose solution needs all of: navigation, a
+    take, and a use."""
+    game = fetch_quest_game(n_quests=n_quests, size=SIZE_BIG, seed=seed).build()
+    result = solve(game)
+    assert result.winnable
+    kinds = {m.kind for m in result.winning_script}
+    assert {"click", "take", "use"} <= kinds
+
+
+SIZE_BIG = FrameSize(64, 48)

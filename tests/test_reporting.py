@@ -1,0 +1,149 @@
+"""Tests for the reporting layer: TUI screenshots and tables."""
+
+import pytest
+
+from repro.reporting import (
+    Canvas,
+    ExperimentRecord,
+    format_table,
+    frame_to_ascii,
+    records_to_markdown,
+    render_authoring_screenshot,
+    render_runtime_screenshot,
+)
+from repro.video import Frame, FrameSize
+
+
+class TestCanvas:
+    def test_text_clipping(self):
+        c = Canvas(10, 3)
+        c.text(8, 1, "hello")
+        out = c.render().splitlines()
+        assert out[1].endswith("he")
+
+    def test_box_with_title(self):
+        c = Canvas(20, 5)
+        c.box(0, 0, 20, 5, title="Panel")
+        out = c.render()
+        assert "+ Panel " in out.splitlines()[0].replace("-", "+", 1) or "Panel" in out
+
+    def test_out_of_bounds_put_ignored(self):
+        c = Canvas(5, 5)
+        c.put(99, 99, "#")  # no crash
+        assert "#" not in c.render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 5)
+
+
+class TestFrameToAscii:
+    def test_shape(self):
+        f = Frame.blank(FrameSize(40, 30), (128, 128, 128))
+        art = frame_to_ascii(f, 20, 10)
+        assert len(art) == 10
+        assert all(len(line) == 20 for line in art)
+
+    def test_dark_vs_light(self):
+        dark = frame_to_ascii(Frame.blank(FrameSize(8, 8), (0, 0, 0)), 4, 4)
+        light = frame_to_ascii(Frame.blank(FrameSize(8, 8), (255, 255, 255)), 4, 4)
+        assert dark[0][0] == " "
+        assert light[0][0] == "@"
+
+    def test_gradient_monotone(self):
+        f = Frame.from_gradient(FrameSize(8, 32), (0, 0, 0), (255, 255, 255))
+        art = frame_to_ascii(f, 4, 8)
+        ramp = " .:-=+*#%@"
+        levels = [ramp.index(line[0]) for line in art]
+        assert levels == sorted(levels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_to_ascii(Frame.blank(FrameSize(4, 4)), 0, 4)
+
+
+class TestScreenshots:
+    def test_fig1_contains_tool_panels(self, classroom_wizard):
+        shot = render_authoring_screenshot(classroom_wizard.project)
+        for needle in ("Authoring Tool", "Video canvas", "Scenarios",
+                       "Object palette", "Properties", "Events",
+                       "Segments (auto-cut)", "classroom"):
+            assert needle in shot, f"missing {needle!r}"
+
+    def test_fig1_selected_scenario(self, classroom_wizard):
+        shot = render_authoring_screenshot(
+            classroom_wizard.project, selected_scenario="market"
+        )
+        assert "*market" in shot
+
+    def test_fig1_deterministic(self, classroom_wizard):
+        a = render_authoring_screenshot(classroom_wizard.project)
+        b = render_authoring_screenshot(classroom_wizard.project)
+        assert a == b
+
+    def test_fig2_contains_runtime_chrome(self, classroom_game):
+        eng = classroom_game.new_engine()
+        eng.start()
+        shot = render_runtime_screenshot(eng)
+        for needle in ("VGBL Player", "Inventory window", "score: 0",
+                       "Classroom", "(empty backpack)"):
+            assert needle in shot, f"missing {needle!r}"
+
+    def test_fig2_shows_inventory_and_popup(self, classroom_game):
+        eng = classroom_game.new_engine()
+        eng.start()
+        eng.state.inventory.add("ram", name="RAM module")
+        eng.state.push_popup("text", "The computer boots!", 0.0)
+        shot = render_runtime_screenshot(eng)
+        assert "[RAM module]" in shot
+        assert "[TEXT] The computer boots!" in shot
+
+    def test_fig2_object_markers(self, classroom_game):
+        eng = classroom_game.new_engine()
+        eng.start()
+        shot = render_runtime_screenshot(eng)
+        assert "<Computer>" in shot
+        assert "[To market]" in shot
+
+
+class TestTables:
+    ROWS = [
+        {"name": "a", "value": 1.23456, "n": 10},
+        {"name": "bb", "value": 2.0, "n": 5},
+    ]
+
+    def test_alignment_and_header(self):
+        out = format_table(self.ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len({len(l) for l in lines[:3]}) == 1  # aligned widths
+
+    def test_column_selection(self):
+        out = format_table(self.ROWS, columns=["n", "name"])
+        assert out.splitlines()[0].startswith("n")
+        assert "value" not in out
+
+    def test_title_and_empty(self):
+        assert format_table([], title="T").startswith("T")
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        out = format_table(self.ROWS)
+        assert "1.235" in out  # 4 significant digits
+
+
+class TestExperimentRecords:
+    def test_verdict_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRecord("E1", "claim", "measured", "maybe")
+
+    def test_markdown(self):
+        records = [
+            ExperimentRecord("E1 / Fig. 1", "tool exists", "rendered", "reproduced"),
+            ExperimentRecord("E6", "games engage more", "gain 0.5 vs 0.1",
+                             "shape-reproduced"),
+        ]
+        md = records_to_markdown(records)
+        assert md.count("|") > 8
+        assert "shape-reproduced" in md

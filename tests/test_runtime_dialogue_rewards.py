@@ -1,0 +1,192 @@
+"""Tests for dialogue trees and the rewarding mechanism."""
+
+import pytest
+
+from repro.events import GiveItem, SetFlag
+from repro.runtime import (
+    Dialogue,
+    DialogueChoice,
+    DialogueError,
+    DialogueNode,
+    DialogueSession,
+    GameState,
+    RewardManager,
+)
+
+
+class TestDialogueValidation:
+    def test_basic_tree(self):
+        d = Dialogue(
+            "d",
+            [
+                DialogueNode("root", "Hi", [DialogueChoice("Bye", None)]),
+            ],
+            root="root",
+        )
+        assert d.node_count == 1
+
+    def test_unknown_root(self):
+        with pytest.raises(DialogueError):
+            Dialogue("d", [DialogueNode("a", "x")], root="zz")
+
+    def test_duplicate_node(self):
+        with pytest.raises(DialogueError):
+            Dialogue("d", [DialogueNode("a", "x"), DialogueNode("a", "y")], root="a")
+
+    def test_unknown_next_node(self):
+        with pytest.raises(DialogueError):
+            Dialogue(
+                "d",
+                [DialogueNode("a", "x", [DialogueChoice("go", "ghost")])],
+                root="a",
+            )
+
+    def test_orphan_detected(self):
+        with pytest.raises(DialogueError):
+            Dialogue(
+                "d",
+                [DialogueNode("a", "x"), DialogueNode("orphan", "y")],
+                root="a",
+            )
+
+    def test_inescapable_cycle_detected(self):
+        with pytest.raises(DialogueError):
+            Dialogue(
+                "d",
+                [
+                    DialogueNode("a", "x", [DialogueChoice("loop", "b")]),
+                    DialogueNode("b", "y", [DialogueChoice("loop", "a")]),
+                ],
+                root="a",
+            )
+
+    def test_escapable_cycle_allowed(self):
+        d = Dialogue(
+            "d",
+            [
+                DialogueNode("a", "x", [
+                    DialogueChoice("again", "a"),
+                    DialogueChoice("done", None),
+                ]),
+            ],
+            root="a",
+        )
+        assert d.node_count == 1
+
+    def test_linear_builder(self):
+        d = Dialogue.linear("d", ["one", "two", "three"])
+        assert d.node_count == 3
+        s = DialogueSession(d)
+        assert s.current_node.line == "one"
+        s.choose(0)
+        s.choose(0)
+        assert s.current_node.line == "three"
+        assert s.current_node.terminal
+
+    def test_dict_roundtrip(self):
+        d = Dialogue(
+            "d",
+            [
+                DialogueNode("a", "Hello", [
+                    DialogueChoice("Take it", None, actions=[GiveItem(item_id="key")]),
+                    DialogueChoice("More", "b"),
+                ]),
+                DialogueNode("b", "Details"),
+            ],
+            root="a",
+        )
+        d2 = Dialogue.from_dict(d.to_dict())
+        assert d2.node_count == 2
+        assert d2.nodes["a"].choices[0].actions == [GiveItem(item_id="key")]
+
+
+class TestDialogueSession:
+    def _dialogue(self):
+        return Dialogue(
+            "d",
+            [
+                DialogueNode("a", "Want the key?", [
+                    DialogueChoice("Yes", "thanks", actions=[GiveItem(item_id="key")]),
+                    DialogueChoice("No", None),
+                ]),
+                DialogueNode("thanks", "Here you go."),
+            ],
+            root="a",
+        )
+
+    def test_choice_returns_actions(self):
+        s = DialogueSession(self._dialogue())
+        actions = s.choose(0)
+        assert actions == [GiveItem(item_id="key")]
+        assert s.current_node.node_id == "thanks"
+
+    def test_decline_path_ends(self):
+        s = DialogueSession(self._dialogue())
+        s.choose(1)
+        assert not s.active
+        with pytest.raises(DialogueError):
+            s.current_node
+
+    def test_terminal_any_choice_closes(self):
+        s = DialogueSession(self._dialogue())
+        s.choose(0)
+        assert s.choices == []
+        assert s.choose(5) == []  # click anywhere to close
+        assert not s.active
+
+    def test_out_of_range_choice(self):
+        s = DialogueSession(self._dialogue())
+        with pytest.raises(DialogueError):
+            s.choose(2)
+
+    def test_transcript(self):
+        s = DialogueSession(self._dialogue())
+        s.choose(0)
+        assert s.transcript == ["Want the key?", "> Yes", "Here you go."]
+
+
+class TestRewardManager:
+    def test_points_only(self):
+        rm = RewardManager()
+        state = GameState("s")
+        rec = rm.award(state, 5, None, at_time=1.0)
+        assert state.score == 5
+        assert rec.reward_id is None
+        assert rm.total_points_awarded == 5
+
+    def test_reward_object_granted_once(self):
+        rm = RewardManager(reward_names={"badge": "Gold badge"},
+                           reward_bonuses={"badge": 10})
+        state = GameState("s")
+        first = rm.award(state, 5, "badge", at_time=1.0)
+        assert first.points == 15  # 5 + intrinsic 10
+        assert not first.repeated
+        assert state.inventory.rewards[0].name == "Gold badge"
+
+        second = rm.award(state, 5, "badge", at_time=2.0)
+        assert second.points == 5  # no double intrinsic bonus
+        assert second.repeated
+        assert state.inventory.count("badge") == 1
+
+    def test_full_backpack_still_scores(self):
+        rm = RewardManager()
+        state = GameState("s", inventory_capacity=1)
+        state.inventory.add("junk")
+        rec = rm.award(state, 3, "badge", at_time=0.0)
+        assert state.score == 3
+        assert rec.repeated  # object could not be granted
+        assert not state.inventory.has("badge")
+
+    def test_achievements_listing(self):
+        rm = RewardManager()
+        state = GameState("s")
+        rm.award(state, 0, "b1", at_time=0.0)
+        rm.award(state, 0, "b2", at_time=1.0)
+        assert rm.achievements(state) == ["b1", "b2"]
+
+    def test_ledger_serialisable(self):
+        rm = RewardManager()
+        state = GameState("s")
+        rm.award(state, 2, None, at_time=0.5)
+        d = rm.to_dict()
+        assert d["ledger"][0]["points"] == 2

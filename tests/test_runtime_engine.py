@@ -1,0 +1,449 @@
+"""Integration tests for the game engine (the §4.3 runtime)."""
+
+import pytest
+
+from repro.events import (
+    AwardBonus,
+    EndGame,
+    EventBinding,
+    EventTable,
+    GiveItem,
+    OpenWeb,
+    SetObjectVisible,
+    ShowText,
+    SwitchScenario,
+    Trigger,
+)
+from repro.graph import Scenario
+from repro.objects import ImageObject, ItemObject, NPCObject, RectHotspot
+from repro.runtime import (
+    Dialogue,
+    EngineError,
+    GameEngine,
+    KeyPress,
+    MouseClick,
+    MouseDrag,
+    SessionRecorder,
+)
+from repro.video import SimulatedClock
+
+
+def _engine(extra_bindings=(), dialogues=None, timers=()):
+    classroom = Scenario("classroom", "Classroom", 0)
+    market = Scenario("market", "Market", 1)
+    classroom.add_object(ImageObject(
+        object_id="computer", name="Computer", hotspot=RectHotspot(30, 20, 20, 20),
+        description="It will not boot.", properties={"state": "broken"},
+    ))
+    classroom.add_object(NPCObject(
+        object_id="teacher", name="Teacher", dialogue_id="d",
+        hotspot=RectHotspot(5, 10, 10, 20),
+    ))
+    market.add_object(ItemObject(
+        object_id="ram", name="RAM", hotspot=RectHotspot(40, 40, 8, 8),
+    ))
+    table = EventTable()
+    table.add(EventBinding(binding_id="use-ram", scenario_id="classroom",
+                           trigger=Trigger.USE_ITEM, object_id="computer",
+                           item_id="ram", once=True,
+                           actions=[AwardBonus(points=20),
+                                    ShowText(text="Fixed!"),
+                                    EndGame(outcome="won")]))
+    for b in extra_bindings:
+        table.add(b)
+    for bid, sec, acts in timers:
+        table.add(EventBinding(binding_id=bid, scenario_id="classroom",
+                               trigger=Trigger.TIMER, timer_seconds=sec,
+                               actions=acts))
+    dlg = dialogues or {"d": Dialogue.linear("d", ["Fix the computer!"])}
+    clock = SimulatedClock()
+    eng = GameEngine(
+        {"classroom": classroom, "market": market}, table, "classroom",
+        dialogues=dlg, clock=clock,
+    )
+    return eng, clock
+
+
+class TestLifecycle:
+    def test_must_start_first(self):
+        eng, _ = _engine()
+        with pytest.raises(EngineError):
+            eng.handle_input(MouseClick(1, 1))
+        with pytest.raises(EngineError):
+            eng.tick(0.1)
+
+    def test_double_start_rejected(self):
+        eng, _ = _engine()
+        eng.start()
+        with pytest.raises(EngineError):
+            eng.start()
+
+    def test_start_fires_enter_and_injects_props(self):
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="welcome", scenario_id="classroom", trigger=Trigger.ENTER,
+            actions=[ShowText(text="Welcome!")])])
+        eng.start()
+        assert eng.state.popups[-1].content == "Welcome!"
+        assert eng.state.get_prop("computer", "state") == "broken"
+
+    def test_videoless_render(self):
+        eng, _ = _engine()
+        eng.start()
+        frame = eng.render()
+        assert frame.size == eng.frame_size
+
+
+class TestInteractions:
+    def test_unbound_click_shows_description(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.handle_input(MouseClick(35, 25))
+        assert eng.state.popups[-1].content == "It will not boot."
+
+    def test_examine_fallback_text(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.handle_input(MouseClick(8, 15, button="right"))  # teacher, no desc
+        assert "Teacher" in eng.state.popups[-1].content
+
+    def test_take_hides_and_fills_backpack(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.fire(Trigger.ENTER)  # noop; ensure fire() public path works
+        eng._execute([SwitchScenario(target="market")], source="test")
+        eng.handle_input(MouseDrag(42, 42, 5, eng.layout.inv_y + 2))
+        assert eng.state.inventory.has("ram")
+        assert eng.state.visibility["ram"] is False
+
+    def test_full_quest_to_win(self):
+        eng, _ = _engine()
+        eng.start()
+        eng._execute([SwitchScenario(target="market")], source="test")
+        eng.handle_input(MouseDrag(42, 42, 5, eng.layout.inv_y + 2))
+        eng._execute([SwitchScenario(target="classroom")], source="test")
+        eng.handle_input(MouseClick(eng.layout.inv_x + 2, eng.layout.inv_y + 2))
+        assert eng.state.inventory.selected == "ram"
+        eng.handle_input(MouseClick(35, 25))
+        assert eng.state.outcome == "won"
+        assert eng.state.score == 20
+
+    def test_use_item_without_binding_feedback(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.state.inventory.add("rock")
+        eng.state.inventory.select("rock")
+        eng.handle_input(MouseClick(35, 25))
+        assert eng.state.popups[-1].content == "Nothing happens."
+        assert eng.state.inventory.selected is None
+
+    def test_inputs_ignored_after_end(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.state.end("won")
+        g = eng.handle_input(MouseClick(35, 25))
+        assert g.kind == "none"
+
+    def test_avatar_moves_and_clamps(self):
+        eng, _ = _engine()
+        eng.start()
+        for _ in range(100):
+            eng.handle_input(KeyPress("left"))
+        assert eng.state.avatar_xy[0] == 0.0
+
+    def test_switch_to_unknown_scenario_raises(self):
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="bad", scenario_id="classroom", trigger=Trigger.CLICK,
+            object_id="computer", actions=[SwitchScenario(target="mars")])])
+        eng.start()
+        with pytest.raises(EngineError):
+            eng.handle_input(MouseClick(35, 25))
+
+
+class TestDialogueFlow:
+    def test_talk_opens_dialogue(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.handle_input(MouseClick(8, 15))
+        assert eng.dialogue_session is not None
+        assert eng.state.popups[-1].kind == "dialogue"
+
+    def test_dismiss_terminal_line_closes(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.handle_input(MouseClick(8, 15))
+        eng.handle_input(MouseClick(1, 1))  # dismiss single-line dialogue
+        assert eng.dialogue_session is None
+
+    def test_choice_actions_executed(self):
+        from repro.runtime import DialogueChoice, DialogueNode
+
+        dlg = Dialogue("d", [
+            DialogueNode("a", "Take this key.", [
+                DialogueChoice("Thanks", None, actions=[GiveItem(item_id="key")]),
+            ]),
+        ], root="a")
+        eng, _ = _engine(dialogues={"d": dlg})
+        eng.start()
+        eng.handle_input(MouseClick(8, 15))
+        eng.choose_dialogue(0)
+        assert eng.state.inventory.has("key")
+        assert eng.dialogue_session is None
+
+    def test_choose_without_dialogue_raises(self):
+        eng, _ = _engine()
+        eng.start()
+        with pytest.raises(EngineError):
+            eng.choose_dialogue(0)
+
+
+class TestTimersAndActions:
+    def test_timer_fires_after_dwell(self):
+        eng, clock = _engine(timers=[("hint", 5.0, [ShowText(text="Hint!")])])
+        eng.start()
+        eng.tick(4.0)
+        assert not any(p.content == "Hint!" for p in eng.state.popups)
+        eng.tick(1.5)
+        assert any(p.content == "Hint!" for p in eng.state.popups)
+
+    def test_timer_fires_once_per_visit(self):
+        eng, _ = _engine(timers=[("hint", 1.0, [ShowText(text="Hint!")])])
+        eng.start()
+        eng.tick(2.0)
+        eng.tick(2.0)
+        hints = [p for p in eng.state.popups if p.content == "Hint!"]
+        assert len(hints) == 1
+
+    def test_openweb_recorded(self):
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="www", scenario_id="classroom", trigger=Trigger.CLICK,
+            object_id="computer", actions=[OpenWeb(url="https://docs.example/x")])])
+        eng.start()
+        eng.handle_input(MouseClick(35, 25))
+        assert eng.state.web_visits == ["https://docs.example/x"]
+
+    def test_set_visible_reveals_object(self):
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="reveal", scenario_id="classroom", trigger=Trigger.ENTER,
+            actions=[SetObjectVisible(object_id="computer", visible=False)])])
+        eng.start()
+        assert eng.state.object_visible("computer", True) is False
+
+    def test_once_binding_does_not_refire(self):
+        eng, _ = _engine()
+        eng.start()
+        eng.state.inventory.add("ram")
+        eng.state.inventory.add("ram")
+        eng.fire(Trigger.USE_ITEM, "computer", "ram")
+        assert eng.state.outcome == "won"
+        # Once fired, the binding is excluded even in a fresh match.
+        assert eng.events.match(
+            "classroom", Trigger.USE_ITEM, "computer", "ram",
+            exclude_ids=eng.state.fired_once,
+        ) == []
+
+
+class TestSessionRecording:
+    def test_recorder_aggregates(self):
+        eng, _ = _engine()
+        eng.start()
+        rec = SessionRecorder(eng.bus, "p1")
+        eng.handle_input(MouseClick(35, 25))
+        eng.handle_input(MouseClick(1, 1))
+        log = rec.finish(10.0, None, 0, 1)
+        assert log.interaction_count == 2
+        assert log.gesture_counts["click"] == 1
+        assert log.gesture_counts["dismiss"] == 1
+        assert log.interactions_per_minute == pytest.approx(12.0)
+
+    def test_recorder_without_notices(self):
+        eng, _ = _engine()
+        eng.start()
+        rec = SessionRecorder(eng.bus, "p1", keep_notices=False)
+        eng.handle_input(MouseClick(35, 25))
+        log = rec.finish(1.0, None, 0, 1)
+        assert log.notices == []
+        assert log.topic_counts["interaction"] == 1
+
+    def test_finish_idempotent(self):
+        eng, _ = _engine()
+        eng.start()
+        rec = SessionRecorder(eng.bus, "p1")
+        a = rec.finish(1.0, "won", 5, 1)
+        b = rec.finish(99.0, "lost", 0, 9)
+        assert a is b and a.duration == 1.0
+
+
+class TestApproachTrigger:
+    def _engine_with_approach(self):
+        eng, clock = _engine(extra_bindings=[EventBinding(
+            binding_id="near-computer", scenario_id="classroom",
+            trigger=Trigger.APPROACH, object_id="computer",
+            actions=[ShowText(text="You stand before the computer.")])])
+        eng.start()
+        return eng
+
+    def _walk_to(self, eng, tx, ty):
+        # Arrow keys move 8px per press; walk the avatar to (tx, ty).
+        for _ in range(60):
+            ax, ay = eng.state.avatar_xy
+            if abs(ax - tx) <= 4 and abs(ay - ty) <= 4:
+                break
+            if ax < tx - 4:
+                eng.handle_input(KeyPress("right"))
+            elif ax > tx + 4:
+                eng.handle_input(KeyPress("left"))
+            elif ay < ty - 4:
+                eng.handle_input(KeyPress("down"))
+            else:
+                eng.handle_input(KeyPress("up"))
+
+    def test_walking_into_hotspot_fires(self):
+        eng = self._engine_with_approach()
+        self._walk_to(eng, 40, 30)  # the computer's hotspot
+        assert any(p.content == "You stand before the computer."
+                   for p in eng.state.popups)
+        assert "computer" in eng.state.approached
+
+    def test_fires_once_per_visit(self):
+        eng = self._engine_with_approach()
+        self._walk_to(eng, 40, 30)
+        n = len([p for p in eng.state.popups
+                 if p.content == "You stand before the computer."])
+        # Walk away and back: still the same visit, no re-fire.
+        eng.state.popups.clear()
+        self._walk_to(eng, 5, 5)
+        self._walk_to(eng, 40, 30)
+        assert not eng.state.popups
+        # Leave the scenario and return: re-armed.
+        eng._execute([SwitchScenario(target="market")], source="t")
+        eng._execute([SwitchScenario(target="classroom")], source="t")
+        assert eng.state.approached == set()
+
+    def test_invisible_objects_not_approachable(self):
+        eng = self._engine_with_approach()
+        eng.state.visibility["computer"] = False
+        self._walk_to(eng, 40, 30)
+        assert "computer" not in eng.state.approached
+
+    def test_solver_uses_approach_to_win(self):
+        """A game winnable only by walking somewhere is still provable."""
+        from repro.core import GameProject, ObjectEditor, ScenarioEditor, solve
+        from repro.core.templates import scene_footage
+        from repro.objects import RectHotspot
+        from repro.video import FrameSize
+
+        project = GameProject("Walk")
+        scenes = ScenarioEditor(project)
+        objects = ObjectEditor(project)
+        scenes.import_footage("c", scene_footage(FrameSize(48, 36), 1, duration=4))
+        scenes.commit_whole("c")
+        scenes.create_scenario("room", "Room", "c")
+        objects.place_image("room", "door", "Door", RectHotspot(30, 10, 10, 20),
+                            description="the way out")
+        objects.bind("room", Trigger.APPROACH, object_id="door",
+                     actions=[EndGame(outcome="won")])
+        result = solve(project.compile())
+        assert result.winnable
+        assert result.winning_script[0].kind == "approach"
+
+
+class TestRemainingActionPaths:
+    def test_popup_image_action(self):
+        from repro.events import PopupImage
+
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="pic", scenario_id="classroom", trigger=Trigger.CLICK,
+            object_id="computer", actions=[PopupImage(object_id="computer")])])
+        eng.start()
+        eng.handle_input(MouseClick(35, 25))
+        assert eng.state.popups[-1].kind == "image"
+        assert eng.state.popups[-1].content == "computer"
+
+    def test_start_dialogue_action(self):
+        from repro.events import StartDialogue
+
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="auto-talk", scenario_id="classroom",
+            trigger=Trigger.ENTER,
+            actions=[StartDialogue(dialogue_id="d")])])
+        eng.start()
+        assert eng.dialogue_session is not None
+        assert eng.state.popups[-1].kind == "dialogue"
+
+    def test_start_dialogue_unknown_id_raises(self):
+        from repro.events import StartDialogue
+
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="bad-talk", scenario_id="classroom",
+            trigger=Trigger.CLICK, object_id="computer",
+            actions=[StartDialogue(dialogue_id="ghost")])])
+        eng.start()
+        with pytest.raises(EngineError):
+            eng.handle_input(MouseClick(35, 25))
+
+    def test_take_item_absent_is_noop(self):
+        from repro.events import TakeItem
+
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="steal", scenario_id="classroom", trigger=Trigger.CLICK,
+            object_id="computer", actions=[TakeItem(item_id="ghost-item")])])
+        eng.start()
+        eng.handle_input(MouseClick(35, 25))  # no raise, no change
+        assert not eng.state.inventory.has("ghost-item")
+
+    def test_give_item_full_backpack_feedback(self):
+        eng, _ = _engine(extra_bindings=[EventBinding(
+            binding_id="gift", scenario_id="classroom", trigger=Trigger.CLICK,
+            object_id="computer", actions=[GiveItem(item_id="prize")])])
+        # Rebuild with capacity 1 and pre-fill it.
+        eng.state.inventory.add("junk")  # before start: fine, capacity 12
+        eng2 = GameEngine(eng.scenarios, eng.events, "classroom",
+                          dialogues=eng.dialogues, inventory_capacity=1)
+        eng2.start()
+        eng2.state.inventory.add("junk")
+        eng2.handle_input(MouseClick(35, 25))
+        assert eng2.state.popups[-1].content == "The backpack is full."
+        assert not eng2.state.inventory.has("prize")
+
+    def test_take_gesture_full_backpack_feedback(self):
+        eng, _ = _engine()
+        eng2 = GameEngine(eng.scenarios, eng.events, "classroom",
+                          dialogues=eng.dialogues, inventory_capacity=1)
+        eng2.start()
+        eng2.state.inventory.add("junk")
+        eng2._execute([SwitchScenario(target="market")], source="t")
+        eng2.handle_input(MouseDrag(42, 42, 5, eng2.layout.inv_y + 2))
+        assert eng2.state.popups[-1].content == "The backpack is full."
+        # The object stays in the scene (not hidden).
+        assert eng2.state.object_visible("ram", True)
+
+    def test_move_gesture_repositions_draggable(self):
+        eng, _ = _engine()
+        eng.start()
+        eng._execute([SwitchScenario(target="market")], source="t")
+        eng.handle_input(MouseDrag(42, 42, 10, 10))
+        obj = eng.scenarios["market"].get_object("ram")
+        assert obj.hotspot.bounding_box()[:2] == (10, 10)
+
+    def test_cutscene_on_finish_autoadvance(self, classroom_game):
+        """A non-looping scenario auto-advances when its video ends."""
+        from repro.core import GameWizard
+        from repro.core.templates import scene_footage
+        from repro.video import FrameSize
+
+        size = FrameSize(48, 36)
+        wiz = (
+            GameWizard("Cutscene")
+            .scene("intro", "Intro", scene_footage(size, 1, duration=4))
+            .scene("main", "Main", scene_footage(size, 2, duration=4))
+        )
+        intro = wiz.project.scenarios["intro"]
+        intro.loop = False
+        intro.on_finish = "main"
+        game = wiz.build(require_valid=False)
+        eng = game.new_engine()  # video needed to detect segment end
+        eng.start()
+        # 4 frames at 24 fps = 1/6 s; tick past it.
+        for _ in range(8):
+            eng.tick(0.1)
+        assert eng.state.current_scenario == "main"

@@ -1,0 +1,204 @@
+"""Tests for gesture interpretation and the frame compositor."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Scenario
+from repro.objects import ButtonObject, ImageObject, ItemObject, NPCObject, RectHotspot
+from repro.runtime import (
+    Compositor,
+    GameState,
+    GestureKind,
+    InputError,
+    KeyPress,
+    MouseClick,
+    MouseDrag,
+    UiLayout,
+    interpret,
+)
+from repro.video import Frame, FrameSize
+
+SIZE = FrameSize(100, 80)
+LAYOUT = UiLayout.default_for(SIZE.width, SIZE.height)
+
+
+@pytest.fixture()
+def scenario():
+    sc = Scenario("room", "Room", 0)
+    sc.add_object(ImageObject(object_id="poster", name="Poster",
+                              hotspot=RectHotspot(10, 10, 20, 15)))
+    sc.add_object(ItemObject(object_id="key", name="Key",
+                             hotspot=RectHotspot(50, 30, 8, 8)))
+    sc.add_object(NPCObject(object_id="guide", name="Guide", dialogue_id="d",
+                            hotspot=RectHotspot(70, 10, 12, 25)))
+    sc.add_object(ButtonObject(object_id="exit", name="Exit", label="Exit",
+                               hotspot=RectHotspot(80, 60, 15, 8)))
+    return sc
+
+
+@pytest.fixture()
+def state():
+    return GameState("room")
+
+
+class TestUiLayout:
+    def test_default_strip_at_bottom(self):
+        lo = UiLayout.default_for(100, 80)
+        assert lo.inv_y + lo.inv_h == 80
+        assert lo.in_inventory(5, lo.inv_y + 1)
+        assert not lo.in_inventory(5, lo.inv_y - 1)
+
+    def test_slot_indexing(self):
+        lo = UiLayout.default_for(100, 80)
+        assert lo.slot_at(0, lo.inv_y + 1) == 0
+        assert lo.slot_at(lo.slot_w + 1, lo.inv_y + 1) == 1
+        assert lo.slot_at(5, 5) is None
+
+
+class TestInterpret:
+    def test_left_click_object(self, scenario, state):
+        g = interpret(MouseClick(15, 15), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.CLICK and g.object_id == "poster"
+
+    def test_right_click_examines(self, scenario, state):
+        g = interpret(MouseClick(15, 15, button="right"), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.EXAMINE
+
+    def test_click_npc_talks(self, scenario, state):
+        g = interpret(MouseClick(72, 15), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.TALK and g.object_id == "guide"
+
+    def test_click_with_selection_uses_item(self, scenario, state):
+        state.inventory.add("key")
+        state.inventory.select("key")
+        g = interpret(MouseClick(15, 15), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.USE_ITEM
+        assert g.item_id == "key" and g.object_id == "poster"
+
+    def test_click_empty_space(self, scenario, state):
+        g = interpret(MouseClick(45, 5), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.NONE
+
+    def test_click_inventory_selects_slot(self, scenario, state):
+        g = interpret(MouseClick(2, LAYOUT.inv_y + 2), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.SELECT_SLOT and g.slot_index == 0
+
+    def test_modal_click_dismisses(self, scenario, state):
+        state.push_popup("text", "hi", 0.0)
+        g = interpret(MouseClick(15, 15), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.DISMISS
+
+    def test_drag_portable_to_inventory_takes(self, scenario, state):
+        g = interpret(MouseDrag(52, 32, 5, LAYOUT.inv_y + 2), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.TAKE and g.object_id == "key"
+
+    def test_drag_non_portable_to_inventory_noop(self, scenario, state):
+        g = interpret(MouseDrag(15, 15, 5, LAYOUT.inv_y + 2), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.NONE
+
+    def test_drag_draggable_moves(self, scenario, state):
+        g = interpret(MouseDrag(52, 32, 30, 30), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.MOVE and g.move_to == (30, 30)
+
+    def test_drag_from_empty_space(self, scenario, state):
+        g = interpret(MouseDrag(45, 5, 10, 10), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.NONE
+
+    def test_arrow_keys_move_avatar(self, scenario, state):
+        g = interpret(KeyPress("left"), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.AVATAR and g.avatar_delta == (-8.0, 0.0)
+
+    def test_other_keys_noop(self, scenario, state):
+        g = interpret(KeyPress("q"), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.NONE
+
+    def test_invisible_objects_not_hit(self, scenario, state):
+        state.visibility["poster"] = False
+        g = interpret(MouseClick(15, 15), scenario, state, LAYOUT)
+        assert g.kind == GestureKind.NONE
+
+    def test_bad_button_rejected(self):
+        with pytest.raises(InputError):
+            MouseClick(1, 1, button="middle")
+
+    def test_unknown_event_type(self, scenario, state):
+        with pytest.raises(InputError):
+            interpret(object(), scenario, state, LAYOUT)
+
+
+class TestCompositor:
+    def _base(self):
+        return Frame.blank(SIZE, (50, 50, 50))
+
+    def test_size_checked(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        with pytest.raises(ValueError):
+            comp.compose(Frame.blank(FrameSize(10, 10)), scenario, state)
+
+    def test_objects_drawn(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        out = comp.compose(self._base(), scenario, state)
+        # The button face colour appears inside its hotspot.
+        assert not np.array_equal(
+            out.data[62, 82], np.array([50, 50, 50], dtype=np.uint8)
+        )
+
+    def test_inventory_strip_drawn(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        out = comp.compose(self._base(), scenario, state)
+        assert (out.data[LAYOUT.inv_y + 2, 2] == comp.inv_bg).all()
+
+    def test_popup_dims_scene(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        plain = comp.compose(self._base(), scenario, state)
+        state.push_popup("text", "hi", 0.0)
+        dimmed = comp.compose(self._base(), scenario, state)
+        assert dimmed.data[2, 2, 0] < plain.data[2, 2, 0]
+
+    def test_hidden_objects_skipped(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        visible = comp.compose(self._base(), scenario, state)
+        state.visibility["poster"] = False
+        hidden = comp.compose(self._base(), scenario, state)
+        assert visible.checksum() != hidden.checksum()
+
+    def test_layer_cache_reused(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        comp.compose(self._base(), scenario, state)
+        comp.compose(self._base(), scenario, state)
+        assert comp.stats.cache_builds == 1
+        assert comp.stats.frames_composited == 2
+
+    def test_cache_invalidated_on_visibility_change(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        comp.compose(self._base(), scenario, state)
+        state.visibility["poster"] = False
+        comp.compose(self._base(), scenario, state)
+        assert comp.stats.cache_builds == 2
+
+    def test_cache_invalidated_on_move(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        comp.compose(self._base(), scenario, state)
+        scenario.get_object("key").move_to(20, 20)
+        comp.compose(self._base(), scenario, state)
+        assert comp.stats.cache_builds == 2
+
+    def test_avatar_marker(self, scenario, state):
+        comp = Compositor(LAYOUT)
+        state.avatar_xy = (30.0, 30.0)
+        out = comp.compose(self._base(), scenario, state)
+        assert (out.data[30, 30] == (120, 80, 20)).all()
+
+    def test_selected_slot_highlight(self, scenario, state):
+        state.inventory.add("key", name="Key")
+        comp = Compositor(LAYOUT)
+        plain = comp.compose(self._base(), scenario, state)
+        state.inventory.select("key")
+        selected = comp.compose(self._base(), scenario, state)
+        assert plain.checksum() != selected.checksum()
+
+    def test_input_frame_not_mutated(self, scenario, state):
+        base = self._base()
+        checksum = base.checksum()
+        Compositor(LAYOUT).compose(base, scenario, state)
+        assert base.checksum() == checksum

@@ -1,0 +1,218 @@
+"""Tests for the inventory and game state (incl. save/load properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import GameState, Inventory, InventoryError, PopupRecord, StateError
+
+
+class TestInventory:
+    def test_add_and_stack(self):
+        inv = Inventory()
+        inv.add("coin", name="Coin")
+        inv.add("coin")
+        assert inv.count("coin") == 2
+        assert inv.slot_count == 1
+        assert inv.total_items == 2
+
+    def test_capacity_counts_slots_not_items(self):
+        inv = Inventory(capacity=2)
+        inv.add("a")
+        inv.add("a")
+        inv.add("b")
+        with pytest.raises(InventoryError):
+            inv.add("c")
+        inv.add("a")  # stacking still fine
+
+    def test_remove_drops_empty_slot(self):
+        inv = Inventory()
+        inv.add("a")
+        inv.remove("a")
+        assert not inv.has("a")
+        with pytest.raises(InventoryError):
+            inv.remove("a")
+
+    def test_selection(self):
+        inv = Inventory()
+        inv.add("a")
+        inv.select("a")
+        assert inv.selected == "a"
+        inv.deselect()
+        assert inv.selected is None
+        with pytest.raises(InventoryError):
+            inv.select("ghost")
+
+    def test_selection_cleared_when_item_consumed(self):
+        inv = Inventory()
+        inv.add("a")
+        inv.select("a")
+        inv.remove("a")
+        assert inv.selected is None
+
+    def test_rewards_shelf(self):
+        inv = Inventory()
+        inv.add("badge", is_reward=True)
+        inv.add("coin")
+        assert [s.item_id for s in inv.rewards] == ["badge"]
+
+    def test_dict_roundtrip(self):
+        inv = Inventory(capacity=5)
+        inv.add("a", name="Item A")
+        inv.add("a")
+        inv.add("badge", is_reward=True)
+        inv.select("a")
+        inv2 = Inventory.from_dict(inv.to_dict())
+        assert inv2.count("a") == 2
+        assert inv2.selected == "a"
+        assert inv2.rewards[0].item_id == "badge"
+        assert inv2.capacity == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InventoryError):
+            Inventory(capacity=0)
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.sampled_from("abcd")),
+        max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_never_negative_property(self, ops):
+        """Property: counts track adds minus successful removes, >= 0."""
+        inv = Inventory(capacity=10)
+        shadow = {k: 0 for k in "abcd"}
+        for op, item in ops:
+            if op == "add":
+                inv.add(item)
+                shadow[item] += 1
+            else:
+                if shadow[item] > 0:
+                    inv.remove(item)
+                    shadow[item] -= 1
+                else:
+                    with pytest.raises(InventoryError):
+                        inv.remove(item)
+        for k, n in shadow.items():
+            assert inv.count(k) == n
+
+
+class TestPopupRecord:
+    def test_kinds(self):
+        PopupRecord("text", "x", 0.0)
+        with pytest.raises(StateError):
+            PopupRecord("video", "x", 0.0)
+
+    def test_equality_ignores_time(self):
+        assert PopupRecord("text", "x", 1.0) == PopupRecord("text", "x", 9.0)
+
+
+class TestGameState:
+    def test_initial(self):
+        st_ = GameState("start")
+        assert st_.current_scenario == "start"
+        assert st_.has_visited("start")
+        assert not st_.finished
+
+    def test_condition_context_protocol(self):
+        st_ = GameState("s")
+        st_.inventory.add("ram")
+        st_.set_flag("go", True)
+        st_.prop_overrides[("pc", "state")] = "fixed"
+        assert st_.has_item("ram")
+        assert st_.item_count("ram") == 1
+        assert st_.get_flag("go")
+        assert not st_.get_flag("nope")
+        assert st_.get_prop("pc", "state") == "fixed"
+        assert st_.get_prop("pc", "missing") is False
+
+    def test_base_props_overridden_by_session(self):
+        st_ = GameState("s")
+        st_.base_props[("pc", "state")] = "broken"
+        assert st_.get_prop("pc", "state") == "broken"
+        st_.prop_overrides[("pc", "state")] = "fixed"
+        assert st_.get_prop("pc", "state") == "fixed"
+
+    def test_switch_resets_dwell(self):
+        st_ = GameState("a")
+        st_.advance_time(5.0)
+        st_.fired_timers.add("t1")
+        st_.switch_to("b")
+        assert st_.current_scenario == "b"
+        assert st_.scenario_time == 0.0
+        assert st_.fired_timers == set()
+        assert st_.has_visited("a") and st_.has_visited("b")
+        assert st_.play_time == 5.0
+
+    def test_end_and_no_further_transitions(self):
+        st_ = GameState("a")
+        st_.end("won")
+        assert st_.finished and st_.outcome == "won"
+        with pytest.raises(StateError):
+            st_.end("lost")
+        with pytest.raises(StateError):
+            st_.switch_to("b")
+
+    def test_popup_stack(self):
+        st_ = GameState("a")
+        st_.push_popup("text", "one", 0.0)
+        st_.push_popup("web", "two", 1.0)
+        assert st_.modal_active
+        assert st_.dismiss_popup().content == "two"
+        assert st_.dismiss_popup().content == "one"
+        assert st_.dismiss_popup() is None
+        assert not st_.modal_active
+
+    def test_score_validation(self):
+        st_ = GameState("a")
+        st_.add_score(5)
+        with pytest.raises(StateError):
+            st_.add_score(-1)
+
+    def test_time_validation(self):
+        st_ = GameState("a")
+        with pytest.raises(StateError):
+            st_.advance_time(-0.1)
+
+    def test_visibility_overrides(self):
+        st_ = GameState("a")
+        assert st_.object_visible("x", True)
+        st_.visibility["x"] = False
+        assert not st_.object_visible("x", True)
+
+    def test_full_roundtrip(self):
+        st_ = GameState("a")
+        st_.inventory.add("ram", name="RAM")
+        st_.set_flag("found", True)
+        st_.add_score(12)
+        st_.switch_to("b")
+        st_.prop_overrides[("pc", "state")] = "fixed"
+        st_.base_props[("pc", "brand")] = "acme"
+        st_.fired_once.add("ev-1")
+        st_.visibility["ram"] = False
+        st_.push_popup("text", "hello", 3.0)
+        st_.web_visits.append("https://x/y")
+        st_.avatar_xy = (12.5, 30.0)
+        st_.advance_time(9.0)
+
+        st2 = GameState.from_dict(st_.to_dict())
+        assert st2.to_dict() == st_.to_dict()
+        assert st2.get_prop("pc", "brand") == "acme"
+        assert st2.inventory.count("ram") == 1
+
+    @given(
+        flags=st.dictionaries(st.sampled_from("abcd"), st.booleans(), max_size=4),
+        score=st.integers(0, 500),
+        visited=st.sets(st.sampled_from(["s1", "s2", "s3"]), min_size=0, max_size=3),
+        items=st.lists(st.sampled_from(["i1", "i2"]), max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_identity_property(self, flags, score, visited, items):
+        """Property: to_dict/from_dict is observationally the identity."""
+        st_ = GameState("home")
+        st_.flags = dict(flags)
+        st_.score = score
+        st_.visited |= visited
+        for i in items:
+            st_.inventory.add(i)
+        st2 = GameState.from_dict(st_.to_dict())
+        assert st2.to_dict() == st_.to_dict()

@@ -1,0 +1,182 @@
+"""Tests for save slots, autosave, and the adaptive hint advisor."""
+
+import json
+
+import pytest
+
+from repro.core.solver import _apply, solve
+from repro.runtime import (
+    AUTOSAVE_SLOT,
+    AutosavePolicy,
+    GameState,
+    HintAdvisor,
+    HintError,
+    MouseClick,
+    SaveError,
+    SaveManager,
+)
+
+
+class TestSaveManager:
+    def test_save_load_roundtrip(self, tmp_path, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        eng.state.inventory.add("ram", name="RAM")
+        eng.state.set_flag("met-teacher", True)
+        eng.state.add_score(7)
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        mgr.save("slot1", eng.state, saved_at=10.0)
+        loaded = mgr.load("slot1")
+        assert loaded.to_dict() == eng.state.to_dict()
+
+    def test_slot_name_validation(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        with pytest.raises(SaveError):
+            mgr.save("Bad Slot!", GameState("classroom"))
+
+    def test_missing_slot(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        with pytest.raises(SaveError):
+            mgr.load("ghost")
+
+    def test_wrong_game_rejected(self, tmp_path, classroom_game):
+        mgr_a = SaveManager(tmp_path, "Game A")
+        mgr_a.save("s", GameState("classroom"))
+        mgr_b = SaveManager(tmp_path, "Game B")
+        with pytest.raises(SaveError):
+            mgr_b.load("s")
+        # ... and Game B's slot listing hides Game A's saves.
+        assert mgr_b.slots() == []
+
+    def test_corruption_detected(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        mgr.save("s", GameState("classroom"))
+        path = tmp_path / "s.save.json"
+        doc = json.loads(path.read_text())
+        doc["state"]["score"] = 99999  # tamper
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SaveError):
+            mgr.load("s")
+
+    def test_slots_sorted_newest_first(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        mgr.save("old", GameState("classroom"), saved_at=1.0)
+        mgr.save("new", GameState("classroom"), saved_at=2.0)
+        assert [s.slot for s in mgr.slots()] == ["new", "old"]
+
+    def test_delete(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        mgr.save("s", GameState("classroom"))
+        assert mgr.delete("s")
+        assert not mgr.delete("s")
+
+    def test_resume_engine_switches_video(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        # Save a state parked in the market.
+        donor = classroom_game.new_engine(with_video=False)
+        donor.start()
+        donor.state.switch_to("market")
+        mgr.save("s", donor.state)
+        # Resume into a fresh engine with video.
+        eng = classroom_game.new_engine()
+        eng.start()
+        mgr.resume_engine("s", eng)
+        assert eng.state.current_scenario == "market"
+        assert eng.player.current_segment == eng.scenarios["market"].segment_ref
+
+    def test_resumed_session_still_winnable(self, tmp_path, classroom_game):
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        script = solve(classroom_game).winning_script
+        _apply(eng, script[0])
+        _apply(eng, script[1])
+        mgr.save("mid", eng.state)
+        eng2 = classroom_game.new_engine(with_video=False)
+        eng2.start()
+        mgr.resume_engine("mid", eng2)
+        for move in script[2:]:
+            _apply(eng2, move)
+        assert eng2.state.outcome == "won"
+
+
+class TestAutosave:
+    def test_autosave_on_scenario_switch(self, tmp_path, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        policy = AutosavePolicy(mgr, eng, min_interval=0.0)
+        x, y = classroom_game.scenarios["classroom"].get_object(
+            "classroom-go-market").hotspot.center()
+        eng.handle_input(MouseClick(x, y))
+        assert policy.saves_written == 1
+        assert mgr.load(AUTOSAVE_SLOT).current_scenario == "market"
+
+    def test_rate_limiting(self, tmp_path, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        policy = AutosavePolicy(mgr, eng, min_interval=1000.0)
+        go = classroom_game.scenarios["classroom"].get_object(
+            "classroom-go-market").hotspot.center()
+        back = classroom_game.scenarios["market"].get_object(
+            "market-go-classroom").hotspot.center()
+        eng.handle_input(MouseClick(*go))
+        eng.handle_input(MouseClick(*back))
+        eng.handle_input(MouseClick(*go))
+        assert policy.saves_written == 1  # only the first, then throttled
+
+
+class TestHintAdvisor:
+    def test_escalation_levels(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        advisor = HintAdvisor(classroom_game)
+        h0 = advisor.hint(eng.state, level=0)
+        h2 = advisor.hint(eng.state, level=2)
+        assert "market" in h0.text
+        assert "Do this:" in h2.text
+        assert h0.moves_remaining == h2.moves_remaining == 4
+
+    def test_hint_progresses_with_play(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        advisor = HintAdvisor(classroom_game)
+        script = solve(classroom_game).winning_script
+        remaining = []
+        for move in script:
+            remaining.append(advisor.hint(eng.state).moves_remaining)
+            _apply(eng, move)
+        assert remaining == [4, 3, 2, 1]
+
+    def test_local_step_phrasing(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        script = solve(classroom_game).winning_script
+        _apply(eng, script[0])  # now in the market, next step is take
+        advisor = HintAdvisor(classroom_game)
+        h1 = advisor.hint(eng.state, level=1)
+        assert "picking up" in h1.text
+
+    def test_won_state(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        for move in solve(classroom_game).winning_script:
+            _apply(eng, move)
+        advisor = HintAdvisor(classroom_game)
+        assert advisor.hint(eng.state).moves_remaining == 0
+
+    def test_unwinnable_state_raises(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        eng.state.end("lost")
+        advisor = HintAdvisor(classroom_game)
+        with pytest.raises(HintError):
+            advisor.hint(eng.state)
+
+    def test_level_clamped(self, classroom_game):
+        eng = classroom_game.new_engine(with_video=False)
+        eng.start()
+        advisor = HintAdvisor(classroom_game)
+        assert advisor.hint(eng.state, level=99).level == 2
+        assert advisor.hint(eng.state, level=-5).level == 0

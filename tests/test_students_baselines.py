@@ -1,0 +1,251 @@
+"""Tests for simulated students, play policies and the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LinearVideoLesson,
+    SlideshowLesson,
+    build_scripted_classroom_game,
+    build_time_map,
+    page_windows,
+    run_comparison,
+    run_linear_cohort,
+    run_slideshow_cohort,
+    simulate_slideshow,
+    simulate_watch,
+)
+from repro.core.solver import solve
+from repro.learning import DeliveryPoint, KnowledgeItem, KnowledgeMap
+from repro.students import (
+    ARCHETYPES,
+    AttentionModel,
+    run_vgbl_cohort,
+    sample_profile,
+    simulate_play,
+)
+
+
+def _profile(seed=0, archetype="achiever"):
+    return sample_profile("p", np.random.default_rng(seed), archetype=archetype)
+
+
+def _kmap(game):
+    kmap = KnowledgeMap()
+    kmap.add(KnowledgeItem("k-fix", "parts fix machines"),
+             [DeliveryPoint(kind="binding",
+                            ref=[b.binding_id for b in game.events
+                                 if b.trigger == "use_item"][0])])
+    kmap.add(KnowledgeItem("k-market", "markets sell parts"),
+             [DeliveryPoint(kind="enter", ref="market")])
+    kmap.add(KnowledgeItem("k-computer", "what a RAM module looks like"),
+             [DeliveryPoint(kind="examine", ref="computer")])
+    kmap.add(KnowledgeItem("k-ram", "where RAM goes in a computer"),
+             [DeliveryPoint(kind="examine", ref="ram")])
+    kmap.add(KnowledgeItem("k-teacher", "how to report a broken machine"),
+             [DeliveryPoint(kind="dialogue", ref="dlg-teacher:n0")])
+    return kmap
+
+
+class TestProfilesAndAttention:
+    def test_sample_within_bands(self):
+        for arch, bands in ARCHETYPES.items():
+            p = _profile(3, arch)
+            for field, (lo, hi) in bands.items():
+                assert lo <= getattr(p, field) <= hi
+
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError):
+            sample_profile("p", np.random.default_rng(0), archetype="genius")
+
+    def test_mix_sampling_deterministic(self):
+        a = sample_profile("p", np.random.default_rng(5))
+        b = sample_profile("p", np.random.default_rng(5))
+        assert a == b
+
+    def test_decay_monotone(self):
+        att = AttentionModel(_profile())
+        l0 = att.level
+        att.decay(60.0)
+        assert att.level < l0
+
+    def test_decay_exact_exponential(self):
+        p = _profile()
+        att = AttentionModel(p, initial=1.0)
+        att.decay(p.attention_span)
+        assert att.level == pytest.approx(np.exp(-1), rel=1e-6)
+
+    def test_boost_and_clamp(self):
+        att = AttentionModel(_profile(), initial=0.95)
+        att.event("reward")
+        assert att.level == 1.0
+        att2 = AttentionModel(_profile(), initial=0.05)
+        for _ in range(10):
+            att2.event("nothing")
+        assert att2.level == 0.0
+
+    def test_unknown_event(self):
+        with pytest.raises(ValueError):
+            AttentionModel(_profile()).event("lightning")
+
+    def test_dropout_threshold(self):
+        p = _profile()
+        att = AttentionModel(p, initial=p.dropout_threshold + 0.01)
+        assert not att.dropped_out
+        att.decay(p.attention_span * 3)
+        assert att.dropped_out
+
+    def test_mean_level_time_weighted(self):
+        att = AttentionModel(_profile(), initial=1.0)
+        att.decay(100.0)
+        assert att.level < att.mean_level < 1.0
+
+
+class TestSimulatedPlay:
+    def test_achievers_usually_win(self, classroom_game):
+        rng = np.random.default_rng(0)
+        wins = 0
+        for k in range(10):
+            p = sample_profile(f"a{k}", rng, archetype="achiever")
+            res = simulate_play(classroom_game, p, rng, max_seconds=900)
+            wins += res.completed
+        assert wins >= 8
+
+    def test_result_fields_consistent(self, classroom_game):
+        rng = np.random.default_rng(1)
+        res = simulate_play(classroom_game, _profile(1), rng)
+        assert res.interactions == len(res.attention_trace)
+        assert res.time_on_task > 0
+        assert "classroom" in res.entered_scenarios
+        assert 0.0 <= res.final_attention <= 1.0
+
+    def test_max_actions_bound(self, classroom_game):
+        rng = np.random.default_rng(2)
+        res = simulate_play(classroom_game, _profile(2), rng, max_actions=3)
+        assert res.interactions <= 3
+
+    def test_deterministic_given_seed(self, classroom_game):
+        a = simulate_play(classroom_game, _profile(3), np.random.default_rng(9))
+        b = simulate_play(classroom_game, _profile(3), np.random.default_rng(9))
+        assert a.interactions == b.interactions
+        assert a.time_on_task == pytest.approx(b.time_on_task)
+
+
+class TestVgblCohort:
+    def test_summary_shape(self, classroom_game):
+        summary, records = run_vgbl_cohort(
+            classroom_game, _kmap(classroom_game), n_students=8, seed=1
+        )
+        assert summary.n == 8 and len(records) == 8
+        assert summary.platform == "vgbl"
+        assert 0.0 <= summary.completion_rate <= 1.0
+
+    def test_needs_students(self, classroom_game):
+        with pytest.raises(ValueError):
+            run_vgbl_cohort(classroom_game, _kmap(classroom_game), 0, seed=1)
+
+
+class TestLinearVideo:
+    def test_lesson_validation(self):
+        with pytest.raises(ValueError):
+            LinearVideoLesson(duration=0)
+        with pytest.raises(ValueError):
+            LinearVideoLesson(duration=10, shot_changes=(20.0,))
+
+    def test_attentive_student_completes(self):
+        lesson = LinearVideoLesson(duration=120.0)
+        res = simulate_watch(lesson, _profile(0, "achiever"), np.random.default_rng(0))
+        assert res.completed
+        assert res.time_on_task == pytest.approx(120.0)
+
+    def test_struggler_drops_out_of_long_video(self):
+        lesson = LinearVideoLesson(duration=3000.0)
+        res = simulate_watch(lesson, _profile(1, "struggler"), np.random.default_rng(1))
+        assert res.dropped_out
+        assert res.time_on_task < 3000.0
+
+    def test_interactions_minimal(self):
+        lesson = LinearVideoLesson(duration=300.0)
+        res = simulate_watch(lesson, _profile(2, "achiever"), np.random.default_rng(2))
+        assert res.interactions <= 2
+
+
+class TestSlideshow:
+    def test_lesson_validation(self):
+        with pytest.raises(ValueError):
+            SlideshowLesson(n_pages=0)
+        with pytest.raises(ValueError):
+            SlideshowLesson(n_pages=2, seconds_per_page=0)
+
+    def test_page_windows_tile_duration(self):
+        lesson = SlideshowLesson(n_pages=4, seconds_per_page=30)
+        windows = page_windows(lesson)
+        assert windows[0] == (0, 30)
+        assert windows[-1] == (90, 120)
+
+    def test_exposed_time_counts_finished_pages(self):
+        lesson = SlideshowLesson(n_pages=5, seconds_per_page=30)
+        res, exposed = simulate_slideshow(lesson, _profile(3, "achiever"),
+                                          np.random.default_rng(3))
+        assert exposed == res.scenarios_visited * 30
+        assert res.interactions == res.scenarios_visited
+
+
+class TestTimeMap:
+    def test_build_time_map_slices(self, classroom_game):
+        kmap = _kmap(classroom_game)
+        tmap = build_time_map(kmap, 100.0)
+        assert len(tmap) == len(kmap)
+        # watching everything exposes everything, passively
+        exp = tmap.exposures_from_session(set(), set(), set(), set(), 100.0)
+        assert set(exp) == {i.item_id for i in kmap.items}
+        assert not any(exp.values())
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            build_time_map(KnowledgeMap(), 10.0)
+
+
+class TestComparison:
+    def test_paper_ordering_holds(self, classroom_game):
+        results = run_comparison(
+            classroom_game, _kmap(classroom_game),
+            n_students=25, seed=11, lesson_duration=500.0,
+        )
+        vgbl = results["vgbl"]
+        lin = results["linear_video"]
+        sli = results["slideshow"]
+        assert vgbl.mean_knowledge_gain > max(lin.mean_knowledge_gain,
+                                              sli.mean_knowledge_gain)
+        assert vgbl.dropout_rate <= min(lin.dropout_rate, sli.dropout_rate)
+        assert vgbl.mean_final_engagement > lin.mean_final_engagement
+        assert sli.mean_interactions > lin.mean_interactions
+
+    def test_cohort_runners_platform_labels(self, classroom_game):
+        kmap = _kmap(classroom_game)
+        lin, _ = run_linear_cohort(kmap, 300.0, 5, seed=1)
+        sli, _ = run_slideshow_cohort(kmap, 300.0, 5, seed=1)
+        assert lin.platform == "linear_video"
+        assert sli.platform == "slideshow"
+
+
+class TestScriptedBaseline:
+    def test_behaviourally_equivalent(self, classroom_game):
+        scripted, _ = build_scripted_classroom_game()
+        a = solve(scripted)
+        b = solve(classroom_game)
+        assert a.winnable and b.winnable
+        assert len(a.winning_script) == len(b.winning_script)
+
+    def test_requires_programmer_and_specialist(self):
+        _, ledger = build_scripted_classroom_game()
+        report = ledger.report()
+        assert report.ops_by_skill.get("programmer", 0) >= 5
+        assert report.ops_by_skill.get("specialist", 0) >= 3
+        assert report.max_skill_required == "specialist"
+
+    def test_costlier_than_wizard(self, classroom_wizard):
+        _, scripted_ledger = build_scripted_classroom_game()
+        wizard_cost = classroom_wizard.ledger.report().weighted_cost
+        scripted_cost = scripted_ledger.report().weighted_cost
+        assert scripted_cost > 3 * wizard_cost

@@ -1,0 +1,203 @@
+"""Unit + property tests for repro.video.codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import Frame, FrameSize
+from repro.video.codec import (
+    CodecError,
+    DeltaCodec,
+    QuantCodec,
+    RawCodec,
+    RleCodec,
+    available_codecs,
+    get_codec,
+    mse,
+    psnr,
+    rle_decode_bytes,
+    rle_encode_bytes,
+)
+
+SIZE = FrameSize(16, 12)
+
+
+def _random_frames(n, seed=0, size=SIZE):
+    rng = np.random.default_rng(seed)
+    return [
+        Frame(rng.integers(0, 256, size=size.shape, dtype=np.uint8))
+        for _ in range(n)
+    ]
+
+
+class TestRleKernel:
+    def test_roundtrip_simple(self):
+        buf = np.array([1, 1, 1, 2, 2, 3], dtype=np.uint8)
+        assert (rle_decode_bytes(rle_encode_bytes(buf)) == buf).all()
+
+    def test_empty(self):
+        buf = np.array([], dtype=np.uint8)
+        out = rle_decode_bytes(rle_encode_bytes(buf))
+        assert out.size == 0
+
+    def test_long_run_split(self):
+        buf = np.zeros(200_000, dtype=np.uint8)  # forces u16 run splitting
+        out = rle_decode_bytes(rle_encode_bytes(buf))
+        assert out.size == buf.size and (out == 0).all()
+
+    def test_flat_compresses(self):
+        buf = np.zeros(10_000, dtype=np.uint8)
+        assert len(rle_encode_bytes(buf)) < 100
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CodecError):
+            rle_decode_bytes(b"XX\x00\x00\x00\x00")
+
+    def test_decode_rejects_length_mismatch(self):
+        payload = rle_encode_bytes(np.array([1, 2, 3], dtype=np.uint8))
+        tampered = payload[:2] + (99).to_bytes(4, "little") + payload[6:]
+        with pytest.raises(CodecError):
+            rle_decode_bytes(tampered)
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        buf = np.asarray(values, dtype=np.uint8)
+        assert (rle_decode_bytes(rle_encode_bytes(buf)) == buf).all()
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_codecs()) == {"raw", "rle", "delta", "quant"}
+
+    def test_get_unknown(self):
+        with pytest.raises(CodecError):
+            get_codec("h264")
+
+    def test_get_with_params(self):
+        c = get_codec("quant", bits=3)
+        assert isinstance(c, QuantCodec) and c.bits == 3
+
+
+@pytest.mark.parametrize("name", ["raw", "rle", "delta"])
+class TestLosslessCodecs:
+    def test_roundtrip_random(self, name):
+        codec = get_codec(name)
+        frames = _random_frames(6, seed=1)
+        payloads = codec.encode_all(frames)
+        decoded = codec.decode_all(payloads, SIZE)
+        assert decoded == frames
+
+    def test_roundtrip_flat(self, name):
+        codec = get_codec(name)
+        frames = [Frame.blank(SIZE, (i * 10, 0, 0)) for i in range(4)]
+        assert codec.decode_all(codec.encode_all(frames), SIZE) == frames
+
+    def test_not_marked_lossy(self, name):
+        assert get_codec(name).lossy is False
+
+
+class TestDeltaCodec:
+    def test_keyframe_interval(self):
+        codec = DeltaCodec(intra_period=3)
+        frames = _random_frames(7, seed=2)
+        payloads = codec.encode_all(frames)
+        tags = [p[:1] for p in payloads]
+        assert tags == [b"K", b"D", b"D", b"K", b"D", b"D", b"K"]
+
+    def test_reset_between_segments(self):
+        codec = DeltaCodec(intra_period=100)
+        a = _random_frames(3, seed=3)
+        b = _random_frames(3, seed=4)
+        pa = codec.encode_all(a)
+        pb = codec.encode_all(b)  # encode_all resets
+        assert pb[0][:1] == b"K"
+        assert codec.decode_all(pb, SIZE) == b
+
+    def test_delta_before_keyframe_rejected(self):
+        codec = DeltaCodec()
+        frames = _random_frames(2, seed=5)
+        payloads = codec.encode_all(frames)
+        fresh = DeltaCodec()
+        with pytest.raises(CodecError):
+            fresh.decode(payloads[1], SIZE)
+
+    def test_static_scene_compresses_well(self):
+        (frame,) = _random_frames(1, seed=42)  # incompressible keyframe
+        codec = DeltaCodec(intra_period=10)
+        payloads = codec.encode_all([frame] * 8)
+        # Delta payloads of identical frames are all-zero planes -> tiny.
+        assert sum(len(p) for p in payloads[1:]) < len(payloads[0])
+
+    def test_invalid_intra_period(self):
+        with pytest.raises(ValueError):
+            DeltaCodec(intra_period=0)
+
+
+class TestQuantCodec:
+    def test_is_lossy_but_bounded(self):
+        codec = QuantCodec(bits=4)
+        (frame,) = _random_frames(1, seed=6)
+        (payload,) = codec.encode_all([frame])
+        (out,) = codec.decode_all([payload], SIZE)
+        err = np.abs(out.data.astype(int) - frame.data.astype(int)).max()
+        assert err <= (1 << (8 - 4))  # within one quantisation step
+
+    def test_eight_bits_lossless(self):
+        codec = QuantCodec(bits=8)
+        (frame,) = _random_frames(1, seed=7)
+        (out,) = codec.decode_all(codec.encode_all([frame]), SIZE)
+        assert out == frame
+
+    def test_fewer_bits_smaller_payload_on_gradient(self):
+        frame = Frame.from_gradient(SIZE, (0, 0, 0), (255, 255, 255))
+        sizes = {}
+        for bits in (2, 6):
+            codec = QuantCodec(bits=bits)
+            sizes[bits] = len(codec.encode_all([frame])[0])
+        assert sizes[2] < sizes[6]
+
+    def test_psnr_monotone_in_bits(self):
+        (frame,) = _random_frames(1, seed=8)
+        values = []
+        for bits in (2, 4, 6):
+            codec = QuantCodec(bits=bits)
+            (out,) = codec.decode_all(codec.encode_all([frame]), SIZE)
+            values.append(psnr(out, frame))
+        assert values[0] < values[1] < values[2]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantCodec(bits=0)
+        with pytest.raises(ValueError):
+            QuantCodec(bits=9)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        (f,) = _random_frames(1, seed=9)
+        assert mse(f, f) == 0.0
+
+    def test_psnr_inf_for_identical(self):
+        (f,) = _random_frames(1, seed=10)
+        assert psnr(f, f) == float("inf")
+
+    def test_mse_known_value(self):
+        a = Frame.blank(SIZE, (0, 0, 0))
+        b = Frame.blank(SIZE, (10, 10, 10))
+        assert mse(a, b) == pytest.approx(100.0)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(Frame.blank(SIZE), Frame.blank(FrameSize(8, 8)))
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_all_lossless_codecs_roundtrip_property(seed):
+    """Property: every lossless codec inverts exactly on arbitrary frames."""
+    frames = _random_frames(3, seed=seed, size=FrameSize(9, 7))
+    for name in ("raw", "rle", "delta"):
+        codec = get_codec(name)
+        assert codec.decode_all(codec.encode_all(frames), FrameSize(9, 7)) == frames

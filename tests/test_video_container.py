@@ -1,0 +1,155 @@
+"""Unit tests for the RVID container (repro.video.container)."""
+
+import numpy as np
+import pytest
+
+from repro.video import Frame, FrameSize
+from repro.video.container import (
+    ContainerError,
+    VideoReader,
+    VideoWriter,
+    read_video,
+    write_video,
+)
+
+SIZE = FrameSize(12, 10)
+
+
+def _frames(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Frame(rng.integers(0, 256, size=SIZE.shape, dtype=np.uint8))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture()
+def two_segment_bytes():
+    w = VideoWriter(SIZE, fps=12.0, codec_name="rle")
+    w.add_segment(_frames(4, seed=1))
+    w.add_segment(_frames(6, seed=2))
+    return w.tobytes()
+
+
+class TestWriter:
+    def test_rejects_empty_container(self):
+        w = VideoWriter(SIZE)
+        with pytest.raises(ContainerError):
+            w.tobytes()
+
+    def test_rejects_empty_segment(self):
+        w = VideoWriter(SIZE)
+        with pytest.raises(ValueError):
+            w.add_segment([])
+
+    def test_rejects_size_mismatch(self):
+        w = VideoWriter(SIZE)
+        with pytest.raises(ValueError):
+            w.add_segment([Frame.blank(FrameSize(5, 5))])
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            VideoWriter(SIZE, fps=0)
+
+    def test_rejects_unknown_codec_eagerly(self):
+        from repro.video.codec import CodecError
+
+        with pytest.raises(CodecError):
+            VideoWriter(SIZE, codec_name="vp9")
+
+    def test_segment_ids_sequential(self):
+        w = VideoWriter(SIZE)
+        assert w.add_segment(_frames(2)) == 0
+        assert w.add_segment(_frames(2)) == 1
+
+    def test_add_encoded_segment_passthrough(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        w = VideoWriter(SIZE, fps=r.fps, codec_name=r.codec_name)
+        w.add_encoded_segment(r.segment_payloads(0))
+        data = w.tobytes()
+        r2 = VideoReader(data)
+        assert r2.decode_segment(0) == r.decode_segment(0)
+
+
+class TestReader:
+    def test_header_fields(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        assert r.size == SIZE
+        assert r.fps == pytest.approx(12.0)
+        assert r.codec_name == "rle"
+        assert r.segment_count == 2
+        assert r.total_frames == 10
+
+    def test_decode_segment_roundtrip(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        assert r.decode_segment(0) == _frames(4, seed=1)
+        assert r.decode_segment(1) == _frames(6, seed=2)
+
+    def test_decode_single_frame(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        assert r.decode_frame(1, 3) == _frames(6, seed=2)[3]
+
+    def test_decode_single_frame_with_temporal_codec(self):
+        w = VideoWriter(SIZE, codec_name="delta", codec_params={"intra_period": 2})
+        frames = _frames(5, seed=3)
+        w.add_segment(frames)
+        r = VideoReader(w.tobytes())
+        for k in range(5):
+            assert r.decode_frame(0, k) == frames[k]
+
+    def test_segment_duration(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        assert r.segment_duration_seconds(0) == pytest.approx(4 / 12.0)
+
+    def test_index_offsets_consistent(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        e0, e1 = r.index
+        assert e1.offset == e0.offset + e0.byte_size
+        assert e0.frame_offset(0) == e0.offset
+        with pytest.raises(IndexError):
+            e0.frame_offset(99)
+
+    def test_out_of_range_access(self, two_segment_bytes):
+        r = VideoReader(two_segment_bytes)
+        with pytest.raises(IndexError):
+            r.decode_segment(2)
+        with pytest.raises(IndexError):
+            r.decode_frame(0, 4)
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerError):
+            VideoReader(b"NOPE" + b"\x00" * 100)
+
+    def test_truncated_payload(self, two_segment_bytes):
+        with pytest.raises(ContainerError):
+            VideoReader(two_segment_bytes[:-5])
+
+    def test_truncated_header(self, two_segment_bytes):
+        with pytest.raises(ContainerError):
+            VideoReader(two_segment_bytes[:10])
+
+
+class TestFileRoundtrip:
+    def test_write_read_file(self, tmp_path):
+        path = tmp_path / "clip.rvid"
+        segs = [_frames(3, seed=4), _frames(2, seed=5)]
+        nbytes = write_video(path, segs, fps=30.0, codec_name="delta")
+        assert path.stat().st_size == nbytes
+        r = read_video(path)
+        assert r.fps == pytest.approx(30.0)
+        assert [r.decode_segment(i) for i in range(2)] == segs
+
+    def test_write_requires_segments(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_video(tmp_path / "x.rvid", [])
+
+
+class TestCodecChoiceMatters:
+    def test_delta_smaller_than_raw_for_static_video(self):
+        frames = [Frame.blank(SIZE, (60, 60, 60))] * 10
+        sizes = {}
+        for name in ("raw", "delta"):
+            w = VideoWriter(SIZE, codec_name=name)
+            w.add_segment(frames)
+            sizes[name] = len(w.tobytes())
+        assert sizes["delta"] < sizes["raw"] / 2

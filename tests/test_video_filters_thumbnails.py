@@ -1,0 +1,190 @@
+"""Tests for editor video filters and storyboard thumbnails."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    FilterChain,
+    FilterError,
+    Frame,
+    FrameSize,
+    adjust_brightness_contrast,
+    crop,
+    fade_in,
+    fade_out,
+    grayscale,
+    keyframe_index,
+    letterbox,
+    scale_nearest,
+    segment_thumbnail,
+    stamp_caption,
+    storyboard,
+    tint,
+)
+from repro.video.segment import VideoSegment
+
+SIZE = FrameSize(24, 18)
+
+
+def _frame(shade=100):
+    return Frame.blank(SIZE, (shade, shade, shade))
+
+
+class TestToneFilters:
+    def test_brightness_shifts(self):
+        out = adjust_brightness_contrast(_frame(100), brightness=30)
+        assert int(out.data[0, 0, 0]) == 130
+
+    def test_contrast_spreads(self):
+        out = adjust_brightness_contrast(_frame(100), contrast=2.0)
+        assert int(out.data[0, 0, 0]) == 72  # (100-128)*2+128
+
+    def test_clipping(self):
+        out = adjust_brightness_contrast(_frame(250), brightness=100)
+        assert int(out.data[0, 0, 0]) == 255
+
+    def test_validation(self):
+        with pytest.raises(FilterError):
+            adjust_brightness_contrast(_frame(), brightness=999)
+        with pytest.raises(FilterError):
+            adjust_brightness_contrast(_frame(), contrast=-1)
+
+    def test_grayscale_equal_channels(self):
+        f = Frame.blank(SIZE, (200, 50, 10))
+        out = grayscale(f)
+        assert (out.data[..., 0] == out.data[..., 1]).all()
+        assert (out.data[..., 1] == out.data[..., 2]).all()
+
+    def test_tint_strength(self):
+        out = tint(_frame(0), (255, 0, 0), strength=1.0)
+        assert (out.data[0, 0] == (255, 0, 0)).all()
+        half = tint(_frame(0), (255, 0, 0), strength=0.5)
+        assert abs(int(half.data[0, 0, 0]) - 127) <= 1
+        with pytest.raises(FilterError):
+            tint(_frame(), (0, 0, 0), strength=2.0)
+
+
+class TestGeometryFilters:
+    def test_crop(self):
+        f = _frame()
+        f.fill_rect(2, 2, 4, 4, (255, 0, 0))
+        out = crop(f, 2, 2, 4, 4)
+        assert out.size == FrameSize(4, 4)
+        assert (out.data[0, 0] == (255, 0, 0)).all()
+
+    def test_crop_bounds(self):
+        with pytest.raises(FilterError):
+            crop(_frame(), 20, 0, 10, 10)
+        with pytest.raises(FilterError):
+            crop(_frame(), 0, 0, 0, 5)
+
+    def test_scale_nearest(self):
+        out = scale_nearest(_frame(), FrameSize(12, 9))
+        assert out.size == FrameSize(12, 9)
+        assert (out.data == 100).all()
+
+    def test_letterbox_preserves_aspect(self):
+        wide = Frame.blank(FrameSize(40, 10), (200, 200, 200))
+        out = letterbox(wide, FrameSize(20, 20), bar_color=(0, 0, 0))
+        assert out.size == FrameSize(20, 20)
+        assert (out.data[0, 0] == 0).all()       # bar
+        assert (out.data[10, 10] == 200).all()   # content
+
+    def test_caption_bar(self):
+        out = stamp_caption(_frame(), height=5, ticks=2)
+        assert (out.data[-2, 0] == 0).all()      # bar background
+        assert (out.data[-3, 4] == 255).all()    # a tick block
+        with pytest.raises(FilterError):
+            stamp_caption(_frame(), height=1)
+
+
+class TestSequenceFilters:
+    def test_fade_in_monotone(self):
+        frames = [_frame(200) for _ in range(6)]
+        out = fade_in(frames, 3)
+        levels = [int(f.data[0, 0, 0]) for f in out]
+        assert levels[0] < levels[1] < levels[2] <= levels[3] == 200
+
+    def test_fade_out_monotone(self):
+        frames = [_frame(200) for _ in range(6)]
+        out = fade_out(frames, 3)
+        levels = [int(f.data[0, 0, 0]) for f in out]
+        assert levels[-1] < levels[-2] < levels[-3] <= levels[-4] == 200
+
+    def test_fade_does_not_mutate_input(self):
+        frames = [_frame(200)]
+        fade_in(frames, 1)
+        assert int(frames[0].data[0, 0, 0]) == 200
+
+    def test_fade_bounds(self):
+        with pytest.raises(FilterError):
+            fade_in([_frame()], 5)
+
+
+class TestFilterChain:
+    def test_composition_order(self):
+        chain = FilterChain().brightness_contrast(brightness=50).grayscale()
+        out = chain.apply(Frame.blank(SIZE, (100, 0, 0)))
+        # brightness applied before grayscale: (150, 50, 50) -> luma
+        assert len(chain) == 2
+        assert (out.data[..., 0] == out.data[..., 1]).all()
+
+    def test_apply_all(self):
+        chain = FilterChain().tint((0, 0, 255), 0.5)
+        outs = chain.apply_all([_frame(), _frame()])
+        assert len(outs) == 2
+
+    def test_eager_validation(self):
+        with pytest.raises(FilterError):
+            FilterChain().brightness_contrast(brightness=1000)
+
+    def test_step_names(self):
+        chain = FilterChain().grayscale().caption(ticks=1)
+        assert chain.step_names == ["grayscale", "caption(1)"]
+
+    def test_named_custom_step(self):
+        chain = FilterChain().add("invert", lambda f: Frame(255 - f.data))
+        out = chain.apply(_frame(0))
+        assert (out.data == 255).all()
+        with pytest.raises(FilterError):
+            chain.add("", lambda f: f)
+
+
+class TestThumbnails:
+    def _segment(self):
+        frames = [Frame.blank(SIZE, (50, 50, 50)) for _ in range(8)]
+        # Frame 0 is transition residue (very different); the medoid
+        # must avoid it.
+        frames[0] = Frame.blank(SIZE, (250, 250, 250))
+        return VideoSegment(name="seg", frames=frames)
+
+    def test_keyframe_is_medoid(self):
+        seg = self._segment()
+        idx = keyframe_index(seg.frames)
+        assert idx != 0
+
+    def test_keyframe_trivial_cases(self):
+        assert keyframe_index([_frame()]) == 0
+        with pytest.raises(ValueError):
+            keyframe_index([])
+
+    def test_segment_thumbnail_scaled(self):
+        thumb = segment_thumbnail(self._segment(), FrameSize(8, 6))
+        assert thumb.image.size == FrameSize(8, 6)
+        assert thumb.segment_name == "seg"
+
+    def test_storyboard_grid(self):
+        segs = [
+            VideoSegment(name=f"s{i}", frames=[_frame(40 * i + 10)])
+            for i in range(5)
+        ]
+        sheet, thumbs = storyboard(segs, FrameSize(10, 8), columns=2, gap=2)
+        assert len(thumbs) == 5
+        # 2 columns x 3 rows of (10+2, 8+2) cells plus leading gap
+        assert sheet.size == FrameSize(2 + 2 * 12, 2 + 3 * 10)
+
+    def test_storyboard_validation(self):
+        with pytest.raises(ValueError):
+            storyboard([])
+        with pytest.raises(ValueError):
+            storyboard([self._segment()], columns=0)

@@ -1,0 +1,232 @@
+"""Unit tests for repro.video.frame."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.frame import (
+    Frame,
+    FrameSize,
+    clip_rect,
+    color_histogram,
+    frame_absdiff,
+    hist_l1_distance,
+)
+
+
+class TestFrameSize:
+    def test_shape_and_pixels(self):
+        s = FrameSize(8, 4)
+        assert s.shape == (4, 8, 3)
+        assert s.pixels == 32
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            FrameSize(0, 5)
+        with pytest.raises(ValueError):
+            FrameSize(5, -1)
+
+    def test_contains(self):
+        s = FrameSize(4, 3)
+        assert s.contains(0, 0) and s.contains(3, 2)
+        assert not s.contains(4, 0)
+        assert not s.contains(0, 3)
+        assert not s.contains(-1, 0)
+
+
+class TestClipRect:
+    def test_inside(self):
+        assert clip_rect(1, 1, 2, 2, FrameSize(10, 10)) == (1, 1, 3, 3)
+
+    def test_partial_overlap(self):
+        assert clip_rect(-2, -2, 5, 5, FrameSize(10, 10)) == (0, 0, 3, 3)
+        assert clip_rect(8, 8, 5, 5, FrameSize(10, 10)) == (8, 8, 10, 10)
+
+    def test_fully_outside_is_empty(self):
+        x0, y0, x1, y1 = clip_rect(20, 20, 5, 5, FrameSize(10, 10))
+        assert x0 == x1 or y0 == y1
+
+    def test_negative_size_is_empty(self):
+        x0, y0, x1, y1 = clip_rect(2, 2, -3, 4, FrameSize(10, 10))
+        assert x0 == x1
+
+
+class TestFrameConstruction:
+    def test_blank_color(self):
+        f = Frame.blank(FrameSize(4, 4), (10, 20, 30))
+        assert f.data.shape == (4, 4, 3)
+        assert (f.data[2, 2] == [10, 20, 30]).all()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Frame(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            Frame(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_gradient_endpoints(self):
+        f = Frame.from_gradient(FrameSize(4, 10), (0, 0, 0), (250, 250, 250))
+        assert f.data[0].max() <= 5
+        assert f.data[-1].min() >= 245
+
+    def test_bytes_roundtrip(self):
+        f = Frame.from_gradient(FrameSize(6, 5), (10, 100, 200), (200, 100, 10))
+        g = Frame.frombytes(f.tobytes(), f.size)
+        assert f == g
+
+    def test_frombytes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Frame.frombytes(b"\x00" * 10, FrameSize(4, 4))
+
+    def test_copy_is_independent(self):
+        f = Frame.blank(FrameSize(4, 4))
+        g = f.copy()
+        g.data[0, 0] = 255
+        assert f.data[0, 0, 0] == 0
+
+    def test_equality(self):
+        a = Frame.blank(FrameSize(3, 3), (1, 2, 3))
+        b = Frame.blank(FrameSize(3, 3), (1, 2, 3))
+        c = Frame.blank(FrameSize(3, 3), (1, 2, 4))
+        assert a == b and a != c
+
+    def test_checksum_changes_with_content_and_order(self):
+        a = Frame.blank(FrameSize(4, 4), (1, 0, 0))
+        b = Frame.blank(FrameSize(4, 4), (0, 1, 0))
+        assert a.checksum() != b.checksum()
+
+
+class TestRasterOps:
+    def test_fill_rect_clipped(self):
+        f = Frame.blank(FrameSize(8, 8))
+        f.fill_rect(-2, -2, 4, 4, (255, 0, 0))
+        assert (f.data[0, 0] == [255, 0, 0]).all()
+        assert (f.data[2, 2] == [0, 0, 0]).all()
+
+    def test_fill_rect_outside_is_noop(self):
+        f = Frame.blank(FrameSize(8, 8))
+        f.fill_rect(100, 100, 4, 4, (255, 0, 0))
+        assert f.data.sum() == 0
+
+    def test_draw_border_leaves_interior(self):
+        f = Frame.blank(FrameSize(10, 10))
+        f.draw_border(1, 1, 8, 8, (9, 9, 9))
+        assert (f.data[1, 4] == 9).all()
+        assert (f.data[5, 5] == 0).all()
+
+    def test_draw_disc_radius(self):
+        f = Frame.blank(FrameSize(20, 20))
+        f.draw_disc(10, 10, 4, (255, 255, 255))
+        assert (f.data[10, 10] == 255).all()
+        assert (f.data[10, 14] == 255).all()  # on the radius
+        assert (f.data[10, 15] == 0).all()
+
+    def test_draw_disc_clipped_at_edge(self):
+        f = Frame.blank(FrameSize(10, 10))
+        f.draw_disc(0, 0, 3, (255, 0, 0))  # mostly off-frame, no crash
+        assert (f.data[0, 0] == [255, 0, 0]).all()
+
+    def test_blit_and_clip(self):
+        f = Frame.blank(FrameSize(8, 8))
+        patch = np.full((4, 4, 3), 200, dtype=np.uint8)
+        f.blit(patch, 6, 6)  # half off-frame
+        assert (f.data[7, 7] == 200).all()
+        assert (f.data[5, 5] == 0).all()
+
+    def test_blit_rejects_bad_shape(self):
+        f = Frame.blank(FrameSize(8, 8))
+        with pytest.raises(ValueError):
+            f.blit(np.zeros((4, 4), dtype=np.uint8), 0, 0)
+
+    def test_blend_full_opacity_equals_blit(self):
+        f = Frame.blank(FrameSize(8, 8))
+        src = np.full((3, 3, 3), 100, dtype=np.uint8)
+        f.blend(src, np.ones((3, 3), dtype=np.float32), 2, 2)
+        assert (f.data[3, 3] == 100).all()
+
+    def test_blend_half_opacity(self):
+        f = Frame.blank(FrameSize(8, 8), (200, 200, 200))
+        src = np.zeros((2, 2, 3), dtype=np.uint8)
+        f.blend(src, np.full((2, 2), 0.5, dtype=np.float32), 0, 0)
+        assert abs(int(f.data[0, 0, 0]) - 100) <= 1
+
+    def test_blend_alpha_shape_mismatch(self):
+        f = Frame.blank(FrameSize(8, 8))
+        with pytest.raises(ValueError):
+            f.blend(
+                np.zeros((2, 2, 3), dtype=np.uint8),
+                np.zeros((3, 3), dtype=np.float32),
+                0,
+                0,
+            )
+
+
+class TestAnalysis:
+    def test_gray_range(self):
+        f = Frame.blank(FrameSize(4, 4), (255, 255, 255))
+        g = f.to_gray()
+        assert g.shape == (4, 4)
+        assert abs(float(g[0, 0]) - 255.0) < 1.0
+
+    def test_histogram_normalised(self):
+        f = Frame.from_gradient(FrameSize(16, 16), (0, 0, 0), (255, 255, 255))
+        h = color_histogram(f, 8)
+        assert h.shape == (512,)
+        assert abs(h.sum() - 1.0) < 1e-9
+
+    def test_histogram_bins_validation(self):
+        f = Frame.blank(FrameSize(4, 4))
+        with pytest.raises(ValueError):
+            color_histogram(f, 1)
+
+    def test_hist_distance_identical_zero(self):
+        f = Frame.from_gradient(FrameSize(8, 8), (10, 20, 30), (200, 100, 0))
+        h = color_histogram(f)
+        assert hist_l1_distance(h, h) == 0.0
+
+    def test_hist_distance_bounds(self):
+        a = color_histogram(Frame.blank(FrameSize(8, 8), (0, 0, 0)))
+        b = color_histogram(Frame.blank(FrameSize(8, 8), (255, 255, 255)))
+        assert abs(hist_l1_distance(a, b) - 2.0) < 1e-9
+
+    def test_absdiff(self):
+        a = Frame.blank(FrameSize(4, 4), (10, 10, 10))
+        b = Frame.blank(FrameSize(4, 4), (13, 13, 13))
+        assert frame_absdiff(a, b) == pytest.approx(3.0)
+
+    def test_absdiff_size_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_absdiff(
+                Frame.blank(FrameSize(4, 4)), Frame.blank(FrameSize(5, 4))
+            )
+
+
+@given(
+    w=st.integers(1, 24),
+    h=st.integers(1, 24),
+    x=st.integers(-30, 30),
+    y=st.integers(-30, 30),
+    rw=st.integers(0, 30),
+    rh=st.integers(0, 30),
+)
+@settings(max_examples=60, deadline=None)
+def test_clip_rect_always_within_bounds(w, h, x, y, rw, rh):
+    """Property: clipped boxes are inside the frame and well-ordered."""
+    size = FrameSize(w, h)
+    x0, y0, x1, y1 = clip_rect(x, y, rw, rh, size)
+    assert 0 <= x0 <= x1 <= w
+    assert 0 <= y0 <= y1 <= h
+
+
+@given(
+    data=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_frame_bytes_roundtrip_property(data):
+    """Property: tobytes/frombytes is the identity for random frames."""
+    rng = np.random.default_rng(data)
+    arr = rng.integers(0, 256, size=(7, 9, 3), dtype=np.uint8)
+    f = Frame(arr)
+    assert Frame.frombytes(f.tobytes(), f.size) == f

@@ -1,0 +1,157 @@
+"""Tests for clocked playback (repro.video.player)."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    Frame,
+    FrameSize,
+    PlaybackState,
+    PlayerError,
+    SegmentPlayer,
+    SimulatedClock,
+    VideoReader,
+    VideoWriter,
+)
+
+SIZE = FrameSize(8, 6)
+FPS = 10.0
+
+
+@pytest.fixture()
+def reader():
+    w = VideoWriter(SIZE, fps=FPS, codec_name="raw")
+    for seed in (1, 2):
+        rng = np.random.default_rng(seed)
+        w.add_segment(
+            [Frame(rng.integers(0, 256, SIZE.shape, dtype=np.uint8)) for _ in range(5)]
+        )
+    return VideoReader(w.tobytes())
+
+
+@pytest.fixture()
+def player(reader):
+    clock = SimulatedClock()
+    return SegmentPlayer(reader, clock=clock), clock
+
+
+class TestClock:
+    def test_advance(self):
+        c = SimulatedClock(5.0)
+        assert c.now() == 5.0
+        c.advance(2.5)
+        assert c.now() == 7.5
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestPlayback:
+    def test_requires_play_first(self, player):
+        p, _ = player
+        with pytest.raises(PlayerError):
+            p.position()
+        assert p.tick() is None  # idle tick is a no-op
+
+    def test_frame_progression(self, player, reader):
+        p, clock = player
+        p.play(0)
+        assert p.position() == 0
+        clock.advance(0.25)  # 2.5 frame times
+        assert p.position() == 2
+        assert p.current_frame() == reader.decode_segment(0)[2]
+
+    def test_tick_emits_once_per_frame(self, player):
+        p, clock = player
+        p.play(0)
+        assert p.tick() is not None
+        assert p.tick() is None  # same frame again
+        clock.advance(1 / FPS)
+        assert p.tick() is not None
+
+    def test_on_frame_callback(self, reader):
+        clock = SimulatedClock()
+        seen = []
+        p = SegmentPlayer(reader, clock=clock, on_frame=lambda f, i: seen.append(i))
+        p.play(0)
+        p.tick()
+        clock.advance(2 / FPS)
+        p.tick()
+        assert seen == [0, 2]
+
+    def test_looping(self, player):
+        p, clock = player
+        p.play(0)  # 5 frames
+        clock.advance(0.7)  # frame 7 -> wraps to 2
+        assert p.position() == 2
+        assert not p.finished()
+
+    def test_non_looping_finishes(self, reader):
+        clock = SimulatedClock()
+        p = SegmentPlayer(reader, clock=clock, loop_segment=False)
+        p.play(0)
+        clock.advance(0.7)
+        assert p.finished()
+        assert p.position() == 4  # clamped to last frame
+        p.tick()
+        assert p.state == PlaybackState.FINISHED
+
+    def test_switch_segment_counts(self, player, reader):
+        p, clock = player
+        p.play(0)
+        p.play(1)
+        assert p.switch_count == 1
+        assert p.current_segment == 1
+        assert p.current_frame() == reader.decode_segment(1)[0]
+
+
+class TestPauseResumeSeek:
+    def test_pause_freezes_position(self, player):
+        p, clock = player
+        p.play(0)
+        clock.advance(0.2)
+        p.pause()
+        pos = p.position()
+        clock.advance(1.0)
+        assert p.position() == pos
+        p.resume()
+        clock.advance(0.1)
+        assert p.position() == pos + 1
+
+    def test_pause_requires_playing(self, player):
+        p, clock = player
+        p.play(0)
+        p.pause()
+        with pytest.raises(PlayerError):
+            p.pause()
+
+    def test_resume_requires_paused(self, player):
+        p, _ = player
+        p.play(0)
+        with pytest.raises(PlayerError):
+            p.resume()
+
+    def test_seek(self, player, reader):
+        p, clock = player
+        p.play(0)
+        p.seek(3)
+        assert p.position() == 3
+        assert p.current_frame() == reader.decode_segment(0)[3]
+
+    def test_seek_bounds(self, player):
+        p, _ = player
+        p.play(0)
+        with pytest.raises(PlayerError):
+            p.seek(5)
+        with pytest.raises(PlayerError):
+            p.seek(-1)
+
+    def test_seek_while_paused_stays_paused(self, player):
+        p, clock = player
+        p.play(0)
+        p.pause()
+        p.seek(2)
+        clock.advance(1.0)
+        assert p.position() == 2
+        assert p.state == PlaybackState.PAUSED

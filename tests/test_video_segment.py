@@ -1,0 +1,173 @@
+"""Tests for segments and timelines (repro.video.segment)."""
+
+import pytest
+
+from repro.video import Frame, FrameSize, SegmentError, Timeline, VideoSegment, segments_from_boundaries
+
+SIZE = FrameSize(10, 8)
+
+
+def _seg(name, n, shade=100):
+    return VideoSegment(
+        name=name, frames=[Frame.blank(SIZE, (shade, shade, shade))] * n
+    )
+
+
+class TestVideoSegment:
+    def test_basic_properties(self):
+        s = _seg("a", 5)
+        assert s.frame_count == 5
+        assert s.size == SIZE
+        assert s.duration_seconds(10.0) == pytest.approx(0.5)
+
+    def test_requires_name_and_frames(self):
+        with pytest.raises(SegmentError):
+            VideoSegment(name="", frames=[Frame.blank(SIZE)])
+        with pytest.raises(SegmentError):
+            VideoSegment(name="x", frames=[])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(SegmentError):
+            VideoSegment(
+                name="x",
+                frames=[Frame.blank(SIZE), Frame.blank(FrameSize(5, 5))],
+            )
+
+    def test_trim(self):
+        s = _seg("a", 6)
+        t = s.trim(2, 5)
+        assert t.frame_count == 3
+        assert t.name == "a[2:5]"
+
+    def test_trim_tracks_source_span(self):
+        s = VideoSegment(name="a", frames=[Frame.blank(SIZE)] * 6,
+                         source="movie", source_span=(10, 16))
+        t = s.trim(2, 4)
+        assert t.source_span == (12, 14)
+
+    def test_trim_bounds(self):
+        s = _seg("a", 4)
+        with pytest.raises(SegmentError):
+            s.trim(2, 2)
+        with pytest.raises(SegmentError):
+            s.trim(0, 9)
+
+    def test_split(self):
+        a, b = _seg("x", 6).split(2)
+        assert a.frame_count == 2 and b.frame_count == 4
+        assert a.name != b.name
+
+    def test_split_interior_only(self):
+        with pytest.raises(SegmentError):
+            _seg("x", 4).split(0)
+        with pytest.raises(SegmentError):
+            _seg("x", 4).split(4)
+
+    def test_concat(self):
+        c = _seg("a", 2).concat(_seg("b", 3))
+        assert c.frame_count == 5
+
+    def test_concat_size_mismatch(self):
+        other = VideoSegment(name="o", frames=[Frame.blank(FrameSize(4, 4))])
+        with pytest.raises(SegmentError):
+            _seg("a", 2).concat(other)
+
+    def test_bad_fps(self):
+        with pytest.raises(SegmentError):
+            _seg("a", 2).duration_seconds(0)
+
+
+class TestSegmentsFromBoundaries:
+    def test_basic_cutting(self):
+        frames = [Frame.blank(SIZE)] * 10
+        segs = segments_from_boundaries(frames, [3, 7], name_prefix="sc")
+        assert [s.frame_count for s in segs] == [3, 4, 3]
+        assert [s.name for s in segs] == ["sc-000", "sc-001", "sc-002"]
+        assert segs[1].source_span == (3, 7)
+
+    def test_ignores_out_of_range_and_duplicates(self):
+        frames = [Frame.blank(SIZE)] * 6
+        segs = segments_from_boundaries(frames, [0, 3, 3, 6, 99])
+        assert [s.frame_count for s in segs] == [3, 3]
+
+    def test_no_boundaries_single_segment(self):
+        frames = [Frame.blank(SIZE)] * 4
+        segs = segments_from_boundaries(frames, [])
+        assert len(segs) == 1 and segs[0].frame_count == 4
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(SegmentError):
+            segments_from_boundaries([], [1])
+
+
+class TestTimeline:
+    def _tl(self):
+        return Timeline([_seg("a", 4), _seg("b", 3), _seg("c", 5)])
+
+    def test_iteration_and_lookup(self):
+        tl = self._tl()
+        assert len(tl) == 3
+        assert tl.names == ["a", "b", "c"]
+        assert tl.total_frames == 12
+        assert tl.get("b").frame_count == 3
+        assert tl.index_of("c") == 2
+
+    def test_unique_names_enforced(self):
+        with pytest.raises(SegmentError):
+            Timeline([_seg("a", 2), _seg("a", 2)])
+        tl = self._tl()
+        with pytest.raises(SegmentError):
+            tl.append(_seg("a", 1))
+
+    def test_append_size_check(self):
+        tl = self._tl()
+        with pytest.raises(SegmentError):
+            tl.append(VideoSegment(name="z", frames=[Frame.blank(FrameSize(4, 4))]))
+
+    def test_remove(self):
+        tl = self._tl()
+        removed = tl.remove("b")
+        assert removed.name == "b"
+        assert tl.names == ["a", "c"]
+        with pytest.raises(SegmentError):
+            tl.remove("b")
+
+    def test_rename(self):
+        tl = self._tl()
+        tl.rename("b", "middle")
+        assert tl.names == ["a", "middle", "c"]
+        with pytest.raises(SegmentError):
+            tl.rename("a", "c")  # collision
+        with pytest.raises(SegmentError):
+            tl.rename("a", "")
+
+    def test_move(self):
+        tl = self._tl()
+        tl.move("c", 0)
+        assert tl.names == ["c", "a", "b"]
+        with pytest.raises(SegmentError):
+            tl.move("a", 9)
+
+    def test_merge_adjacent(self):
+        tl = self._tl()
+        name = tl.merge("a", "b", name="ab")
+        assert name == "ab"
+        assert tl.names == ["ab", "c"]
+        assert tl.get("ab").frame_count == 7
+
+    def test_merge_non_adjacent_rejected(self):
+        tl = self._tl()
+        with pytest.raises(SegmentError):
+            tl.merge("a", "c")
+
+    def test_split(self):
+        tl = self._tl()
+        a, b = tl.split("c", 2)
+        assert tl.names == ["a", "b", a, b]
+        assert tl.get(a).frame_count == 2
+        assert tl.get(b).frame_count == 3
+
+    def test_as_frame_lists(self):
+        tl = self._tl()
+        lists = tl.as_frame_lists()
+        assert [len(fl) for fl in lists] == [4, 3, 5]

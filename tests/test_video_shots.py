@@ -1,0 +1,137 @@
+"""Tests for shot-boundary detection (repro.video.shots)."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    DetectorConfig,
+    Frame,
+    FrameSize,
+    ShotDetector,
+    ShotSpec,
+    TransitionKind,
+    detect_shots,
+    generate_clip,
+    random_shot_script,
+    score_detection,
+)
+
+SIZE = FrameSize(64, 48)
+
+
+class TestDifferenceSignal:
+    def test_length(self, flat_clip):
+        det = ShotDetector()
+        sig = det.difference_signal(flat_clip.frames)
+        assert sig.shape == (flat_clip.frame_count - 1,)
+
+    def test_empty_inputs(self):
+        det = ShotDetector()
+        assert det.difference_signal([]).size == 0
+        assert det.difference_signal([Frame.blank(SIZE)]).size == 0
+
+    def test_cut_dominates_signal(self, flat_clip):
+        sig = ShotDetector().difference_signal(flat_clip.frames)
+        assert int(np.argmax(sig)) == 7  # transition 7->8 is the cut
+
+    def test_pixel_metric_also_sees_cut(self, flat_clip):
+        det = ShotDetector(DetectorConfig(metric="pixel"))
+        sig = det.difference_signal(flat_clip.frames)
+        assert int(np.argmax(sig)) == 7
+
+
+class TestDetection:
+    def test_perfect_on_clean_cuts(self, flat_clip):
+        assert detect_shots(flat_clip.frames) == [8]
+
+    def test_noisy_multi_shot_f1(self, noisy_clip):
+        detected = detect_shots(noisy_clip.frames)
+        p, r, f1 = score_detection(detected, noisy_clip.boundaries, tolerance=2)
+        assert f1 >= 0.8
+
+    def test_single_shot_no_boundaries(self):
+        clip = generate_clip(SIZE, [ShotSpec(duration=20, top_color=(9, 9, 9), bottom_color=(40, 40, 40))])
+        # With zero variance the threshold collapses; a flat clip must not
+        # produce spurious cuts.
+        assert detect_shots(clip.frames) == []
+
+    def test_fade_collapsed_to_single_boundary(self):
+        clip = generate_clip(
+            SIZE,
+            [
+                ShotSpec(duration=12, top_color=(220, 40, 40), bottom_color=(130, 10, 10),
+                         transition_to_next=TransitionKind.FADE, fade_frames=4),
+                ShotSpec(duration=12, top_color=(40, 40, 220), bottom_color=(10, 10, 130)),
+            ],
+        )
+        detected = detect_shots(clip.frames)
+        p, r, f1 = score_detection(detected, clip.boundaries, tolerance=3)
+        assert r == 1.0
+        assert len(detected) <= 2  # not one boundary per fade frame
+
+    def test_min_shot_len_pruning(self, flat_clip):
+        # With a giant min_shot_len, nearby boundaries merge to one.
+        cfg = DetectorConfig(min_shot_len=50)
+        assert len(detect_shots(flat_clip.frames, cfg)) <= 1
+
+    def test_detect_from_signal_matches_detect(self, noisy_clip):
+        det = ShotDetector()
+        sig = det.difference_signal(noisy_clip.frames)
+        a = [b.frame_index for b in det.detect(noisy_clip.frames)]
+        b = [b.frame_index for b in det.detect_from_signal(sig)]
+        assert a == b
+
+
+class TestConfigValidation:
+    def test_bad_metric(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(metric="optical-flow")
+
+    def test_k_ordering(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(k_hard=1.0, k_soft=2.0)
+
+    def test_min_shot_len(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(min_shot_len=0)
+
+
+class TestScoring:
+    def test_perfect(self):
+        assert score_detection([5, 10], [5, 10]) == (1.0, 1.0, 1.0)
+
+    def test_tolerance(self):
+        p, r, f1 = score_detection([6, 11], [5, 10], tolerance=1)
+        assert (p, r) == (1.0, 1.0)
+
+    def test_false_positive(self):
+        p, r, f1 = score_detection([5, 20], [5], tolerance=0)
+        assert p == 0.5 and r == 1.0
+
+    def test_miss(self):
+        p, r, f1 = score_detection([5], [5, 30], tolerance=0)
+        assert p == 1.0 and r == 0.5
+
+    def test_empty_detected_with_truth(self):
+        p, r, f1 = score_detection([], [5])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_empty_both(self):
+        p, r, f1 = score_detection([], [])
+        assert (p, r) == (1.0, 1.0)
+
+    def test_one_to_one_matching(self):
+        # Two detections near one truth: only one may count.
+        p, r, f1 = score_detection([5, 6], [5], tolerance=2)
+        assert p == 0.5 and r == 1.0
+
+
+class TestAcrossRandomClips:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_f1_on_random_scripts(self, seed):
+        rng = np.random.default_rng(seed)
+        script = random_shot_script(4, rng, size=SIZE, min_duration=10, max_duration=16)
+        clip = generate_clip(SIZE, script, seed=seed)
+        detected = detect_shots(clip.frames)
+        _, _, f1 = score_detection(detected, clip.boundaries, tolerance=2)
+        assert f1 >= 0.75, f"seed {seed}: detected {detected} vs {clip.boundaries}"

@@ -1,0 +1,184 @@
+"""Tests for synthetic footage generation and the parallel kernels."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    DetectorConfig,
+    FrameSize,
+    MovingSprite,
+    ShotDetector,
+    ShotSpec,
+    TransitionKind,
+    chunk_spans,
+    generate_clip,
+    parallel_difference_signal,
+    parallel_encode_segments,
+    random_shot_script,
+)
+
+SIZE = FrameSize(32, 24)
+
+
+class TestShotSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShotSpec(duration=0, top_color=(0, 0, 0), bottom_color=(0, 0, 0))
+        with pytest.raises(ValueError):
+            ShotSpec(duration=5, top_color=(0, 0, 0), bottom_color=(0, 0, 0),
+                     transition_to_next="wipe")
+        with pytest.raises(ValueError):
+            ShotSpec(duration=5, top_color=(0, 0, 0), bottom_color=(0, 0, 0),
+                     transition_to_next=TransitionKind.FADE, fade_frames=0)
+
+    def test_sprite_position(self):
+        s = MovingSprite(color=(1, 2, 3), radius=2, start_xy=(10.0, 5.0),
+                         velocity_xy=(1.5, -0.5))
+        assert s.position_at(0) == (10, 5)
+        assert s.position_at(4) == (16, 3)
+
+
+class TestGenerateClip:
+    def test_frame_counts_and_spans(self):
+        clip = generate_clip(
+            SIZE,
+            [
+                ShotSpec(duration=6, top_color=(200, 0, 0), bottom_color=(90, 0, 0)),
+                ShotSpec(duration=4, top_color=(0, 0, 200), bottom_color=(0, 0, 90)),
+            ],
+        )
+        assert clip.frame_count == 10
+        assert clip.boundaries == [6]
+        assert clip.shot_spans == [(0, 6), (6, 10)]
+        assert clip.size == SIZE
+        assert clip.duration_seconds == pytest.approx(10 / 24.0)
+
+    def test_fade_inserts_frames(self):
+        clip = generate_clip(
+            SIZE,
+            [
+                ShotSpec(duration=5, top_color=(200, 0, 0), bottom_color=(90, 0, 0),
+                         transition_to_next=TransitionKind.FADE, fade_frames=3),
+                ShotSpec(duration=5, top_color=(0, 0, 200), bottom_color=(0, 0, 90)),
+            ],
+        )
+        assert clip.frame_count == 13
+        assert clip.boundaries == [6]  # midpoint of the fade window
+        assert clip.shot_spans == [(0, 5), (8, 13)]
+
+    def test_deterministic_with_seed(self):
+        spec = [ShotSpec(duration=4, top_color=(10, 10, 10),
+                         bottom_color=(50, 50, 50), noise_level=6)]
+        a = generate_clip(SIZE, spec, seed=9)
+        b = generate_clip(SIZE, spec, seed=9)
+        assert a.frames == b.frames
+
+    def test_noise_requires_seed(self):
+        spec = [ShotSpec(duration=2, top_color=(0, 0, 0), bottom_color=(0, 0, 0),
+                         noise_level=3)]
+        with pytest.raises(ValueError):
+            generate_clip(SIZE, spec)
+
+    def test_requires_shots(self):
+        with pytest.raises(ValueError):
+            generate_clip(SIZE, [])
+
+    def test_sprites_move(self):
+        spec = [ShotSpec(duration=6, top_color=(0, 0, 0), bottom_color=(0, 0, 0),
+                         sprites=[MovingSprite((255, 255, 255), 3, (5.0, 12.0), (3.0, 0.0))])]
+        clip = generate_clip(SIZE, spec)
+        assert clip.frames[0] != clip.frames[5]
+
+
+class TestRandomScript:
+    def test_consecutive_palettes_differ(self):
+        rng = np.random.default_rng(3)
+        shots = random_shot_script(6, rng, size=SIZE)
+        for a, b in zip(shots, shots[1:]):
+            dist = np.abs(
+                np.asarray(a.top_color, dtype=int) - np.asarray(b.top_color, dtype=int)
+            ).sum()
+            assert dist >= 160
+
+    def test_bounds_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_shot_script(0, rng)
+        with pytest.raises(ValueError):
+            random_shot_script(2, rng, min_duration=10, max_duration=5)
+
+
+class TestChunkSpans:
+    def test_balanced(self):
+        assert chunk_spans(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_spans(2, 5) == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_spans(0, 3) == []
+
+    def test_covers_range_exactly(self):
+        for n in (1, 7, 23):
+            for k in (1, 2, 5):
+                spans = chunk_spans(n, k)
+                assert spans[0][0] == 0 and spans[-1][1] == n
+                for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+                    assert e0 == s1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_spans(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_spans(5, 0)
+
+
+class TestParallelKernels:
+    @pytest.fixture(scope="class")
+    def clip(self):
+        rng = np.random.default_rng(11)
+        return generate_clip(
+            SIZE, random_shot_script(3, rng, size=SIZE, min_duration=8, max_duration=12),
+            seed=11,
+        )
+
+    def test_signal_matches_serial(self, clip):
+        serial = ShotDetector().difference_signal(clip.frames)
+        parallel, stats = parallel_difference_signal(clip.frames, max_workers=2, min_chunk=4)
+        assert np.allclose(serial, parallel)
+        assert stats.workers_requested == 2
+
+    def test_signal_serial_path_for_small_input(self, clip):
+        _, stats = parallel_difference_signal(clip.frames[:5], max_workers=4)
+        assert stats.workers_used == 1
+
+    def test_signal_respects_metric(self, clip):
+        cfg = DetectorConfig(metric="pixel")
+        serial = ShotDetector(cfg).difference_signal(clip.frames)
+        parallel, _ = parallel_difference_signal(clip.frames, config=cfg, max_workers=2, min_chunk=4)
+        assert np.allclose(serial, parallel)
+
+    def test_encode_matches_serial(self, clip):
+        segments = [clip.frames[:8], clip.frames[8:16], clip.frames[16:]]
+        par, stats = parallel_encode_segments(segments, codec_name="rle", max_workers=2)
+        ser, _ = parallel_encode_segments(segments, codec_name="rle", max_workers=1)
+        assert par == ser
+        assert stats.chunks == 3
+
+    def test_encode_delta_with_params(self, clip):
+        segments = [clip.frames[:6], clip.frames[6:12]]
+        par, _ = parallel_encode_segments(
+            segments, codec_name="delta", codec_params={"intra_period": 3}, max_workers=2
+        )
+        ser, _ = parallel_encode_segments(
+            segments, codec_name="delta", codec_params={"intra_period": 3}, max_workers=1
+        )
+        assert par == ser
+
+    def test_encode_requires_segments(self):
+        with pytest.raises(ValueError):
+            parallel_encode_segments([])
+
+    def test_invalid_workers(self, clip):
+        with pytest.raises(ValueError):
+            parallel_difference_signal(clip.frames, max_workers=-2)
