@@ -9,7 +9,6 @@
 import time
 
 import numpy as np
-import pytest
 
 from conftest import save_result
 from repro.core import fetch_quest_game

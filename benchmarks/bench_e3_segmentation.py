@@ -13,7 +13,6 @@ import pytest
 from conftest import save_result
 from repro.reporting import format_table
 from repro.video import (
-    DetectorConfig,
     FrameSize,
     ShotDetector,
     detect_shots,

@@ -24,8 +24,6 @@ from repro.runtime import Compositor, GameState, MouseClick, UiLayout
 from repro.video import (
     Frame,
     FrameSize,
-    VideoReader,
-    VideoWriter,
     available_codecs,
     generate_clip,
     get_codec,

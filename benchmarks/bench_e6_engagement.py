@@ -8,7 +8,6 @@ comparison table on matched simulated cohorts and asserts the claim's
 and knowledge gain, and the effect survives across student archetypes.
 """
 
-import numpy as np
 import pytest
 
 from conftest import save_result

@@ -8,7 +8,6 @@ and sweeps the expertise weights to show the ranking is insensitive to
 the exact weight choices.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.baselines import build_scripted_classroom_game

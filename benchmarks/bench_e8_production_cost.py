@@ -11,7 +11,6 @@ automated steps (synthesise → segment → commit → compile).
 import time
 
 import numpy as np
-import pytest
 
 from conftest import save_result
 from repro.core import GameProject, ScenarioEditor

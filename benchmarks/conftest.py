@@ -1,10 +1,28 @@
-"""Shared benchmark fixtures: result artifact directory, standard game."""
+"""Shared benchmark fixtures: result artifact directory, standard game.
+
+When observability is on (``REPRO_OBS=1``), the session-finish hook
+writes the accumulated metrics snapshot to
+``results/obs_snapshot.prom`` — the CI bench job uploads it as a build
+artifact, so every CI run leaves an inspectable record of what the
+benchmarks actually exercised.
+"""
 
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "obs_snapshot.prom"
+    path.write_text(obs.render_prometheus(obs.snapshot()))
+    print(f"\nobs: wrote metrics snapshot to {path}")
 
 
 @pytest.fixture(scope="session")

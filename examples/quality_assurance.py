@@ -20,7 +20,6 @@ from repro.core import (
     missing_translations,
     solve,
 )
-from repro.core.solver import _apply
 from repro.runtime import InputRecorder, MouseClick, MouseDrag, ReplayMismatch, replay
 from repro.video import FrameSize
 

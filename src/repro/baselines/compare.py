@@ -10,18 +10,17 @@ matched cohorts isolates the platform effect, which is what the paper's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..core.project import CompiledGame
 from ..learning.analytics import CohortSummary, OutcomeRecord, summarize
-from ..learning.knowledge import DeliveryPoint, KnowledgeItem, KnowledgeMap
+from ..learning.knowledge import DeliveryPoint, KnowledgeMap
 from ..students.cohort import ExposureReport, _measure_gain
 from ..students.model import sample_profile
-from ..students.player import simulate_play
 from .linear_video import LinearVideoLesson, simulate_watch
-from .slideshow import SlideshowLesson, page_windows, simulate_slideshow
+from .slideshow import SlideshowLesson, simulate_slideshow
 
 __all__ = [
     "build_time_map",

@@ -13,7 +13,7 @@ difference the paper attributes the engagement gap to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -15,9 +15,8 @@ script length), so the effort comparison isolates the authoring surface.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
-import numpy as np
 
 from ..core.effort import AuthoringLedger
 from ..core.project import CompiledGame, GameProject

@@ -13,7 +13,7 @@ items passively (time-window deliveries laid out one window per page).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

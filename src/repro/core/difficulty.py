@@ -21,9 +21,8 @@ difficulty bench to show label stability.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 

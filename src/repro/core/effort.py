@@ -23,7 +23,7 @@ conclusion is weight-insensitive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["AuthoringLedger", "EffortReport", "Op", "SKILL_WEIGHTS"]

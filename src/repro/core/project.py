@@ -17,20 +17,13 @@ between the authoring tool and the gaming platform that §4 describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..events import EventTable
 from ..graph import Scenario, ScenarioGraph, build_graph
 from ..runtime import Dialogue, GameEngine
-from ..video import (
-    Frame,
-    FrameSize,
-    SegmentError,
-    VideoReader,
-    VideoSegment,
-    VideoWriter,
-)
+from ..video import Frame, FrameSize, VideoReader, VideoSegment, VideoWriter
 from ..video.player import Clock
 
 __all__ = ["CompiledGame", "GameProject", "ProjectError"]

@@ -19,7 +19,7 @@ the whole point of the tool is that none of this needs a programmer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..graph import Scenario
 from ..video import (

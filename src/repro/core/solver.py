@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..events import Trigger
 from ..runtime import Dialogue, DialogueSession, GameEngine, GameState

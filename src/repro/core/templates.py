@@ -24,21 +24,13 @@ seed, so templates are runnable with zero assets.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..events import (
-    AwardBonus,
-    EndGame,
-    SetFlag,
-    ShowText,
-    SwitchScenario,
-    Trigger,
-)
+from ..events import AwardBonus, EndGame, SetFlag, ShowText, Trigger
 from ..objects import RectHotspot
 from ..video import Frame, FrameSize, ShotSpec, generate_clip
-from .project import GameProject
 from .wizard import GameWizard
 
 __all__ = ["exploration_game", "fetch_quest_game", "quiz_game", "scene_footage"]

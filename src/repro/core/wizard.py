@@ -40,7 +40,7 @@ from ..runtime import Dialogue
 from ..video import DetectorConfig, Frame
 from .effort import AuthoringLedger
 from .object_editor import ObjectEditor
-from .project import CompiledGame, GameProject, ProjectError
+from .project import CompiledGame, GameProject
 from .scenario_editor import ScenarioEditor
 from .validation import ValidationReport, validate
 

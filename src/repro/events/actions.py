@@ -15,7 +15,7 @@ lists to prove reachability and winnability without running the game.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 __all__ = [
     "Action",

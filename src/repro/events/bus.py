@@ -14,10 +14,25 @@ of poisoning the engine loop (failure-injection tests rely on this).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
+from ..obs import metrics as _obs
+
 __all__ = ["EventBus", "Notice"]
+
+_M_PUBLISHED = _obs.counter(
+    "repro_bus_published_total",
+    "Notices published on engine buses, by topic",
+)
+_M_SUB_ERRORS = _obs.counter(
+    "repro_bus_subscriber_errors_total",
+    "Exceptions raised by bus subscribers (swallowed by quarantine logic)",
+)
+_M_QUARANTINED = _obs.counter(
+    "repro_bus_quarantined_total",
+    "Subscribers dropped after repeated failures",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,16 +89,19 @@ class EventBus:
         """Publish a notice; delivers to topic and "*" subscribers."""
         notice = Notice(topic=topic, payload=dict(payload or {}), time=time)
         self.published_count += 1
+        _M_PUBLISHED.inc(topic=topic)
         for sub_topic in (topic, "*"):
             # Copy: subscribers may unsubscribe during delivery.
             for token, fn in list(self._subs.get(sub_topic, ())):
                 try:
                     fn(notice)
                 except Exception:
+                    _M_SUB_ERRORS.inc()
                     self._errors[token] = self._errors.get(token, 0) + 1
                     if self._errors[token] >= self.max_errors:
                         self.unsubscribe(token)
                         self.quarantined.append(token)
+                        _M_QUARANTINED.inc()
                 else:
                     self._errors[token] = 0
         return notice

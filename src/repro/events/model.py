@@ -27,10 +27,20 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
+from ..obs import metrics as _obs
 from .actions import Action, action_from_dict
 from .conditions import ConditionContext, compile_condition
 
 __all__ = ["EventBinding", "EventError", "EventTable", "Trigger"]
+
+_M_MATCH_CACHE_HITS = _obs.counter(
+    "repro_engine_condition_cache_hits_total",
+    "Interaction dispatches served from the structural match cache",
+)
+_M_MATCH_CACHE_MISSES = _obs.counter(
+    "repro_engine_condition_cache_misses_total",
+    "Interaction dispatches that had to scan and sort the binding table",
+)
 
 _binding_counter = itertools.count(1)
 
@@ -156,8 +166,16 @@ class EventTable:
     def __init__(self, bindings: Optional[Iterable[EventBinding]] = None) -> None:
         self._bindings: List[EventBinding] = []
         self._ids: Set[str] = set()
+        #: structural-match memo: (scenario, trigger, object, item) →
+        #: pre-sorted candidate bindings.  Guards and once-exclusion are
+        #: per-session state and stay outside the cache.
+        self._match_cache: Dict[tuple, List[EventBinding]] = {}
         for b in bindings or []:
             self.add(b)
+
+    def invalidate_cache(self) -> None:
+        """Drop the structural match memo (after editing bindings in place)."""
+        self._match_cache.clear()
 
     def add(self, binding: EventBinding) -> str:
         """Add a binding; returns its id."""
@@ -165,6 +183,7 @@ class EventTable:
             raise EventError(f"duplicate binding id {binding.binding_id!r}")
         self._bindings.append(binding)
         self._ids.add(binding.binding_id)
+        self._match_cache.clear()
         return binding.binding_id
 
     def remove(self, binding_id: str) -> EventBinding:
@@ -172,6 +191,7 @@ class EventTable:
         for i, b in enumerate(self._bindings):
             if b.binding_id == binding_id:
                 self._ids.discard(binding_id)
+                self._match_cache.clear()
                 return self._bindings.pop(i)
         raise EventError(f"no binding {binding_id!r}")
 
@@ -220,19 +240,34 @@ class EventTable:
         set of already-fired ``once`` bindings.  When ``ctx`` is given,
         guards are evaluated; otherwise only structural matching is done
         (used by the validator).
+
+        The structural part (scan + sort) depends only on the lookup key,
+        not on session state, so it is memoised per table; mutating a
+        binding *after* insertion requires :meth:`invalidate_cache`.
         """
-        hits: List[tuple] = []
-        for order, b in enumerate(self._bindings):
+        key = (scenario_id, trigger, object_id, item_id)
+        ordered = self._match_cache.get(key)
+        if ordered is None:
+            _M_MATCH_CACHE_MISSES.inc()
+            hits: List[tuple] = []
+            for order, b in enumerate(self._bindings):
+                if not b.matches(scenario_id, trigger, object_id, item_id):
+                    continue
+                local = 0 if b.scenario_id != GLOBAL_SCOPE else 1
+                hits.append((local, -b.priority, order, b))
+            hits.sort(key=lambda t: t[:3])
+            ordered = [t[3] for t in hits]
+            self._match_cache[key] = ordered
+        else:
+            _M_MATCH_CACHE_HITS.inc()
+        out: List[EventBinding] = []
+        for b in ordered:
             if exclude_ids and b.once and b.binding_id in exclude_ids:
-                continue
-            if not b.matches(scenario_id, trigger, object_id, item_id):
                 continue
             if ctx is not None and not b.guard_passes(ctx):
                 continue
-            local = 0 if b.scenario_id != GLOBAL_SCOPE else 1
-            hits.append((local, -b.priority, order, b))
-        hits.sort(key=lambda t: t[:3])
-        return [t[3] for t in hits]
+            out.append(b)
+        return out
 
     def to_list(self) -> List[Dict[str, Any]]:
         return [b.to_dict() for b in self._bindings]

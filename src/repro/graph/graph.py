@@ -15,11 +15,11 @@ to the exact event to fix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import networkx as nx
 
-from ..events import EventTable, SwitchScenario, Trigger
+from ..events import EventTable, SwitchScenario
 from .scenario import Scenario
 
 __all__ = ["EdgeInfo", "GraphError", "ScenarioGraph", "build_graph"]

@@ -19,7 +19,6 @@ Scenarios do not know about transitions; those are authored as
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..objects import InteractiveObject, object_from_dict

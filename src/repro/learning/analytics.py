@@ -12,7 +12,7 @@ the linear-video baseline and the slideshow baseline all produce the same
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -11,11 +11,11 @@ floor).  Normalised learning gain uses Hake's formula
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Set
 
 import numpy as np
 
-from .knowledge import KnowledgeItem, KnowledgeMap
+from .knowledge import KnowledgeMap
 
 __all__ = ["Question", "Test", "TestResult", "hake_gain"]
 

@@ -16,8 +16,8 @@ decides which exposures stick.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
 
 __all__ = ["DeliveryPoint", "KnowledgeError", "KnowledgeItem", "KnowledgeMap"]
 

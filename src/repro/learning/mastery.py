@@ -19,7 +19,7 @@ exposes the mastery vector the teacher report renders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .knowledge import KnowledgeMap
 

@@ -16,7 +16,6 @@ email or an LMS page unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..reporting.tables import format_table

@@ -29,4 +29,5 @@ __all__ = [
     "SwitchRecord",
     "Tablet",
     "Transfer",
+    "make_device",
 ]

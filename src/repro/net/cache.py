@@ -24,14 +24,36 @@ later regrets costs a full segment stall.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph import ScenarioGraph
+from ..obs import metrics as _obs
 
 __all__ = ["CacheStats", "EVICTION_POLICIES", "SegmentCache"]
 
 EVICTION_POLICIES = ("lru", "fifo", "graph")
+
+_M_HITS = _obs.counter(
+    "repro_cache_hits_total",
+    "Segment-cache playback hits, by eviction policy",
+)
+_M_MISSES = _obs.counter(
+    "repro_cache_misses_total",
+    "Segment-cache playback misses, by eviction policy",
+)
+_M_REFETCHES = _obs.counter(
+    "repro_cache_refetches_total",
+    "Misses on previously-cached segments (regretted evictions)",
+)
+_M_EVICTIONS = _obs.counter(
+    "repro_cache_evictions_total",
+    "Segments evicted, by eviction policy",
+)
+_M_BYTES_EVICTED = _obs.counter(
+    "repro_cache_bytes_evicted_total",
+    "Bytes evicted from segment caches, by eviction policy",
+)
 
 
 @dataclass(slots=True)
@@ -116,13 +138,16 @@ class SegmentCache:
 
         if segment_id in self._resident:
             self.stats.hits += 1
+            _M_HITS.inc(policy=self.policy)
             if self.policy == "lru":
                 self._resident.move_to_end(segment_id)
             return True
 
         self.stats.misses += 1
+        _M_MISSES.inc(policy=self.policy)
         if segment_id in self._ever_cached:
             self.stats.refetches += 1
+            _M_REFETCHES.inc(policy=self.policy)
         self._ever_cached.add(segment_id)
         while self.resident_bytes + size > self.capacity_bytes:
             self._evict_one(current_scenario)
@@ -139,6 +164,8 @@ class SegmentCache:
         del self._resident[victim]
         self.stats.evictions += 1
         self.stats.bytes_evicted += size
+        _M_EVICTIONS.inc(policy=self.policy)
+        _M_BYTES_EVICTED.inc(size, policy=self.policy)
 
     def _graph_victim(self, current_scenario: Optional[str]) -> Tuple[int, int]:
         """Farthest-from-player resident segment (ties: oldest)."""

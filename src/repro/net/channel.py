@@ -12,8 +12,8 @@ Determinism: no randomness; time is the caller's simulated clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List
 
 __all__ = ["Channel", "Transfer"]
 

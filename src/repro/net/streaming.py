@@ -29,15 +29,41 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..graph import ScenarioGraph
+from ..obs import metrics as _obs
 from ..video.container import VideoReader
 from .channel import Channel
 
 __all__ = ["PREFETCH_POLICIES", "StreamSession", "StreamStats", "SwitchRecord"]
 
 PREFETCH_POLICIES = ("none", "successors", "all")
+
+_M_BYTES = _obs.counter(
+    "repro_stream_bytes_fetched_total",
+    "Segment bytes requested over the channel, by purpose (demand/prefetch)",
+)
+_M_FETCHES = _obs.counter(
+    "repro_stream_fetches_total",
+    "Segment fetch requests issued, by purpose (demand/prefetch)",
+)
+_M_PREFETCH_OUTCOME = _obs.counter(
+    "repro_stream_prefetch_total",
+    "Scenario switches by prefetch outcome (hit = segment already resident)",
+)
+_M_STALLS = _obs.counter(
+    "repro_stream_stall_events_total",
+    "Switches that stalled playback, by kind (startup/rebuffer)",
+)
+_M_STARTUP_DELAY = _obs.histogram(
+    "repro_stream_startup_delay_seconds",
+    "Per-switch startup delay (request to playable)",
+)
+_M_SWITCHES = _obs.counter(
+    "repro_stream_switches_total",
+    "Scenario switches replayed through stream sessions",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,13 +159,16 @@ class StreamSession:
     def _segment_bytes(self, segment_id: int) -> int:
         return self.reader.index[segment_id].byte_size
 
-    def _fetch(self, segment_id: int, now: float) -> float:
+    def _fetch(self, segment_id: int, now: float, purpose: str = "demand") -> float:
         """Ensure a segment is (being) fetched; returns its arrival time."""
         if segment_id in self._arrival:
             return self._arrival[segment_id]
-        t = self.channel.request(self._segment_bytes(segment_id), now)
+        size = self._segment_bytes(segment_id)
+        t = self.channel.request(size, now)
         self._transfers[segment_id] = t
         self._arrival[segment_id] = t.finished_at
+        _M_FETCHES.inc(purpose=purpose)
+        _M_BYTES.inc(size, purpose=purpose)
         return t.finished_at
 
     def _progressive_schedule(
@@ -170,7 +199,7 @@ class StreamSession:
         if self.policy == "all":
             order = self._bfs_order(scenario_id)
             for seg in order:
-                self._fetch(seg, now)
+                self._fetch(seg, now, purpose="prefetch")
             return
         # successors: BFS to prefetch_depth
         depth: Dict[str, int] = {scenario_id: 0}
@@ -182,7 +211,7 @@ class StreamSession:
             for nxt in self.graph.successors(sid):
                 if nxt not in depth:
                     depth[nxt] = depth[sid] + 1
-                    self._fetch(self._segment_of(nxt), now)
+                    self._fetch(self._segment_of(nxt), now, purpose="prefetch")
                     q.append(nxt)
 
     def _bfs_order(self, scenario_id: str) -> List[int]:
@@ -217,10 +246,20 @@ class StreamSession:
             seg = self._segment_of(scenario_id)
             requested = now
             rebuffer = 0.0
+            if _obs.enabled():
+                _M_SWITCHES.inc()
+                resident = seg in self._arrival and self._arrival[seg] <= now
+                _M_PREFETCH_OUTCOME.inc(outcome="hit" if resident else "miss")
             if self.progressive:
                 playable, rebuffer = self._progressive_schedule(seg, now)
             else:
                 playable = max(now, self._fetch(seg, now))
+            if _obs.enabled():
+                _M_STARTUP_DELAY.observe(playable - requested)
+                if playable - requested >= 1e-3:
+                    _M_STALLS.inc(kind="startup")
+                if rebuffer > 0.0:
+                    _M_STALLS.inc(kind="rebuffer")
             stats.switches.append(
                 SwitchRecord(
                     scenario_id=scenario_id,

@@ -23,10 +23,9 @@ from __future__ import annotations
 
 import itertools
 import re
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-from .hotspot import Hotspot, RectHotspot, hotspot_from_dict
+from .hotspot import Hotspot, hotspot_from_dict
 
 __all__ = ["InteractiveObject", "ObjectError", "PropertyBag", "new_object_id"]
 

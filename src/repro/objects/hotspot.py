@@ -14,7 +14,7 @@ standard even-odd ray cast, vectorised over edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -16,12 +16,11 @@ onto the video frame.  Image objects support *white-keying* — pixels at
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, Optional, Tuple, Type
 
 import numpy as np
 
 from .base import InteractiveObject, ObjectError
-from .hotspot import Hotspot, RectHotspot
 
 __all__ = [
     "ButtonObject",

@@ -1,0 +1,78 @@
+"""Observability for the VGBL runtime: metrics, tracing, export.
+
+A dependency-free instrumentation layer measuring what the paper's
+gaming platform actually *does* at runtime — event dispatch latency,
+scenario transitions, condition-cache effectiveness, streaming bytes
+and stalls, segment-cache hit rates, parallel-encoder utilization —
+behind a single process-global switch that keeps every instrumented hot
+path at one boolean check when off.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.enable()                      # or REPRO_OBS=1 in the environment
+    ...run any instrumented workload...
+    print(obs.render_snapshot(obs.snapshot(), "table"))
+    obs.reset()
+
+``python -m repro obs export`` does the same from the command line.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    reset,
+    set_enabled,
+    snapshot,
+)
+from .tracing import Span, Tracer, get_tracer, span, trace
+from .export import (
+    EXPORT_FORMATS,
+    render_json,
+    render_prometheus,
+    render_snapshot,
+    render_table,
+    snapshot_rows,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EXPORT_FORMATS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "render_json",
+    "render_prometheus",
+    "render_snapshot",
+    "render_table",
+    "reset",
+    "set_enabled",
+    "snapshot",
+    "snapshot_rows",
+    "span",
+    "trace",
+]

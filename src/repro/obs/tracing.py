@@ -1,0 +1,238 @@
+"""Nestable wall-time spans for the VGBL runtime.
+
+Where :mod:`repro.obs.metrics` answers "how many / how fast on
+average", spans answer "where did *this* request spend its time": a
+span records wall-clock start/end, arbitrary attributes, and its
+parent/child structure, so one ``handle_input`` call can be broken into
+gesture interpretation, binding matching and action execution.
+
+Usage — context manager or decorator::
+
+    tracer = get_tracer()
+    with tracer.span("dispatch", gesture="click") as sp:
+        ...
+        sp.set_attribute("bindings", 2)
+
+    @trace("encode_segment")
+    def encode(...): ...
+
+Spans obey the same module-level enabled flag as metrics: when
+disabled, ``span()`` returns a shared no-op object and never reads the
+clock.  Exception safety: the span's end time is stamped in ``finally``
+and a raising body marks ``status="error"`` with the exception type —
+the exception itself always propagates.
+
+Finished *root* spans accumulate on the tracer (children hang off their
+parents) and export as JSON via :meth:`Tracer.to_json`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from . import metrics as _metrics
+
+__all__ = ["Span", "Tracer", "get_tracer", "span", "trace"]
+
+
+class Span:
+    """One timed operation; may nest child spans."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children", "status", "error")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now if the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, {self.status})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    status = "ok"
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager pushing/popping one live span."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
+        self._tracer = tracer
+        self._span = span_obj
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        try:
+            self._span.end = time.perf_counter()
+            if exc_type is not None:
+                self._span.status = "error"
+                self._span.error = f"{exc_type.__name__}: {exc}"
+        finally:
+            assert self._token is not None
+            self._tracer._pop(self._span, self._token)
+        return None  # never swallow the exception
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Collects span trees; one per process is the normal arrangement.
+
+    The current span is tracked with a :mod:`contextvars` variable so
+    nesting composes correctly across threads (and would across async
+    tasks); finished roots accumulate in :attr:`finished` up to
+    ``max_finished`` (oldest dropped first) so long cohort simulations
+    cannot grow memory without bound.
+    """
+
+    def __init__(self, max_finished: int = 1000) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self.max_finished = max_finished
+        self.finished: List[Span] = []
+        self.dropped = 0
+        self._current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+            "repro_obs_current_span", default=None
+        )
+
+    # -- internal plumbing used by _SpanContext ------------------------
+    def _push(self, span_obj: Span) -> contextvars.Token:
+        parent = self._current.get()
+        if parent is not None:
+            parent.children.append(span_obj)
+        return self._current.set(span_obj)
+
+    def _pop(self, span_obj: Span, token: contextvars.Token) -> None:
+        self._current.reset(token)
+        if self._current.get() is None:  # span_obj was a root
+            self.finished.append(span_obj)
+            if len(self.finished) > self.max_finished:
+                overflow = len(self.finished) - self.max_finished
+                del self.finished[:overflow]
+                self.dropped += overflow
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> "_SpanContext | _NullSpanContext":
+        """Open a span as a context manager (no-op when disabled)."""
+        if not _metrics.enabled():
+            return _NULL_CONTEXT
+        return _SpanContext(self, Span(name, attributes))
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span, or None."""
+        return self._current.get()
+
+    def reset(self) -> None:
+        """Drop all finished spans."""
+        self.finished.clear()
+        self.dropped = 0
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first walk of every finished span (roots and children)."""
+        stack = list(reversed(self.finished))
+        while stack:
+            s = stack.pop()
+            yield s
+            stack.extend(reversed(s.children))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [s.to_dict() for s in self.finished]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Finished root spans (with children) as a JSON array."""
+        return json.dumps(self.to_dicts(), indent=indent, default=str)
+
+
+#: The process-global tracer used by instrumented modules.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return TRACER
+
+
+def span(name: str, **attributes: Any) -> "_SpanContext | _NullSpanContext":
+    """Open a span on the global tracer."""
+    return TRACER.span(name, **attributes)
+
+
+def trace(name: Optional[str] = None):
+    """Decorator tracing every call of the wrapped function.
+
+    ``@trace()`` uses the function's qualified name; ``@trace("x")``
+    names the span explicitly.  Disabled mode adds one boolean check
+    per call.
+    """
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _metrics.enabled():
+                return fn(*args, **kwargs)
+            with TRACER.span(span_name):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -11,7 +11,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Union
 
-import numpy as np
 
 from ..video.frame import Frame, FrameSize
 

@@ -7,8 +7,8 @@ records paper-claim-vs-measured verdicts as :class:`ExperimentRecord`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
 
 __all__ = ["ExperimentRecord", "format_table", "records_to_markdown"]
 

@@ -16,7 +16,7 @@ assert the rendered screenshots' content, not just that code ran.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

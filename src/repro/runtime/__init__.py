@@ -25,7 +25,7 @@ from .inputs import (
 from .inventory import Inventory, InventoryError, InventorySlot
 from .replay import InputRecorder, Recording, ReplayMismatch, replay
 from .rewards import GrantRecord, RewardManager
-from .session import SessionLog, SessionRecorder
+from .session import SessionError, SessionLog, SessionRecorder
 from .state import GameOutcome, GameState, PopupRecord, StateError
 
 __all__ = [
@@ -64,6 +64,7 @@ __all__ = [
     "MouseDrag",
     "PopupRecord",
     "RewardManager",
+    "SessionError",
     "SessionLog",
     "SessionRecorder",
     "StateError",

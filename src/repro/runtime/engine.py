@@ -24,8 +24,10 @@ through the same three calls — ``handle_input``, ``tick``, ``render``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, Optional, Sequence
 
+from ..obs import metrics as _obs
 from ..events import (
     Action,
     AwardBonus,
@@ -64,6 +66,31 @@ from .rewards import RewardManager
 from .state import GameState
 
 __all__ = ["EngineError", "GameEngine"]
+
+_M_DISPATCH = _obs.histogram(
+    "repro_engine_dispatch_seconds",
+    "Latency of one handle_input call: interpret, match, execute",
+)
+_M_INTERACTIONS = _obs.counter(
+    "repro_engine_interactions_total",
+    "Raw input events dispatched, by interpreted gesture kind",
+)
+_M_TRANSITIONS = _obs.counter(
+    "repro_engine_transitions_total",
+    "Scenario switches executed (the paper's segment changes)",
+)
+_M_BINDINGS_FIRED = _obs.counter(
+    "repro_engine_bindings_fired_total",
+    "Event bindings whose actions ran, by trigger kind",
+)
+_M_ACTIONS = _obs.counter(
+    "repro_engine_actions_total",
+    "Actions executed, by action kind",
+)
+_M_TICKS = _obs.counter(
+    "repro_engine_ticks_total",
+    "Clock ticks advanced across all engines",
+)
 
 
 class EngineError(RuntimeError):
@@ -205,6 +232,7 @@ class GameEngine:
             raise EngineError("call start() before handling input")
         if self.state.finished:
             return Gesture(kind=GestureKind.NONE)
+        t0 = perf_counter() if _obs.enabled() else None
         gesture = interpret(event, self.current_scenario, self.state, self.layout)
         self.interactions_handled += 1
         payload = {
@@ -233,6 +261,9 @@ class GameEngine:
             GestureKind.NONE: lambda g: None,
         }[gesture.kind]
         handler(gesture)
+        if t0 is not None:
+            _M_DISPATCH.observe(perf_counter() - t0)
+            _M_INTERACTIONS.inc(gesture=gesture.kind)
         return gesture
 
     def _on_click(self, g: Gesture) -> None:
@@ -407,6 +438,7 @@ class GameEngine:
         for binding in matched:
             if binding.once:
                 self.state.fired_once.add(binding.binding_id)
+            _M_BINDINGS_FIRED.inc(trigger=trigger)
             self.bus.publish(
                 "binding",
                 {"binding_id": binding.binding_id, "trigger": trigger},
@@ -425,6 +457,7 @@ class GameEngine:
 
     def _execute_one(self, action: Action, source: str) -> None:
         now = self.clock.now()
+        _M_ACTIONS.inc(kind=action.kind)
         self.bus.publish("action", {"kind": action.kind, "source": source}, time=now)
         if isinstance(action, SwitchScenario):
             if action.target not in self.scenarios:
@@ -432,6 +465,7 @@ class GameEngine:
                     f"binding {source!r} switches to unknown scenario "
                     f"{action.target!r}"
                 )
+            _M_TRANSITIONS.inc()
             self.state.switch_to(action.target)
             sc = self.scenarios[action.target]
             if self.player is not None:
@@ -502,6 +536,7 @@ class GameEngine:
             raise EngineError("call start() before tick()")
         if self.state.finished:
             return
+        _M_TICKS.inc()
         if isinstance(self.clock, SimulatedClock):
             self.clock.advance(dt)
         self.state.advance_time(dt)
@@ -524,6 +559,7 @@ class GameEngine:
                     continue
                 if binding.once:
                     self.state.fired_once.add(binding.binding_id)
+                _M_BINDINGS_FIRED.inc(trigger=Trigger.TIMER)
                 self.bus.publish(
                     "binding",
                     {"binding_id": binding.binding_id, "trigger": Trigger.TIMER},

@@ -13,7 +13,7 @@ order), supports stacking of identical items, a capacity bound, and a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Inventory", "InventoryError", "InventorySlot"]
 

@@ -17,7 +17,7 @@ import re
 import time as _time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from .engine import GameEngine
 from .state import GameState

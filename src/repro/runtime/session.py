@@ -6,6 +6,13 @@ event of a play session is recorded.  The recorder subscribes to the
 engine's bus and accumulates an ordered log plus cheap running
 aggregates; :mod:`repro.learning.analytics` turns logs into engagement
 and knowledge-gain metrics.
+
+Failure accounting: the bus quarantines subscribers that keep raising,
+which protects the engine loop but used to lose the failure silently.
+The recorder now wraps its aggregation step so any internal error is
+counted on ``repro_session_errors_total`` and re-raised as
+:class:`SessionError` — observable both to the bus (which may still
+quarantine) and to the metrics layer (which never forgets it happened).
 """
 
 from __future__ import annotations
@@ -15,8 +22,35 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..events.bus import EventBus, Notice
+from ..obs import metrics as _obs
 
-__all__ = ["SessionLog", "SessionRecorder"]
+__all__ = ["SessionError", "SessionLog", "SessionRecorder"]
+
+_M_STARTED = _obs.counter(
+    "repro_session_started_total",
+    "Session recorders attached to an engine bus",
+)
+_M_FINISHED = _obs.counter(
+    "repro_session_finished_total",
+    "Session recorders finished, by game outcome",
+)
+_M_ACTIVE = _obs.gauge(
+    "repro_session_active",
+    "Recorders currently attached and collecting",
+)
+_M_NOTICES = _obs.counter(
+    "repro_session_notices_total",
+    "Bus notices recorded across all sessions",
+)
+_M_ERRORS = _obs.counter(
+    "repro_session_errors_total",
+    "Recorder failures while aggregating a notice (would otherwise be "
+    "swallowed by bus quarantine)",
+)
+
+
+class SessionError(RuntimeError):
+    """Raised when the recorder fails to aggregate a notice."""
 
 
 @dataclass(slots=True)
@@ -83,15 +117,29 @@ class SessionRecorder:
         self._token = bus.subscribe("*", self._on_notice)
         self._bus = bus
         self._closed = False
+        #: aggregation failures observed by this recorder
+        self.error_count = 0
+        _M_STARTED.inc()
+        _M_ACTIVE.inc()
 
     def _on_notice(self, notice: Notice) -> None:
-        if self.keep_notices:
-            self.log.notices.append(notice)
-        self.log.topic_counts[notice.topic] += 1
-        if notice.topic == "interaction":
-            self.log.gesture_counts[notice.payload.get("gesture", "?")] += 1
-        elif notice.topic == "web":
-            self.log.web_visits += 1
+        try:
+            if self.keep_notices:
+                self.log.notices.append(notice)
+            self.log.topic_counts[notice.topic] += 1
+            if notice.topic == "interaction":
+                self.log.gesture_counts[notice.payload.get("gesture", "?")] += 1
+            elif notice.topic == "web":
+                self.log.web_visits += 1
+        except Exception as exc:
+            # Count the loss before the bus's quarantine can hide it.
+            self.error_count += 1
+            _M_ERRORS.inc()
+            raise SessionError(
+                f"recorder for {self.log.player_id!r} failed on topic "
+                f"{notice.topic!r}: {exc}"
+            ) from exc
+        _M_NOTICES.inc()
 
     def finish(
         self,
@@ -109,4 +157,6 @@ class SessionRecorder:
         self.log.scenarios_visited = scenarios_visited
         self._bus.unsubscribe(self._token)
         self._closed = True
+        _M_FINISHED.inc(outcome=str(outcome))
+        _M_ACTIVE.dec()
         return self.log

@@ -13,7 +13,7 @@ paper's mechanism under test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..core.project import CompiledGame
 from ..learning.analytics import CohortSummary, OutcomeRecord, summarize
 from ..learning.assessment import Test, hake_gain
 from ..learning.knowledge import KnowledgeMap
-from .model import AttentionModel, StudentProfile, sample_profile
+from .model import StudentProfile, sample_profile
 from .player import PlayResult, simulate_play
 
 __all__ = ["ExposureReport", "roll_acquisition", "run_vgbl_cohort"]

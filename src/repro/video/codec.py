@@ -27,7 +27,6 @@ loops are over *runs*, never pixels.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np

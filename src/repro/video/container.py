@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
-from .codec import Codec, CodecError, get_codec
+from .codec import Codec, get_codec
 from .frame import Frame, FrameSize
 
 __all__ = [

@@ -14,11 +14,11 @@ bad dialog input before touching frames.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-from .frame import Frame, FrameSize, clip_rect
+from .frame import Frame, FrameSize
 
 __all__ = [
     "FilterChain",

@@ -21,7 +21,7 @@ Performance notes (see DESIGN.md §6):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -32,14 +32,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .codec import get_codec
-from .frame import Frame, FrameSize
+from .frame import Frame
 from .shots import DetectorConfig, ShotDetector
 
 __all__ = [
@@ -52,6 +54,41 @@ __all__ = [
 #: Copy-on-write staging area: set in the parent immediately before the
 #: pool forks; workers read it via inherited memory.  Keyed by job kind.
 _COW_BLOCK: Dict[str, object] = {}
+
+_M_RUNS = _obs.counter(
+    "repro_parallel_runs_total",
+    "Parallel kernel invocations, by kind and transport",
+)
+_M_CHUNKS = _obs.counter(
+    "repro_parallel_chunks_total",
+    "Work chunks dispatched across all parallel runs, by kind",
+)
+_M_FALLBACKS = _obs.counter(
+    "repro_parallel_fallbacks_total",
+    "Runs that fell back to the serial path, by kind",
+)
+_M_UTILIZATION = _obs.gauge(
+    "repro_parallel_worker_utilization",
+    "workers_used / workers_requested of the most recent run, by kind",
+)
+_M_ELAPSED = _obs.histogram(
+    "repro_parallel_elapsed_seconds",
+    "Wall time of parallel kernel invocations, by kind",
+)
+
+
+def _record_run(kind: str, stats: "ParallelStats", started: Optional[float]) -> None:
+    """File one run's ParallelStats into the metrics registry."""
+    if started is None:
+        return
+    _M_ELAPSED.observe(time.perf_counter() - started, kind=kind)
+    _M_RUNS.inc(kind=kind, transport=stats.transport)
+    _M_CHUNKS.inc(stats.chunks, kind=kind)
+    if stats.fell_back_to_serial:
+        _M_FALLBACKS.inc(kind=kind)
+    _M_UTILIZATION.set(
+        stats.workers_used / max(stats.workers_requested, 1), kind=kind
+    )
 
 
 @dataclass(slots=True)
@@ -187,6 +224,18 @@ def parallel_encode_segments(
     Returns ``(payloads_per_segment, stats)`` with payloads in the same
     order as the input segments regardless of completion order.
     """
+    started = time.perf_counter() if _obs.enabled() else None
+    out, stats = _encode_segments_impl(segments, codec_name, codec_params, max_workers)
+    _record_run("encode", stats, started)
+    return out, stats
+
+
+def _encode_segments_impl(
+    segments: Sequence[Sequence[Frame]],
+    codec_name: str,
+    codec_params: Optional[Dict],
+    max_workers: Optional[int],
+) -> Tuple[List[List[bytes]], ParallelStats]:
     if not segments:
         raise ValueError("no segments to encode")
     params = dict(codec_params or {})
@@ -259,6 +308,18 @@ def parallel_difference_signal(
     except the first is extended one frame left; chunk results then
     concatenate exactly to the serial signal (asserted by tests).
     """
+    started = time.perf_counter() if _obs.enabled() else None
+    signal, stats = _difference_signal_impl(frames, config, max_workers, min_chunk)
+    _record_run("diff_signal", stats, started)
+    return signal, stats
+
+
+def _difference_signal_impl(
+    frames: Sequence[Frame],
+    config: Optional[DetectorConfig],
+    max_workers: Optional[int],
+    min_chunk: int,
+) -> Tuple[np.ndarray, ParallelStats]:
     cfg = config or DetectorConfig()
     n = len(frames)
     workers = _resolve_workers(max_workers)

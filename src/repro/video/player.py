@@ -14,7 +14,7 @@ pauses, seeks, segment switches) is exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol
 
 from .container import VideoReader
 from .frame import Frame

@@ -13,7 +13,7 @@ frame sequence, not pixel copies) until exported, keeping editing cheap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .frame import Frame, FrameSize

@@ -21,12 +21,12 @@ matching the ground-truth convention in :mod:`repro.video.synthesis`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .frame import Frame, color_histogram, frame_absdiff, hist_l1_distance
+from .frame import Frame, color_histogram, frame_absdiff
 
 __all__ = [
     "BoundaryScore",

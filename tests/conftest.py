@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import GameWizard
 from repro.core.templates import scene_footage
-from repro.video import Frame, FrameSize, ShotSpec, generate_clip
+from repro.video import FrameSize, ShotSpec, generate_clip
 
 SIZE = FrameSize(80, 60)
 

@@ -10,7 +10,7 @@ from repro.core import (
     ScenarioEditor,
 )
 from repro.core.templates import scene_footage
-from repro.events import ShowText, SwitchScenario, Trigger
+from repro.events import ShowText, Trigger
 from repro.objects import RectHotspot
 from repro.runtime import Dialogue
 from repro.video import FrameSize, VideoSegment

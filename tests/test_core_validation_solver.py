@@ -1,6 +1,5 @@
 """Tests for the validator and the winnability solver."""
 
-import pytest
 
 from repro.core import (
     GameProject,
@@ -12,14 +11,12 @@ from repro.core import (
 from repro.core.solver import enumerate_dialogue_paths
 from repro.core.templates import scene_footage
 from repro.events import (
-    AwardBonus,
     EndGame,
     EventBinding,
     GiveItem,
     PopupImage,
     SetFlag,
     ShowText,
-    StartDialogue,
     SwitchScenario,
     Trigger,
 )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.events import (
-    Action,
     ActionError,
     AwardBonus,
     EndGame,

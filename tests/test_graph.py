@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.events import EventBinding, EventTable, ShowText, SwitchScenario, Trigger
+from repro.events import EventBinding, EventTable, SwitchScenario, Trigger
 from repro.graph import GraphError, Scenario, ScenarioError, build_graph
 from repro.objects import ImageObject, ItemObject, RectHotspot
 

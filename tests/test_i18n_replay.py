@@ -59,7 +59,7 @@ class TestLocalize:
         assert obj.description == "DE[It will not boot.]"
         lines = [n.line for d in localized.dialogues.values()
                  for n in d.nodes.values()]
-        assert all(l.startswith("DE[") for l in lines)
+        assert all(line.startswith("DE[") for line in lines)
 
     def test_ids_and_structure_unchanged(self, classroom_game):
         pack = self._pack(classroom_game)

@@ -5,10 +5,8 @@ interactive play on different devices → session analytics → package.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import GameWizard, load_project, save_project, solve, validate
-from repro.core.templates import scene_footage
+from repro.core import load_project, save_project, solve
 from repro.graph import build_graph
 from repro.learning import (
     DeliveryPoint,

@@ -1,6 +1,5 @@
 """Tests for Bayesian knowledge tracing and teacher reports."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -14,7 +14,6 @@ from repro.objects import (
     RewardObject,
     TextObject,
     WebLinkObject,
-    new_object_id,
     object_from_dict,
 )
 

@@ -1,0 +1,112 @@
+"""Tests for snapshot rendering: Prometheus text format, tables, JSON."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    render_json,
+    render_prometheus,
+    render_snapshot,
+    render_table,
+    snapshot_rows,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_snapshot():
+    """A private registry exercised into a known state."""
+    was = obs.enabled()
+    obs.enable()
+    try:
+        reg = MetricsRegistry()
+        c = reg.counter("demo_events_total", "Demo events")
+        c.inc(3, kind="click")
+        c.inc(1, kind="timer")
+        g = reg.gauge("demo_active", "Active somethings")
+        g.set(2.5)
+        h = reg.histogram("demo_latency_seconds", "Latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg.snapshot()
+    finally:
+        obs.set_enabled(was)
+
+
+class TestPrometheusFormat:
+    def test_type_and_help_lines(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# HELP demo_events_total Demo events" in text
+        assert "# TYPE demo_events_total counter" in text
+        assert "# TYPE demo_active gauge" in text
+        assert "# TYPE demo_latency_seconds histogram" in text
+
+    def test_counter_series_with_labels(self):
+        text = render_prometheus(_sample_snapshot())
+        assert 'demo_events_total{kind="click"} 3' in text
+        assert 'demo_events_total{kind="timer"} 1' in text
+
+    def test_gauge_value(self):
+        assert "demo_active 2.5" in render_prometheus(_sample_snapshot())
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(_sample_snapshot())
+        assert 'demo_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'demo_latency_seconds_bucket{le="1"} 2' in text
+        assert 'demo_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "demo_latency_seconds_sum 5.55" in text
+        assert "demo_latency_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        was = obs.enabled()
+        obs.enable()
+        try:
+            reg = MetricsRegistry()
+            reg.counter("esc_total").inc(path='a"b\\c\nd')
+            text = render_prometheus(reg.snapshot())
+        finally:
+            obs.set_enabled(was)
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_every_series_line_parses(self):
+        """Each non-comment line is `name{labels} value` with float value."""
+        for line in render_prometheus(_sample_snapshot()).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            float(value_part)  # must parse
+            assert name_part[0].isalpha()
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"enabled": False, "metrics": []}) == ""
+
+
+class TestTableAndJson:
+    def test_rows_flatten_histograms(self):
+        rows = snapshot_rows(_sample_snapshot())
+        by_metric = {(r["metric"], r["labels"]): r for r in rows}
+        assert by_metric[("demo_events_total", "kind=click")]["value"] == "3"
+        hist = by_metric[("demo_latency_seconds", "")]
+        assert "n=3" in hist["value"]
+        assert "mean=1.85" in hist["value"]
+
+    def test_render_table_uses_reporting_machinery(self):
+        text = render_table(_sample_snapshot())
+        assert "Metrics snapshot" in text
+        assert "demo_events_total" in text
+        assert "metric" in text and "value" in text  # header row
+
+    def test_render_json_roundtrips(self):
+        data = json.loads(render_json(_sample_snapshot()))
+        names = [m["name"] for m in data["metrics"]]
+        assert "demo_events_total" in names
+
+    def test_render_snapshot_dispatch(self):
+        snap = _sample_snapshot()
+        assert render_snapshot(snap, "prometheus").startswith("# HELP")
+        assert "Metrics snapshot" in render_snapshot(snap, "table")
+        json.loads(render_snapshot(snap, "json"))
+        with pytest.raises(ValueError):
+            render_snapshot(snap, "xml")

@@ -1,0 +1,193 @@
+"""Tests for the metrics registry: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricError, MetricsRegistry
+
+
+@pytest.fixture
+def live():
+    """Fresh global registry with recording enabled; restores disabled."""
+    was = obs.enabled()
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.set_enabled(was)
+    obs.reset()
+
+
+class TestCounter:
+    def test_inc_and_value(self, live):
+        c = obs.counter("t_hits_total", "test")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+        assert c.total() == pytest.approx(3.5)
+
+    def test_labeled_series_are_independent(self, live):
+        c = obs.counter("t_labeled_total")
+        c.inc(policy="lru")
+        c.inc(policy="lru")
+        c.inc(policy="fifo")
+        assert c.value(policy="lru") == 2
+        assert c.value(policy="fifo") == 1
+        assert c.value(policy="graph") == 0
+        assert c.total() == 3
+
+    def test_label_order_does_not_matter(self, live):
+        c = obs.counter("t_order_total")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_counter_cannot_decrease(self, live):
+        c = obs.counter("t_mono_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_untouched_counter_defaults_to_zero(self, live):
+        assert obs.counter("t_untouched_total").value() == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, live):
+        g = obs.gauge("t_active")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_gauge_goes_negative(self, live):
+        g = obs.gauge("t_neg")
+        g.dec(3)
+        assert g.value() == -3
+
+
+class TestHistogramBucketing:
+    BUCKETS = (1.0, 2.0, 4.0)
+
+    def _hist(self, name):
+        return obs.histogram(name, buckets=self.BUCKETS)
+
+    def test_value_on_exact_bound_lands_in_that_bucket(self, live):
+        h = self._hist("t_exact")
+        h.observe(1.0)   # == first bound -> bucket 0
+        h.observe(2.0)   # == second bound -> bucket 1
+        h.observe(4.0)   # == last bound -> bucket 2
+        series = h.series()[0][1]
+        assert series.counts == [1, 1, 1, 0]
+
+    def test_overflow_lands_in_inf_bucket(self, live):
+        h = self._hist("t_inf")
+        h.observe(4.0000001)
+        h.observe(1e9)
+        series = h.series()[0][1]
+        assert series.counts == [0, 0, 0, 2]
+
+    def test_underflow_lands_in_first_bucket(self, live):
+        h = self._hist("t_under")
+        h.observe(0.0)
+        h.observe(-5.0)
+        series = h.series()[0][1]
+        assert series.counts == [2, 0, 0, 0]
+
+    def test_sum_and_count(self, live):
+        h = self._hist("t_sumcount")
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count_of() == 4
+        assert h.sum_of() == pytest.approx(105.0)
+
+    def test_timer_context_manager_observes_elapsed(self, live):
+        h = obs.histogram("t_timer_seconds")
+        with h.time(op="x"):
+            pass
+        assert h.count_of(op="x") == 1
+        assert h.sum_of(op="x") >= 0.0
+
+    def test_bucket_bounds_must_increase(self, live):
+        with pytest.raises(MetricError):
+            obs.histogram("t_bad", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            obs.histogram("t_bad2", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            obs.histogram("t_bad3", buckets=())
+
+
+class TestDisabledMode:
+    def test_disabled_records_nothing(self):
+        obs.reset()
+        obs.disable()
+        c = obs.counter("t_off_total")
+        g = obs.gauge("t_off_gauge")
+        h = obs.histogram("t_off_seconds")
+        c.inc(99)
+        g.set(42)
+        h.observe(1.0)
+        assert c.value() == 0
+        assert g.value() == 0
+        assert h.count_of() == 0
+
+    def test_disabled_timer_is_shared_noop(self):
+        obs.disable()
+        h = obs.histogram("t_off_timer")
+        t1 = h.time()
+        t2 = h.time()
+        assert t1 is t2  # the shared null timer: no allocation, no clock
+        with t1:
+            pass
+        assert h.count_of() == 0
+
+    def test_enable_disable_roundtrip(self):
+        obs.reset()
+        obs.enable()
+        c = obs.counter("t_toggle_total")
+        c.inc()
+        obs.disable()
+        c.inc()
+        assert c.value() == 1
+        obs.reset()
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, live):
+        a = obs.counter("t_same_total", "first wins")
+        b = obs.counter("t_same_total", "ignored")
+        assert a is b
+        assert a.help == "first wins"
+
+    def test_kind_clash_raises(self, live):
+        obs.counter("t_clash")
+        with pytest.raises(MetricError):
+            obs.gauge("t_clash")
+
+    def test_invalid_names_rejected(self, live):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("")
+        with pytest.raises(MetricError):
+            reg.counter("has spaces")
+        with pytest.raises(MetricError):
+            reg.counter("0starts_with_digit")
+
+    def test_reset_clears_series_keeps_definitions(self, live):
+        c = obs.counter("t_reset_total")
+        c.inc(5)
+        obs.reset()
+        assert c.value() == 0
+        assert obs.get_registry().get("t_reset_total") is c
+
+    def test_snapshot_shape(self, live):
+        obs.counter("t_snap_total").inc(2, kind="a")
+        obs.histogram("t_snap_seconds", buckets=(1.0,)).observe(0.5)
+        snap = obs.snapshot()
+        assert snap["enabled"] is True
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        c = by_name["t_snap_total"]
+        assert c["kind"] == "counter"
+        assert c["series"] == [{"labels": {"kind": "a"}, "value": 2.0}]
+        h = by_name["t_snap_seconds"]
+        assert h["buckets"] == [1.0]
+        assert h["series"][0]["counts"] == [1, 0]
+        assert h["series"][0]["count"] == 1

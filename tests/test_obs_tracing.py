@@ -1,0 +1,166 @@
+"""Tests for tracing spans: nesting, exception safety, disabled mode."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer, _NULL_CONTEXT
+
+
+@pytest.fixture
+def tracer():
+    """A private tracer with recording enabled; restores disabled."""
+    was = obs.enabled()
+    obs.enable()
+    yield Tracer()
+    obs.set_enabled(was)
+
+
+class TestNesting:
+    def test_parent_child_structure(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert len(tracer.finished) == 1
+        root = tracer.finished[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_sequential_roots_all_kept(self, tracer):
+        for i in range(3):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["op0", "op1", "op2"]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_durations_nest_sanely(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.finished[0]
+        inner = outer.children[0]
+        assert outer.end is not None and inner.end is not None
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attributes(self, tracer):
+        with tracer.span("op", gesture="click") as sp:
+            sp.set_attribute("bindings", 2)
+        assert tracer.finished[0].attributes == {"gesture": "click", "bindings": 2}
+
+
+class TestExceptionSafety:
+    def test_exception_marks_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        sp = tracer.finished[0]
+        assert sp.status == "error"
+        assert sp.error == "ValueError: boom"
+        assert sp.end is not None  # end stamped despite the raise
+
+    def test_exception_in_child_unwinds_to_parent(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("inner")
+        root = tracer.finished[0]
+        assert root.status == "error"
+        assert root.children[0].status == "error"
+        assert tracer.current() is None  # stack fully unwound
+
+    def test_decorator_traces_and_reraises(self, tracer):
+        # The decorator uses the global tracer; check against it.
+        g = obs.get_tracer()
+        g.reset()
+
+        @obs.trace("decorated")
+        def work(x):
+            """docstring survives"""
+            if x < 0:
+                raise KeyError(x)
+            return x * 2
+
+        assert work(3) == 6
+        with pytest.raises(KeyError):
+            work(-1)
+        assert work.__doc__ == "docstring survives"
+        assert [s.name for s in g.finished] == ["decorated", "decorated"]
+        assert g.finished[1].status == "error"
+        g.reset()
+
+
+class TestBoundsAndExport:
+    def test_max_finished_drops_oldest(self):
+        obs.enable()
+        try:
+            t = Tracer(max_finished=2)
+            for i in range(5):
+                with t.span(f"s{i}"):
+                    pass
+            assert [s.name for s in t.finished] == ["s3", "s4"]
+            assert t.dropped == 3
+        finally:
+            obs.disable()
+
+    def test_iter_spans_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+    def test_to_json_roundtrips(self, tracer):
+        with tracer.span("root", kind="demo"):
+            with tracer.span("leaf"):
+                pass
+        data = json.loads(tracer.to_json())
+        assert len(data) == 1
+        assert data[0]["name"] == "root"
+        assert data[0]["status"] == "ok"
+        assert data[0]["attributes"] == {"kind": "demo"}
+        assert data[0]["children"][0]["name"] == "leaf"
+        assert data[0]["duration_s"] >= 0.0
+
+    def test_reset(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.finished == []
+        assert tracer.dropped == 0
+
+
+class TestDisabledMode:
+    def test_span_is_shared_noop_when_disabled(self):
+        obs.disable()
+        t = Tracer()
+        ctx = t.span("ignored")
+        assert ctx is _NULL_CONTEXT
+        with ctx as sp:
+            sp.set_attribute("k", "v")  # accepted, discarded
+        assert t.finished == []
+
+    def test_decorator_is_passthrough_when_disabled(self):
+        obs.disable()
+        g = obs.get_tracer()
+        g.reset()
+
+        @obs.trace()
+        def fn():
+            return 7
+
+        assert fn() == 7
+        assert g.finished == []

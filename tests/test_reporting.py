@@ -117,7 +117,7 @@ class TestTables:
         lines = out.splitlines()
         assert lines[0].startswith("name")
         assert set(lines[1]) <= {"-", "+"}
-        assert len({len(l) for l in lines[:3]}) == 1  # aligned widths
+        assert len({len(line) for line in lines[:3]}) == 1  # aligned widths
 
     def test_column_selection(self):
         out = format_table(self.ROWS, columns=["n", "name"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.events import GiveItem, SetFlag
+from repro.events import GiveItem
 from repro.runtime import (
     Dialogue,
     DialogueChoice,

@@ -10,8 +10,6 @@ from repro.video.codec import (
     CodecError,
     DeltaCodec,
     QuantCodec,
-    RawCodec,
-    RleCodec,
     available_codecs,
     get_codec,
     mse,

@@ -1,6 +1,5 @@
 """Tests for editor video filters and storyboard thumbnails."""
 
-import numpy as np
 import pytest
 
 from repro.video import (
