@@ -1,0 +1,135 @@
+"""Disabled-path overhead of the observability layer.
+
+The obs package promises that instrumentation is *free when off*: every
+record site — counter increments, histogram observes, span context
+managers, structured log calls — first checks a module-level boolean
+and returns before allocating or reading the clock.  This bench holds
+that promise to numbers: with ``REPRO_OBS`` off, the whole
+instrumentation envelope must stay within noise, both in absolute terms
+(sub-microsecond per site on any plausible CI box, asserted with a very
+generous ceiling) and relative to the real work it wraps (a fraction of
+one engine dispatch).
+
+The suite runs with obs *forced off* regardless of the environment so
+the CI smoke job (which sets REPRO_OBS=1 for the other benches) cannot
+accidentally turn this into an enabled-path measurement.
+"""
+
+import time
+
+import pytest
+
+from conftest import save_result
+from repro import obs
+from repro.obs import logging as olog
+from repro.obs import metrics as ometrics
+from repro.obs import tracing as otracing
+from repro.reporting import format_table
+
+#: Absolute per-call ceiling for one disabled instrumentation site.  A
+#: disabled call is one attribute load + boolean check (~100 ns); 10 µs
+#: leaves two orders of magnitude for shared-CI noise and still fails
+#: loudly if someone puts an allocation before the flag check.
+DISABLED_CALL_CEILING_S = 10e-6
+
+REPS = 20_000
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    """Force the disabled path, whatever the environment says."""
+    was = obs.enabled()
+    obs.set_enabled(False)
+    yield
+    obs.set_enabled(was)
+
+
+def _per_call(fn, reps=REPS, repeats=5):
+    """Best-of-N mean seconds per call (best-of defeats scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(reps)
+        best = min(best, time.perf_counter() - t0)
+    return best / reps
+
+
+def _bench_counter(reps):
+    c = ometrics.counter("bench_obs_overhead_total")
+    for _ in range(reps):
+        c.inc(kind="noop")
+
+
+def _bench_histogram(reps):
+    h = ometrics.histogram("bench_obs_overhead_seconds")
+    for _ in range(reps):
+        h.observe(0.5)
+
+
+def _bench_span(reps):
+    for _ in range(reps):
+        with otracing.span("bench.noop"):
+            pass
+
+
+def _bench_log(reps):
+    log = olog.get_logger("bench.overhead")
+    for _ in range(reps):
+        log.debug("noop", a=1, b="x")
+
+
+def _bench_full_envelope(reps):
+    """Everything an instrumented hot path does per event, disabled."""
+    c = ometrics.counter("bench_obs_overhead_total")
+    h = ometrics.histogram("bench_obs_overhead_seconds")
+    log = olog.get_logger("bench.overhead")
+    for _ in range(reps):
+        with otracing.span("bench.noop"):
+            c.inc()
+            h.observe(0.5)
+            log.debug("noop")
+
+
+def test_disabled_sites_stay_within_noise(results_dir):
+    sites = {
+        "counter.inc": _bench_counter,
+        "histogram.observe": _bench_histogram,
+        "span (context mgr)": _bench_span,
+        "log.debug (kwargs)": _bench_log,
+        "full envelope": _bench_full_envelope,
+    }
+    rows = []
+    for name, fn in sites.items():
+        per_call = _per_call(fn)
+        rows.append({"site": name, "ns_per_call": f"{per_call * 1e9:.1f}"})
+        assert per_call < DISABLED_CALL_CEILING_S, (
+            f"disabled {name} costs {per_call * 1e6:.2f} µs/call "
+            f"(ceiling {DISABLED_CALL_CEILING_S * 1e6:.0f} µs) - "
+            "something runs before the enabled-flag check"
+        )
+    save_result(
+        "obs_disabled_overhead.txt",
+        format_table(rows, title="Disabled-path obs overhead (best-of-5)"),
+    )
+
+
+def test_disabled_envelope_is_fraction_of_dispatch():
+    """The whole disabled envelope must vanish next to one real dispatch."""
+    from repro.core import fetch_quest_game
+    from repro.runtime import KeyPress
+
+    engine = fetch_quest_game(n_quests=1, title="overhead").build().new_engine()
+    engine.start()
+
+    def dispatch(reps):
+        for _ in range(reps):
+            engine.handle_input(KeyPress("right"))
+
+    dispatch_per_call = _per_call(dispatch, reps=200, repeats=3)
+    envelope_per_call = _per_call(_bench_full_envelope)
+    # The envelope is a handful of boolean checks; one dispatch walks the
+    # binding table.  x0.5 keeps the assertion far from both numbers.
+    assert envelope_per_call < dispatch_per_call * 0.5, (
+        f"disabled obs envelope ({envelope_per_call * 1e6:.2f} µs) is not "
+        f"small next to an engine dispatch ({dispatch_per_call * 1e6:.2f} µs)"
+    )

@@ -17,6 +17,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def pytest_sessionfinish(session, exitstatus):
     from repro import obs
 
+    if exitstatus != 0:
+        # Leave the black box behind for the CI failure artifact.
+        recorder = obs.get_flight_recorder()
+        if len(recorder) or obs.get_tracer().finished:
+            path = Path("pytest-flight-dump.json")
+            recorder.dump(path, reason=f"pytest-exit-{exitstatus}")
+            print(f"\nobs: wrote flight dump to {path}")
     if not obs.enabled():
         return
     RESULTS_DIR.mkdir(exist_ok=True)

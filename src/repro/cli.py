@@ -8,12 +8,18 @@ Subcommands::
     python -m repro figures <project_dir> DIR # Fig. 1 text + storyboard PPM
     python -m repro compare                   # mini-E6 cohort comparison
     python -m repro obs export                # metrics snapshot (Prometheus)
+    python -m repro obs tail                  # recent structured log events
+    python -m repro obs check --slo FILE      # SLO gate (nonzero on breach)
+    python -m repro obs flight                # dump the flight recorder
+    python -m repro top                       # live metrics/spans dashboard
 
 ``validate`` exits non-zero when the project has errors, so it slots
 into a course-content CI pipeline unchanged.  ``obs`` runs a small
 instrumented workload (engine + streaming + cache + parallel encode) by
 default so a fresh process still exports a representative snapshot;
 ``--no-demo`` exports whatever the current process has collected.
+``obs check`` evaluates declarative SLO rules (examples/slo.toml) and
+exits 1 on any breach, making it a drop-in CI health gate.
 """
 
 from __future__ import annotations
@@ -56,9 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=2007)
 
     p_obs = sub.add_parser(
-        "obs", help="observability: dump, reset or export the metrics registry"
+        "obs",
+        help="observability: dump/reset/export metrics, tail logs, "
+             "check SLOs, dump the flight recorder",
     )
-    p_obs.add_argument("action", choices=("dump", "reset", "export"))
+    p_obs.add_argument(
+        "action", choices=("dump", "reset", "export", "tail", "check", "flight")
+    )
     p_obs.add_argument(
         "--format", dest="fmt", choices=("prometheus", "table", "json"),
         default="prometheus",
@@ -71,6 +81,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the built-in instrumented workload; export the "
              "process's current registry as-is",
     )
+    p_obs.add_argument(
+        "--slo", type=Path, default=None,
+        help="SLO rule file for 'check' (.toml or .json)",
+    )
+    p_obs.add_argument(
+        "--snapshot", type=Path, default=None,
+        help="for 'check': evaluate a saved JSON metrics snapshot "
+             "instead of the live registry",
+    )
+    p_obs.add_argument(
+        "--file", type=Path, default=None,
+        help="for 'tail': a JSONL log file to read (default: the "
+             "in-process flight recorder)",
+    )
+    p_obs.add_argument(
+        "--follow", "-f", action="store_true",
+        help="for 'tail --file': keep polling for new events",
+    )
+    p_obs.add_argument(
+        "--lines", "-n", type=int, default=20,
+        help="for 'tail': how many recent events to show (default 20)",
+    )
+    p_obs.add_argument(
+        "--level", default=None,
+        help="for 'tail': minimum level to show (debug/info/warning/error)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard: metrics, span aggregates, flight tail"
+    )
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes (default 1.0)")
+    p_top.add_argument("--iterations", type=int, default=3,
+                       help="frames to render before exiting (default 3)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    p_top.add_argument(
+        "--no-demo", action="store_true",
+        help="observe the current process only; do not run the demo "
+             "workload in the background",
+    )
+    p_top.add_argument("--width", type=int, default=100,
+                       help="dashboard width in columns (default 100)")
     return parser
 
 
@@ -231,29 +284,244 @@ def _obs_demo_workload() -> None:
     parallel_difference_signal(frames, max_workers=2)
 
 
-def _cmd_obs(action: str, fmt: str, output: Optional[Path], no_demo: bool) -> int:
+def _cmd_obs(args: argparse.Namespace) -> int:
     from . import obs
 
+    action = args.action
     if action == "reset":
         obs.reset()
-        obs.get_tracer().reset()
-        print("metrics registry and tracer reset")
+        print("metrics, tracer and flight recorder reset")
         return 0
-    if not no_demo:
+    if action == "check":
+        return _cmd_obs_check(args)
+    if action == "tail":
+        return _cmd_obs_tail(args)
+    if not args.no_demo:
         obs.enable()
         _obs_demo_workload()
+    if action == "flight":
+        path = obs.dump_flight(args.output, reason="cli")
+        print(f"wrote flight dump to {path}")
+        return 0
+    fmt = args.fmt
     if action == "dump" and fmt == "prometheus":
         fmt = "table"  # dump is for humans; export defaults to Prometheus
     text = obs.render_snapshot(obs.snapshot(), fmt)
-    if output is not None:
+    if args.output is not None:
         try:
-            output.write_text(text if text.endswith("\n") else text + "\n")
+            args.output.write_text(text if text.endswith("\n") else text + "\n")
         except OSError as exc:
-            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
             return 1
-        print(f"wrote {fmt} snapshot to {output}")
+        print(f"wrote {fmt} snapshot to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    """Evaluate SLO rules; exit 0 only when every rule passes."""
+    import json
+
+    from . import obs
+    from .reporting import format_table
+
+    if args.slo is None:
+        print("error: obs check requires --slo FILE", file=sys.stderr)
+        return 2
+    try:
+        rules = obs.parse_slo_file(args.slo)
+    except (OSError, obs.SloError) as exc:
+        print(f"error: cannot load SLO rules: {exc}", file=sys.stderr)
+        return 2
+    if args.snapshot is not None:
+        try:
+            snap = json.loads(args.snapshot.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load snapshot: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not args.no_demo:
+            obs.enable()
+            _obs_demo_workload()
+        snap = obs.snapshot()
+    results, all_ok = obs.evaluate_slos(rules, snap)
+    print(format_table(
+        [r.as_row() for r in results],
+        title=f"SLO check: {args.slo}",
+    ))
+    failed = sum(1 for r in results if not r.ok)
+    if all_ok:
+        print(f"\nSLO check passed ({len(results)} rules)")
+        return 0
+    print(f"\nSLO check FAILED ({failed} of {len(results)} rules breached)")
+    return 1
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Show recent structured log events, from a file or the flight ring."""
+    import json
+    import time
+
+    from . import obs
+
+    min_level = 0
+    if args.level is not None:
+        if args.level not in obs.LEVELS:
+            print(f"error: unknown level {args.level!r}; "
+                  f"known: {', '.join(obs.LEVELS)}", file=sys.stderr)
+            return 2
+        min_level = obs.LEVELS[args.level]
+
+    def _passes(record: dict) -> bool:
+        return obs.LEVELS.get(record.get("level", "info"), 20) >= min_level
+
+    if args.file is None:
+        if args.follow:
+            print("error: --follow requires --file", file=sys.stderr)
+            return 2
+        if not args.no_demo:
+            obs.enable()
+            _obs_demo_workload()
+        events = [e for e in obs.get_flight_recorder().events() if _passes(e)]
+        for record in events[-max(args.lines, 0):]:
+            print(obs.format_event(record))
+        return 0
+
+    def _parse(lines: list) -> list:
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write or non-JSONL noise
+            if _passes(record):
+                records.append(record)
+        return records
+
+    def _emit(lines: list) -> None:
+        for record in _parse(lines):
+            print(obs.format_event(record), flush=True)
+
+    try:
+        with open(args.file, "r") as fh:
+            records = _parse(fh.readlines())
+            for record in records[-max(args.lines, 0):]:
+                print(obs.format_event(record), flush=True)
+            if not args.follow:
+                return 0
+            try:
+                while True:
+                    new = fh.readlines()
+                    if new:
+                        _emit(new)
+                    else:
+                        time.sleep(0.25)
+            except KeyboardInterrupt:
+                return 0
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _render_top_frame(width: int) -> str:
+    """One ``repro top`` frame: metrics, span aggregates, flight tail."""
+    from . import obs
+    from .reporting import format_table, render_dashboard, sparkline
+
+    snap = obs.snapshot()
+    rows = obs.snapshot_rows(snap)
+    # Busiest series first so a narrow terminal still shows the action.
+    rows.sort(key=lambda r: str(r.get("metric", "")))
+    metric_lines = format_table(rows[:14]).splitlines() if rows else ["(no metrics)"]
+
+    tracer = obs.get_tracer()
+    agg: dict = {}
+    for sp in tracer.iter_spans():
+        entry = agg.setdefault(sp.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += sp.duration
+        entry[2] = max(entry[2], sp.duration)
+    span_rows = [
+        {
+            "span": name,
+            "count": count,
+            "mean_ms": f"{1e3 * total / count:.3f}",
+            "max_ms": f"{1e3 * mx:.3f}",
+        }
+        for name, (count, total, mx) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1]
+        )[:8]
+    ]
+    span_lines = (
+        format_table(span_rows).splitlines() if span_rows else ["(no spans)"]
+    )
+    recent = [s.duration * 1e3 for s in tracer.finished[-40:]]
+    if recent:
+        span_lines.append("")
+        span_lines.append(
+            f"root span ms: {sparkline(recent, width=width - 24)}"
+        )
+
+    flight = obs.get_flight_recorder()
+    tail = [obs.format_event(e) for e in flight.events()[-8:]]
+    flight_lines = tail or ["(flight recorder empty)"]
+    flight_title = (
+        f"Flight recorder ({len(flight)}/{flight.capacity} events, "
+        f"{flight.total_recorded} total)"
+    )
+
+    return render_dashboard(
+        "repro top - VGBL runtime observability",
+        [
+            ("Metrics", metric_lines),
+            ("Spans", span_lines),
+            (flight_title, flight_lines),
+        ],
+        width=width,
+    )
+
+
+def _cmd_top(
+    interval: float, iterations: int, once: bool, no_demo: bool, width: int
+) -> int:
+    import threading
+    import time
+
+    from . import obs
+
+    if interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if iterations < 1:
+        print("error: --iterations must be >= 1", file=sys.stderr)
+        return 2
+    obs.enable()
+    worker: Optional[threading.Thread] = None
+    if not no_demo:
+        worker = threading.Thread(target=_obs_demo_workload, daemon=True)
+        worker.start()
+    frames = 1 if once else iterations
+    if once and worker is not None:
+        # A single frame should show the finished workload, not the
+        # empty registry the thread hasn't populated yet.
+        worker.join(timeout=60.0)
+    try:
+        for i in range(frames):
+            if i:
+                time.sleep(interval)
+            # ANSI home+clear keeps successive frames in place on a tty.
+            if sys.stdout.isatty() and i:
+                print("\x1b[H\x1b[2J", end="")
+            print(_render_top_frame(width))
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    if worker is not None:
+        worker.join(timeout=10.0)
     return 0
 
 
@@ -270,7 +538,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "compare":
         return _cmd_compare(args.students, args.seed)
     if args.command == "obs":
-        return _cmd_obs(args.action, args.fmt, args.output, args.no_demo)
+        return _cmd_obs(args)
+    if args.command == "top":
+        return _cmd_top(
+            args.interval, args.iterations, args.once, args.no_demo, args.width
+        )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

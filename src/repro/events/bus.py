@@ -17,9 +17,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 
 __all__ = ["EventBus", "Notice"]
+
+_LOG = _obslog.get_logger("bus")
 
 _M_PUBLISHED = _obs.counter(
     "repro_bus_published_total",
@@ -95,13 +98,25 @@ class EventBus:
             for token, fn in list(self._subs.get(sub_topic, ())):
                 try:
                     fn(notice)
-                except Exception:
+                except Exception as exc:
                     _M_SUB_ERRORS.inc()
                     self._errors[token] = self._errors.get(token, 0) + 1
+                    if _obs.enabled():
+                        _LOG.warning(
+                            "bus.subscriber_error",
+                            topic=topic,
+                            token=token,
+                            errors=self._errors[token],
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     if self._errors[token] >= self.max_errors:
                         self.unsubscribe(token)
                         self.quarantined.append(token)
                         _M_QUARANTINED.inc()
+                        if _obs.enabled():
+                            _LOG.warning(
+                                "bus.quarantined", topic=topic, token=token
+                            )
                 else:
                     self._errors[token] = 0
         return notice

@@ -28,9 +28,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph import ScenarioGraph
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 
 __all__ = ["CacheStats", "EVICTION_POLICIES", "SegmentCache"]
+
+_LOG = _obslog.get_logger("net.cache")
 
 EVICTION_POLICIES = ("lru", "fifo", "graph")
 
@@ -148,6 +151,14 @@ class SegmentCache:
         if segment_id in self._ever_cached:
             self.stats.refetches += 1
             _M_REFETCHES.inc(policy=self.policy)
+            if _obs.enabled():
+                # A refetch is a regretted eviction: a real player stalls.
+                _LOG.warning(
+                    "cache.refetch",
+                    segment=segment_id,
+                    scenario=scenario_id,
+                    policy=self.policy,
+                )
         self._ever_cached.add(segment_id)
         while self.resident_bytes + size > self.capacity_bytes:
             self._evict_one(current_scenario)
@@ -166,6 +177,14 @@ class SegmentCache:
         self.stats.bytes_evicted += size
         _M_EVICTIONS.inc(policy=self.policy)
         _M_BYTES_EVICTED.inc(size, policy=self.policy)
+        if _obs.enabled():
+            _LOG.debug(
+                "cache.evict",
+                sample=0.5,
+                segment=victim,
+                bytes=size,
+                policy=self.policy,
+            )
 
     def _graph_victim(self, current_scenario: Optional[str]) -> Tuple[int, int]:
         """Farthest-from-player resident segment (ties: oldest)."""

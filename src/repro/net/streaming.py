@@ -32,7 +32,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..graph import ScenarioGraph
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..obs import tracing as _obstrace
 from ..video.container import VideoReader
 from .channel import Channel
 
@@ -64,6 +66,8 @@ _M_SWITCHES = _obs.counter(
     "repro_stream_switches_total",
     "Scenario switches replayed through stream sessions",
 )
+
+_LOG = _obslog.get_logger("net.stream")
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,6 +173,15 @@ class StreamSession:
         self._arrival[segment_id] = t.finished_at
         _M_FETCHES.inc(purpose=purpose)
         _M_BYTES.inc(size, purpose=purpose)
+        if _obs.enabled():
+            # Sampled: prefetch storms would otherwise dominate the log.
+            _LOG.debug(
+                "stream.fetch",
+                sample=0.25,
+                segment=segment_id,
+                bytes=size,
+                purpose=purpose,
+            )
         return t.finished_at
 
     def _progressive_schedule(
@@ -240,6 +253,21 @@ class StreamSession:
             raise ValueError("path must not be empty")
         stats = StreamStats()
         now = start_time
+        with _obstrace.span(
+            "stream.play_path", policy=self.policy, visits=len(path)
+        ):
+            self._replay(path, stats, now)
+        stats.bytes_fetched = self.channel.bytes_transferred
+        wasted = 0
+        for seg, _arr in self._arrival.items():
+            if seg not in self._played_segments:
+                wasted += self._segment_bytes(seg)
+        stats.bytes_wasted = wasted
+        return stats
+
+    def _replay(
+        self, path: Sequence[Tuple[str, float]], stats: StreamStats, now: float
+    ) -> None:
         for scenario_id, dwell in path:
             if dwell < 0:
                 raise ValueError("dwell time must be non-negative")
@@ -256,10 +284,34 @@ class StreamSession:
                 playable = max(now, self._fetch(seg, now))
             if _obs.enabled():
                 _M_STARTUP_DELAY.observe(playable - requested)
-                if playable - requested >= 1e-3:
+                delay = playable - requested
+                if delay >= 1e-3:
                     _M_STALLS.inc(kind="startup")
+                    _LOG.warning(
+                        "stream.stall",
+                        kind="startup",
+                        scenario=scenario_id,
+                        segment=seg,
+                        delay_s=round(delay, 6),
+                        policy=self.policy,
+                    )
                 if rebuffer > 0.0:
                     _M_STALLS.inc(kind="rebuffer")
+                    _LOG.warning(
+                        "stream.stall",
+                        kind="rebuffer",
+                        scenario=scenario_id,
+                        segment=seg,
+                        delay_s=round(rebuffer, 6),
+                        policy=self.policy,
+                    )
+                _LOG.debug(
+                    "stream.switch",
+                    scenario=scenario_id,
+                    segment=seg,
+                    delay_s=round(delay, 6),
+                    prefetch="hit" if resident else "miss",
+                )
             stats.switches.append(
                 SwitchRecord(
                     scenario_id=scenario_id,
@@ -273,10 +325,3 @@ class StreamSession:
             # Dwell in the scenario; idle link time is prefetch time.
             self._prefetch_frontier(scenario_id, now)
             now += dwell
-        stats.bytes_fetched = self.channel.bytes_transferred
-        wasted = 0
-        for seg, _arr in self._arrival.items():
-            if seg not in self._played_segments:
-                wasted += self._segment_bytes(seg)
-        stats.bytes_wasted = wasted
-        return stats

@@ -1,0 +1,400 @@
+"""Declarative SLO rules evaluated against a metrics snapshot.
+
+A production gate needs *assertions*, not dashboards: "engine dispatch
+p95 stays under 5 ms", "no recorder errors", "the segment cache actually
+hits".  This module evaluates a list of declarative rules against the
+plain-data snapshot produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (live registry or a
+saved JSON file — the shape is identical) and reports per-rule results;
+``repro obs check --slo FILE`` exits nonzero on any breach, which is the
+whole CI story.
+
+Rule files are TOML (or JSON with the same structure)::
+
+    [[rule]]
+    name   = "engine dispatch p95 under 5ms"
+    metric = "repro_engine_dispatch_seconds"
+    kind   = "p95"          # total|rate|value|mean|p50|p90|p95|p99|ratio
+    op     = "<"            # < <= > >= == !=
+    value  = 0.005
+
+    [[rule]]
+    name        = "segment cache hit rate floor"
+    kind        = "ratio"
+    numerator   = "repro_cache_hits_total"
+    denominator = ["repro_cache_hits_total", "repro_cache_misses_total"]
+    op          = ">="
+    value       = 0.05
+
+Quantiles are estimated from histogram buckets (the first upper bound
+covering the target rank — conservative, never optimistic).  A rule
+whose metric is missing or has no samples **fails** unless it sets
+``allow_empty = true``: a silently un-exercised SLO is itself a breach.
+
+TOML parsing uses :mod:`tomllib` when available (Python >= 3.11) and
+falls back to a dependency-free minimal parser covering the subset the
+rule files need, so Python 3.10 works without installing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OPS",
+    "RULE_KINDS",
+    "SloError",
+    "SloResult",
+    "SloRule",
+    "evaluate_slos",
+    "load_rules",
+    "parse_slo_file",
+]
+
+RULE_KINDS = (
+    "total", "rate", "value", "mean", "p50", "p90", "p95", "p99", "ratio",
+)
+
+OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12),
+    "!=": lambda a, b: not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12),
+}
+
+_QUANTILES = {"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99}
+
+
+class SloError(ValueError):
+    """Raised on malformed rule files or invalid rule definitions."""
+
+
+@dataclass(frozen=True, slots=True)
+class SloRule:
+    """One declarative health assertion."""
+
+    kind: str
+    op: str
+    value: float
+    metric: Optional[str] = None
+    name: Optional[str] = None
+    labels: Optional[Dict[str, str]] = None
+    numerator: Optional[str] = None
+    denominator: Tuple[str, ...] = ()
+    allow_empty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise SloError(f"unknown rule kind {self.kind!r}; known: {RULE_KINDS}")
+        if self.op not in OPS:
+            raise SloError(f"unknown op {self.op!r}; known: {sorted(OPS)}")
+        if self.kind == "ratio":
+            if not self.numerator or not self.denominator:
+                raise SloError("ratio rules need 'numerator' and 'denominator'")
+        elif not self.metric:
+            raise SloError(f"{self.kind} rules need a 'metric'")
+
+    @property
+    def title(self) -> str:
+        if self.name:
+            return self.name
+        target = self.metric or f"{self.numerator}/{'+'.join(self.denominator)}"
+        return f"{self.kind}({target}) {self.op} {self.value}"
+
+
+@dataclass(slots=True)
+class SloResult:
+    """The outcome of evaluating one rule."""
+
+    rule: SloRule
+    ok: bool
+    observed: Optional[float]
+    detail: str = ""
+
+    def as_row(self) -> Dict[str, Any]:
+        observed = "-" if self.observed is None else f"{self.observed:.6g}"
+        return {
+            "rule": self.rule.title,
+            "observed": observed,
+            "target": f"{self.rule.op} {self.rule.value:.6g}",
+            "status": "PASS" if self.ok else f"FAIL {self.detail}".rstrip(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Snapshot arithmetic
+# ----------------------------------------------------------------------
+
+def _labels_match(series_labels: Dict[str, str], want: Optional[Dict[str, str]]) -> bool:
+    if not want:
+        return True
+    return all(series_labels.get(k) == str(v) for k, v in want.items())
+
+
+def _find_metric(snapshot: Dict[str, Any], name: str) -> Optional[Dict[str, Any]]:
+    for metric in snapshot.get("metrics", []):
+        if metric.get("name") == name:
+            return metric
+    return None
+
+
+def _metric_total(
+    entry: Dict[str, Any], labels: Optional[Dict[str, str]]
+) -> Tuple[Optional[float], int]:
+    """(sum over matching series, matching series count).
+
+    Counters/gauges sum their values; histograms sum observation counts.
+    """
+    matched = [s for s in entry["series"] if _labels_match(s["labels"], labels)]
+    if entry["kind"] == "histogram":
+        return float(sum(s["count"] for s in matched)), len(matched)
+    return float(sum(s["value"] for s in matched)), len(matched)
+
+
+def _histogram_stats(
+    entry: Dict[str, Any], labels: Optional[Dict[str, str]]
+) -> Tuple[List[int], float, int]:
+    """Merged (bucket_counts, sum, count) across matching series."""
+    bounds = entry.get("buckets", [])
+    counts = [0] * (len(bounds) + 1)
+    total_sum = 0.0
+    total_count = 0
+    for series in entry["series"]:
+        if not _labels_match(series["labels"], labels):
+            continue
+        for i, c in enumerate(series["counts"]):
+            counts[i] += c
+        total_sum += series["sum"]
+        total_count += series["count"]
+    return counts, total_sum, total_count
+
+
+def histogram_quantile(
+    entry: Dict[str, Any], q: float, labels: Optional[Dict[str, str]] = None
+) -> Optional[float]:
+    """Estimate quantile ``q`` from bucket counts (upper-bound estimate).
+
+    Returns None with no samples; +Inf when the rank falls in the
+    overflow bucket.
+    """
+    if not 0.0 < q <= 1.0:
+        raise SloError(f"quantile must be in (0, 1]: {q}")
+    bounds = entry.get("buckets", [])
+    counts, _sum, count = _histogram_stats(entry, labels)
+    if count == 0:
+        return None
+    target = q * count
+    cumulative = 0
+    for i, c in enumerate(counts):
+        cumulative += c
+        if cumulative >= target - 1e-9:
+            return float(bounds[i]) if i < len(bounds) else math.inf
+    return math.inf  # pragma: no cover - cumulative always reaches count
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+def _empty(rule: SloRule, detail: str) -> SloResult:
+    return SloResult(rule, ok=rule.allow_empty, observed=None, detail=detail)
+
+
+def _evaluate_one(rule: SloRule, snapshot: Dict[str, Any]) -> SloResult:
+    if rule.kind == "ratio":
+        assert rule.numerator is not None
+        num_entry = _find_metric(snapshot, rule.numerator)
+        if num_entry is None:
+            return _empty(rule, f"(metric {rule.numerator} missing)")
+        numerator, _ = _metric_total(num_entry, rule.labels)
+        denominator = 0.0
+        for name in rule.denominator:
+            entry = _find_metric(snapshot, name)
+            if entry is None:
+                return _empty(rule, f"(metric {name} missing)")
+            part, _ = _metric_total(entry, rule.labels)
+            denominator += part or 0.0
+        if denominator == 0.0:
+            return _empty(rule, "(denominator is zero)")
+        observed = (numerator or 0.0) / denominator
+    else:
+        assert rule.metric is not None
+        entry = _find_metric(snapshot, rule.metric)
+        if entry is None:
+            return _empty(rule, f"(metric {rule.metric} missing)")
+        if rule.kind in _QUANTILES:
+            if entry["kind"] != "histogram":
+                raise SloError(
+                    f"rule {rule.title!r}: quantiles need a histogram, "
+                    f"{rule.metric} is a {entry['kind']}"
+                )
+            quantile = histogram_quantile(entry, _QUANTILES[rule.kind], rule.labels)
+            if quantile is None:
+                return _empty(rule, "(no samples)")
+            observed = quantile
+        elif rule.kind == "mean":
+            if entry["kind"] != "histogram":
+                raise SloError(
+                    f"rule {rule.title!r}: mean needs a histogram, "
+                    f"{rule.metric} is a {entry['kind']}"
+                )
+            _counts, total_sum, count = _histogram_stats(entry, rule.labels)
+            if count == 0:
+                return _empty(rule, "(no samples)")
+            observed = total_sum / count
+        elif rule.kind == "value":
+            matched = [
+                s for s in entry["series"] if _labels_match(s["labels"], rule.labels)
+            ]
+            if entry["kind"] == "histogram":
+                observed = float(sum(s["count"] for s in matched))
+            else:
+                observed = float(sum(s["value"] for s in matched))
+            if not matched and not rule.labels:
+                observed = 0.0
+        else:  # total / rate
+            total, n_series = _metric_total(entry, rule.labels)
+            if n_series == 0 and rule.labels:
+                return _empty(rule, "(no matching series)")
+            observed = total or 0.0
+    ok = OPS[rule.op](observed, rule.value)
+    return SloResult(rule, ok=ok, observed=observed)
+
+
+def evaluate_slos(
+    rules: Sequence[SloRule], snapshot: Dict[str, Any]
+) -> Tuple[List[SloResult], bool]:
+    """Evaluate every rule; returns (results, all_passed)."""
+    results = [_evaluate_one(rule, snapshot) for rule in rules]
+    return results, all(r.ok for r in results)
+
+
+# ----------------------------------------------------------------------
+# Rule files
+# ----------------------------------------------------------------------
+
+def load_rules(data: Dict[str, Any]) -> List[SloRule]:
+    """Build rules from the parsed file structure ``{"rule": [...]}``."""
+    raw_rules = data.get("rule") or data.get("rules")
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise SloError("rule file defines no [[rule]] tables")
+    rules: List[SloRule] = []
+    for i, raw in enumerate(raw_rules):
+        if not isinstance(raw, dict):
+            raise SloError(f"rule #{i + 1} is not a table")
+        known = {
+            "name", "metric", "kind", "op", "value", "labels",
+            "numerator", "denominator", "allow_empty",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise SloError(f"rule #{i + 1} has unknown keys: {sorted(unknown)}")
+        try:
+            denominator = raw.get("denominator", ())
+            if isinstance(denominator, str):
+                denominator = (denominator,)
+            rules.append(
+                SloRule(
+                    kind=str(raw.get("kind", "total")),
+                    op=str(raw.get("op", "<=")),
+                    value=float(raw["value"]),
+                    metric=raw.get("metric"),
+                    name=raw.get("name"),
+                    labels=raw.get("labels"),
+                    numerator=raw.get("numerator"),
+                    denominator=tuple(denominator),
+                    allow_empty=bool(raw.get("allow_empty", False)),
+                )
+            )
+        except KeyError as exc:
+            raise SloError(f"rule #{i + 1} is missing key {exc}") from None
+    return rules
+
+
+def parse_slo_file(path: "Path | str") -> List[SloRule]:
+    """Parse a ``.toml`` or ``.json`` rule file into rules."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+    else:
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # Python 3.10: dependency-free fallback
+            data = _parse_mini_toml(text)
+        else:
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise SloError(f"{path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise SloError(f"{path}: top level must be a table/object")
+    return load_rules(data)
+
+
+def _parse_mini_toml(text: str) -> Dict[str, Any]:
+    """A minimal TOML-subset parser for rule files (no tomllib).
+
+    Supports ``[[array-of-tables]]``, ``[table]``, and ``key = value``
+    with strings, numbers, booleans, and single-line arrays — exactly
+    the shapes an SLO file uses.
+    """
+    data: Dict[str, Any] = {}
+    current: Dict[str, Any] = data
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            key = line[2:-2].strip()
+            data.setdefault(key, []).append({})
+            current = data[key][-1]
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            key = line[1:-1].strip()
+            table: Dict[str, Any] = {}
+            data[key] = table
+            current = table
+            continue
+        if "=" not in line:
+            raise SloError(f"line {lineno}: cannot parse {raw!r}")
+        key, _, value = line.partition("=")
+        current[key.strip()] = _parse_mini_value(value.strip(), lineno)
+    return data
+
+
+def _parse_mini_value(value: str, lineno: int) -> Any:
+    if value.startswith('"'):
+        end = value.find('"', 1)
+        if end < 0:
+            raise SloError(f"line {lineno}: unterminated string")
+        return value[1:end]
+    if value.startswith("["):
+        end = value.rfind("]")
+        if end < 0:
+            raise SloError(f"line {lineno}: unterminated array")
+        inner = value[1:end].strip()
+        if not inner:
+            return []
+        return [
+            _parse_mini_value(part.strip(), lineno)
+            for part in inner.split(",")
+            if part.strip()
+        ]
+    value = value.split("#", 1)[0].strip()
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        raise SloError(f"line {lineno}: cannot parse value {value!r}") from None

@@ -30,18 +30,35 @@ from __future__ import annotations
 
 import contextvars
 import json
+import random
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
 from . import metrics as _metrics
 
-__all__ = ["Span", "Tracer", "get_tracer", "span", "trace"]
+__all__ = ["Span", "Tracer", "get_tracer", "new_id", "span", "trace"]
+
+_id_rng = random.Random()
+
+
+def new_id() -> str:
+    """A 64-bit hex correlation id (trace and span ids)."""
+    return f"{_id_rng.getrandbits(64):016x}"
 
 
 class Span:
-    """One timed operation; may nest child spans."""
+    """One timed operation; may nest child spans.
 
-    __slots__ = ("name", "start", "end", "attributes", "children", "status", "error")
+    Every span carries a fresh ``span_id``; ``trace_id`` is assigned when
+    the tracer opens it (inherited from the parent span, or freshly
+    generated for roots) so all spans of one request share it — the
+    structured logger stamps both onto records emitted inside the span.
+    """
+
+    __slots__ = (
+        "name", "start", "end", "attributes", "children", "status", "error",
+        "span_id", "trace_id", "parent_id",
+    )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
         self.name = name
@@ -51,6 +68,9 @@ class Span:
         self.children: List["Span"] = []
         self.status = "ok"
         self.error: Optional[str] = None
+        self.span_id = new_id()
+        self.trace_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -64,6 +84,9 @@ class Span:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "duration_s": self.duration,
             "status": self.status,
             "error": self.error,
@@ -81,6 +104,9 @@ class _NullSpan:
     __slots__ = ()
     name = ""
     status = "ok"
+    span_id = None
+    trace_id = None
+    parent_id = None
 
     def set_attribute(self, key: str, value: Any) -> None:
         return None
@@ -92,15 +118,17 @@ _NULL_SPAN = _NullSpan()
 class _SpanContext:
     """Context manager pushing/popping one live span."""
 
-    __slots__ = ("_tracer", "_span", "_token")
+    __slots__ = ("_tracer", "_span", "_token", "_generation")
 
     def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
         self._tracer = tracer
         self._span = span_obj
         self._token: Optional[contextvars.Token] = None
+        self._generation = 0
 
     def __enter__(self) -> Span:
         self._token = self._tracer._push(self._span)
+        self._generation = self._tracer._generation
         return self._span
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
@@ -111,7 +139,7 @@ class _SpanContext:
                 self._span.error = f"{exc_type.__name__}: {exc}"
         finally:
             assert self._token is not None
-            self._tracer._pop(self._span, self._token)
+            self._tracer._pop(self._span, self._token, self._generation)
         return None  # never swallow the exception
 
 
@@ -149,15 +177,26 @@ class Tracer:
         self._current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
             "repro_obs_current_span", default=None
         )
+        #: bumped by reset(); spans opened before a reset unwind inertly
+        self._generation = 0
 
     # -- internal plumbing used by _SpanContext ------------------------
     def _push(self, span_obj: Span) -> contextvars.Token:
         parent = self._current.get()
         if parent is not None:
             parent.children.append(span_obj)
+            span_obj.trace_id = parent.trace_id
+            span_obj.parent_id = parent.span_id
+        else:
+            span_obj.trace_id = new_id()
         return self._current.set(span_obj)
 
-    def _pop(self, span_obj: Span, token: contextvars.Token) -> None:
+    def _pop(self, span_obj: Span, token: contextvars.Token, generation: int) -> None:
+        if generation != self._generation:
+            # The tracer was reset while this span was open: do not
+            # restore a pre-reset parent or record the stale span.
+            self._current.set(None)
+            return
         self._current.reset(token)
         if self._current.get() is None:  # span_obj was a root
             self.finished.append(span_obj)
@@ -178,9 +217,16 @@ class Tracer:
         return self._current.get()
 
     def reset(self) -> None:
-        """Drop all finished spans."""
+        """Drop all finished spans and clear the active-span state.
+
+        Clearing the context variable means a span that was live when
+        reset was called no longer leaks its ids onto later log records;
+        its still-open context manager unwinds harmlessly on exit.
+        """
         self.finished.clear()
         self.dropped = 0
+        self._generation += 1
+        self._current.set(None)
 
     def iter_spans(self) -> Iterator[Span]:
         """Depth-first walk of every finished span (roots and children)."""

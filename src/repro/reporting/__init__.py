@@ -7,7 +7,9 @@ from .tui import (
     Canvas,
     frame_to_ascii,
     render_authoring_screenshot,
+    render_dashboard,
     render_runtime_screenshot,
+    sparkline,
 )
 
 __all__ = [
@@ -19,5 +21,7 @@ __all__ = [
     "records_to_markdown",
     "write_ppm",
     "render_authoring_screenshot",
+    "render_dashboard",
     "render_runtime_screenshot",
+    "sparkline",
 ]

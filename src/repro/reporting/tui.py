@@ -27,10 +27,15 @@ __all__ = [
     "frame_to_ascii",
     "render_authoring_screenshot",
     "render_runtime_screenshot",
+    "render_dashboard",
+    "sparkline",
 ]
 
 #: dark → light luminance ramp
 _RAMP = " .:-=+*#%@"
+
+#: eight-level bar ramp for sparklines
+_SPARK = "▁▂▃▄▅▆▇█"
 
 
 class Canvas:
@@ -93,6 +98,61 @@ def frame_to_ascii(frame: Frame, width: int, height: int) -> List[str]:
     idx = (sampled / 256.0 * len(_RAMP)).astype(np.int64).clip(0, len(_RAMP) - 1)
     ramp = np.asarray(list(_RAMP))
     return ["".join(row) for row in ramp[idx]]
+
+
+# ----------------------------------------------------------------------
+# Dashboard primitives (``repro top``)
+# ----------------------------------------------------------------------
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a value series as a one-line unicode bar chart.
+
+    The series is scaled to its own min/max (a flat series renders as a
+    low bar, not a blank line); ``width`` keeps the most recent values.
+    """
+    vals = [float(v) for v in values]
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        vals = vals[-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK[0] * len(vals)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in vals)
+
+
+def render_dashboard(
+    title: str,
+    sections: Sequence[tuple],
+    width: int = 100,
+) -> str:
+    """Stack titled boxed sections of pre-formatted lines into one frame.
+
+    ``sections`` is ``[(section_title, lines), ...]``; each section
+    becomes a bordered box sized to its content.  The ``repro top``
+    dashboard feeds it metric tables, span aggregates and the flight
+    recorder tail.
+    """
+    if width < 20:
+        raise ValueError("dashboard width must be >= 20")
+    inner = width - 6  # box borders + margins
+    rows: List[tuple] = []
+    height = 1  # title line
+    for sec_title, lines in sections:
+        clipped = [line[:inner] for line in lines] or ["(empty)"]
+        rows.append((sec_title, clipped))
+        height += len(clipped) + 2  # box borders
+    c = Canvas(width, height)
+    c.text(1, 0, title, max_len=width - 2)
+    y = 1
+    for sec_title, clipped in rows:
+        c.box(0, y, width, len(clipped) + 2, title=sec_title)
+        c.blit_lines(2, y + 1, clipped)
+        y += len(clipped) + 2
+    return c.render()
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,9 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Optional, Sequence
 
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..obs import tracing as _obstrace
 from ..events import (
     Action,
     AwardBonus,
@@ -91,6 +93,8 @@ _M_TICKS = _obs.counter(
     "repro_engine_ticks_total",
     "Clock ticks advanced across all engines",
 )
+
+_LOG = _obslog.get_logger("engine")
 
 
 class EngineError(RuntimeError):
@@ -213,6 +217,8 @@ class GameEngine:
             {"scenario_id": self.state.current_scenario, "via": "start"},
             time=self.clock.now(),
         )
+        if _obs.enabled():
+            _LOG.info("session.start", scenario=self.state.current_scenario)
         self._fire(Trigger.ENTER, object_id=None, item_id=None)
 
     @property
@@ -233,34 +239,45 @@ class GameEngine:
         if self.state.finished:
             return Gesture(kind=GestureKind.NONE)
         t0 = perf_counter() if _obs.enabled() else None
-        gesture = interpret(event, self.current_scenario, self.state, self.layout)
-        self.interactions_handled += 1
-        payload = {
-            "gesture": gesture.kind,
-            "object_id": gesture.object_id,
-            "item_id": gesture.item_id,
-            "scenario_id": self.state.current_scenario,
-        }
-        # Coordinates (clicks and drag origins) feed the interaction
-        # heatmaps in repro.learning.heatmap.
-        if isinstance(event, MouseClick):
-            payload["x"], payload["y"] = event.x, event.y
-        elif isinstance(event, MouseDrag):
-            payload["x"], payload["y"] = event.x0, event.y0
-        self.bus.publish("interaction", payload, time=self.clock.now())
-        handler = {
-            GestureKind.CLICK: self._on_click,
-            GestureKind.EXAMINE: self._on_examine,
-            GestureKind.TALK: self._on_talk,
-            GestureKind.USE_ITEM: self._on_use_item,
-            GestureKind.TAKE: self._on_take,
-            GestureKind.MOVE: self._on_move,
-            GestureKind.SELECT_SLOT: self._on_select_slot,
-            GestureKind.DISMISS: self._on_dismiss,
-            GestureKind.AVATAR: self._on_avatar,
-            GestureKind.NONE: lambda g: None,
-        }[gesture.kind]
-        handler(gesture)
+        with _obstrace.span("engine.dispatch") as sp:
+            gesture = interpret(event, self.current_scenario, self.state, self.layout)
+            self.interactions_handled += 1
+            payload = {
+                "gesture": gesture.kind,
+                "object_id": gesture.object_id,
+                "item_id": gesture.item_id,
+                "scenario_id": self.state.current_scenario,
+            }
+            # Coordinates (clicks and drag origins) feed the interaction
+            # heatmaps in repro.learning.heatmap.
+            if isinstance(event, MouseClick):
+                payload["x"], payload["y"] = event.x, event.y
+            elif isinstance(event, MouseDrag):
+                payload["x"], payload["y"] = event.x0, event.y0
+            self.bus.publish("interaction", payload, time=self.clock.now())
+            handler = {
+                GestureKind.CLICK: self._on_click,
+                GestureKind.EXAMINE: self._on_examine,
+                GestureKind.TALK: self._on_talk,
+                GestureKind.USE_ITEM: self._on_use_item,
+                GestureKind.TAKE: self._on_take,
+                GestureKind.MOVE: self._on_move,
+                GestureKind.SELECT_SLOT: self._on_select_slot,
+                GestureKind.DISMISS: self._on_dismiss,
+                GestureKind.AVATAR: self._on_avatar,
+                GestureKind.NONE: lambda g: None,
+            }[gesture.kind]
+            handler(gesture)
+            if t0 is not None:
+                sp.set_attribute("gesture", gesture.kind)
+                sp.set_attribute("scenario", self.state.current_scenario)
+                _LOG.debug(
+                    "input.dispatch",
+                    gesture=gesture.kind,
+                    object_id=gesture.object_id,
+                    item_id=gesture.item_id,
+                    scenario=self.state.current_scenario,
+                )
         if t0 is not None:
             _M_DISPATCH.observe(perf_counter() - t0)
             _M_INTERACTIONS.inc(gesture=gesture.kind)
@@ -439,6 +456,15 @@ class GameEngine:
             if binding.once:
                 self.state.fired_once.add(binding.binding_id)
             _M_BINDINGS_FIRED.inc(trigger=trigger)
+            if _obs.enabled():
+                _LOG.debug(
+                    "binding.fired",
+                    binding_id=binding.binding_id,
+                    trigger=trigger,
+                    object_id=object_id,
+                    item_id=item_id,
+                    scenario=self.state.current_scenario,
+                )
             self.bus.publish(
                 "binding",
                 {"binding_id": binding.binding_id, "trigger": trigger},
@@ -466,6 +492,13 @@ class GameEngine:
                     f"{action.target!r}"
                 )
             _M_TRANSITIONS.inc()
+            if _obs.enabled():
+                _LOG.info(
+                    "scenario.switch",
+                    src=self.state.current_scenario,
+                    dst=action.target,
+                    via=source,
+                )
             self.state.switch_to(action.target)
             sc = self.scenarios[action.target]
             if self.player is not None:
@@ -519,6 +552,13 @@ class GameEngine:
             self._open_dialogue(action.dialogue_id)
         elif isinstance(action, EndGame):
             self.state.end(action.outcome)
+            if _obs.enabled():
+                _LOG.info(
+                    "game.end",
+                    outcome=action.outcome,
+                    score=self.state.score,
+                    via=source,
+                )
             self.bus.publish("end", {"outcome": action.outcome}, time=now)
         else:
             raise EngineError(f"engine cannot execute action kind {action.kind!r}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
+from ..obs import logging as _obslog
 from .state import GameState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids runtime<->core cycle)
@@ -31,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids runtime<->core cycle
     from ..core.solver import Move
 
 __all__ = ["Hint", "HintAdvisor", "HintError"]
+
+_LOG = _obslog.get_logger("hints")
 
 
 class HintError(RuntimeError):
@@ -87,7 +90,15 @@ class HintAdvisor:
                 engine.state = GameState.from_dict(snapshot)
                 try:
                     _apply(engine, move)
-                except Exception:
+                except Exception as exc:
+                    # A nominally-legal move the engine rejects is a
+                    # content bug worth surfacing, not swallowing.
+                    _LOG.warning(
+                        "hints.move_rejected",
+                        move=move.describe(),
+                        scenario=engine.state.current_scenario,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     continue
                 key = _canonical(engine.state)
                 if key in seen:
@@ -142,7 +153,13 @@ class HintAdvisor:
         before = engine.state.current_scenario
         try:
             _apply(engine, move)
-        except Exception:
+        except Exception as exc:
+            _LOG.warning(
+                "hints.destination_probe_failed",
+                move=move.describe(),
+                scenario=before,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None
         after = engine.state.current_scenario
         return after if after != before else None

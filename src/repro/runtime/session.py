@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..events.bus import EventBus, Notice
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 
 __all__ = ["SessionError", "SessionLog", "SessionRecorder"]
@@ -47,6 +48,9 @@ _M_ERRORS = _obs.counter(
     "Recorder failures while aggregating a notice (would otherwise be "
     "swallowed by bus quarantine)",
 )
+
+
+_LOG = _obslog.get_logger("session")
 
 
 class SessionError(RuntimeError):
@@ -135,6 +139,13 @@ class SessionRecorder:
             # Count the loss before the bus's quarantine can hide it.
             self.error_count += 1
             _M_ERRORS.inc()
+            if _obs.enabled():
+                _LOG.error(
+                    "recorder.error",
+                    player_id=self.log.player_id,
+                    topic=notice.topic,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             raise SessionError(
                 f"recorder for {self.log.player_id!r} failed on topic "
                 f"{notice.topic!r}: {exc}"
@@ -159,4 +170,13 @@ class SessionRecorder:
         self._closed = True
         _M_FINISHED.inc(outcome=str(outcome))
         _M_ACTIVE.dec()
+        if _obs.enabled():
+            _LOG.info(
+                "recorder.finish",
+                player_id=self.log.player_id,
+                outcome=str(outcome),
+                duration_s=duration,
+                notices=len(self.log.notices),
+                errors=self.error_count,
+            )
         return self.log

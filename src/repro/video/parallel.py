@@ -39,7 +39,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..obs import tracing as _obstrace
 from .codec import get_codec
 from .frame import Frame
 from .shots import DetectorConfig, ShotDetector
@@ -76,18 +78,34 @@ _M_ELAPSED = _obs.histogram(
     "Wall time of parallel kernel invocations, by kind",
 )
 
+_LOG = _obslog.get_logger("video.parallel")
+
 
 def _record_run(kind: str, stats: "ParallelStats", started: Optional[float]) -> None:
     """File one run's ParallelStats into the metrics registry."""
     if started is None:
         return
-    _M_ELAPSED.observe(time.perf_counter() - started, kind=kind)
+    elapsed = time.perf_counter() - started
+    _M_ELAPSED.observe(elapsed, kind=kind)
     _M_RUNS.inc(kind=kind, transport=stats.transport)
     _M_CHUNKS.inc(stats.chunks, kind=kind)
     if stats.fell_back_to_serial:
         _M_FALLBACKS.inc(kind=kind)
+        _LOG.warning(
+            "parallel.fallback",
+            kind=kind,
+            workers_requested=stats.workers_requested,
+        )
     _M_UTILIZATION.set(
         stats.workers_used / max(stats.workers_requested, 1), kind=kind
+    )
+    _LOG.info(
+        "parallel.run",
+        kind=kind,
+        transport=stats.transport,
+        chunks=stats.chunks,
+        workers=stats.workers_used,
+        elapsed_s=round(elapsed, 6),
     )
 
 
@@ -225,7 +243,10 @@ def parallel_encode_segments(
     order as the input segments regardless of completion order.
     """
     started = time.perf_counter() if _obs.enabled() else None
-    out, stats = _encode_segments_impl(segments, codec_name, codec_params, max_workers)
+    with _obstrace.span("parallel.encode", segments=len(segments)):
+        out, stats = _encode_segments_impl(
+            segments, codec_name, codec_params, max_workers
+        )
     _record_run("encode", stats, started)
     return out, stats
 
@@ -309,7 +330,10 @@ def parallel_difference_signal(
     concatenate exactly to the serial signal (asserted by tests).
     """
     started = time.perf_counter() if _obs.enabled() else None
-    signal, stats = _difference_signal_impl(frames, config, max_workers, min_chunk)
+    with _obstrace.span("parallel.diff_signal", frames=len(frames)):
+        signal, stats = _difference_signal_impl(
+            frames, config, max_workers, min_chunk
+        )
     _record_run("diff_signal", stats, started)
     return signal, stats
 

@@ -1,5 +1,7 @@
 """Shared fixtures: small footage, a compiled classroom game, editors."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,20 @@ from repro.core.templates import scene_footage
 from repro.video import FrameSize, ShotSpec, generate_clip
 
 SIZE = FrameSize(80, 60)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """On a failed run, leave a flight dump for the CI failure artifact."""
+    if exitstatus == 0:
+        return
+    from repro import obs
+
+    recorder = obs.get_flight_recorder()
+    if len(recorder) == 0 and not obs.get_tracer().finished:
+        return  # nothing observed; an empty dump would only mislead
+    path = Path("pytest-flight-dump.json")
+    recorder.dump(path, reason=f"pytest-exit-{exitstatus}")
+    print(f"\nobs: wrote flight dump to {path}")
 
 
 @pytest.fixture(scope="session")

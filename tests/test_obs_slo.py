@@ -1,0 +1,308 @@
+"""Tests for SLO rules: quantiles, parsing, evaluation, the CLI gate."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.slo import (
+    SloError,
+    SloRule,
+    _parse_mini_toml,
+    evaluate_slos,
+    histogram_quantile,
+    load_rules,
+    parse_slo_file,
+)
+
+EXAMPLES_SLO = Path(__file__).resolve().parent.parent / "examples" / "slo.toml"
+
+
+def hist_entry(buckets, counts, total=None, count=None):
+    return {
+        "name": "h",
+        "kind": "histogram",
+        "help": "",
+        "buckets": list(buckets),
+        "series": [
+            {
+                "labels": {},
+                "counts": list(counts),
+                "sum": total if total is not None else 0.0,
+                "count": count if count is not None else sum(counts),
+            }
+        ],
+    }
+
+
+def counter_entry(name, value, labels=None):
+    return {
+        "name": name,
+        "kind": "counter",
+        "help": "",
+        "series": [{"labels": labels or {}, "value": value}],
+    }
+
+
+def snap(*entries):
+    return {"enabled": True, "metrics": list(entries)}
+
+
+class TestHistogramQuantile:
+    def test_picks_covering_bucket_bound(self):
+        # 10 samples: 9 in <=0.001, 1 in <=0.01
+        entry = hist_entry([0.001, 0.01, 0.1], [9, 1, 0, 0])
+        assert histogram_quantile(entry, 0.5) == 0.001
+        assert histogram_quantile(entry, 0.9) == 0.001
+        assert histogram_quantile(entry, 0.95) == 0.01
+
+    def test_overflow_bucket_is_inf(self):
+        entry = hist_entry([0.001], [0, 5])
+        assert histogram_quantile(entry, 0.95) == math.inf
+
+    def test_no_samples_returns_none(self):
+        entry = hist_entry([0.001, 0.01], [0, 0, 0])
+        assert histogram_quantile(entry, 0.95) is None
+
+    def test_invalid_quantile_rejected(self):
+        entry = hist_entry([0.001], [1, 0])
+        with pytest.raises(SloError):
+            histogram_quantile(entry, 0.0)
+        with pytest.raises(SloError):
+            histogram_quantile(entry, 1.5)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SloError, match="unknown rule kind"):
+            SloRule(kind="p42", op="<", value=1, metric="m")
+
+    def test_unknown_op(self):
+        with pytest.raises(SloError, match="unknown op"):
+            SloRule(kind="total", op="~", value=1, metric="m")
+
+    def test_ratio_needs_numerator_and_denominator(self):
+        with pytest.raises(SloError, match="numerator"):
+            SloRule(kind="ratio", op=">=", value=0.5)
+
+    def test_non_ratio_needs_metric(self):
+        with pytest.raises(SloError, match="need a 'metric'"):
+            SloRule(kind="total", op="<", value=1)
+
+    def test_title_falls_back_to_shape(self):
+        rule = SloRule(kind="p95", op="<", value=0.005, metric="m")
+        assert "p95(m)" in rule.title
+
+
+class TestEvaluation:
+    def test_total_pass_and_fail(self):
+        s = snap(counter_entry("errs", 0.0))
+        results, ok = evaluate_slos(
+            [SloRule(kind="total", op="==", value=0, metric="errs")], s
+        )
+        assert ok and results[0].ok and results[0].observed == 0.0
+        results, ok = evaluate_slos(
+            [SloRule(kind="total", op=">", value=0, metric="errs")], s
+        )
+        assert not ok
+
+    def test_missing_metric_fails_unless_allow_empty(self):
+        s = snap()
+        (res,), ok = evaluate_slos(
+            [SloRule(kind="total", op="==", value=0, metric="ghost")], s
+        )
+        assert not ok and res.observed is None and "missing" in res.detail
+        (res,), ok = evaluate_slos(
+            [SloRule(kind="total", op="==", value=0, metric="ghost",
+                     allow_empty=True)],
+            s,
+        )
+        assert ok
+
+    def test_quantile_rule_against_histogram(self):
+        s = snap(
+            {
+                **hist_entry([0.001, 0.01, 0.1], [90, 8, 2, 0]),
+                "name": "lat",
+            }
+        )
+        (res,), ok = evaluate_slos(
+            [SloRule(kind="p95", op="<=", value=0.01, metric="lat")], s
+        )
+        assert ok and res.observed == 0.01
+
+    def test_quantile_on_counter_is_an_error(self):
+        s = snap(counter_entry("c", 1.0))
+        with pytest.raises(SloError, match="need a histogram"):
+            evaluate_slos([SloRule(kind="p95", op="<", value=1, metric="c")], s)
+
+    def test_mean_rule(self):
+        s = snap({**hist_entry([1.0], [4, 0], total=2.0, count=4), "name": "lat"})
+        (res,), ok = evaluate_slos(
+            [SloRule(kind="mean", op="<=", value=0.5, metric="lat")], s
+        )
+        assert ok and res.observed == 0.5
+
+    def test_ratio_rule(self):
+        s = snap(
+            counter_entry("hits", 3.0), counter_entry("misses", 1.0)
+        )
+        rule = SloRule(
+            kind="ratio", op=">=", value=0.5,
+            numerator="hits", denominator=("hits", "misses"),
+        )
+        (res,), ok = evaluate_slos([rule], s)
+        assert ok and res.observed == 0.75
+
+    def test_ratio_zero_denominator_is_empty(self):
+        s = snap(counter_entry("hits", 0.0), counter_entry("misses", 0.0))
+        rule = SloRule(
+            kind="ratio", op=">=", value=0.5,
+            numerator="hits", denominator=("hits", "misses"),
+        )
+        (res,), ok = evaluate_slos([rule], s)
+        assert not ok and res.observed is None
+
+    def test_label_filtered_total(self):
+        entry = {
+            "name": "c", "kind": "counter", "help": "",
+            "series": [
+                {"labels": {"policy": "lru"}, "value": 5.0},
+                {"labels": {"policy": "fifo"}, "value": 7.0},
+            ],
+        }
+        rule = SloRule(
+            kind="total", op="==", value=5, metric="c",
+            labels={"policy": "lru"},
+        )
+        (res,), ok = evaluate_slos([rule], snap(entry))
+        assert ok and res.observed == 5.0
+
+
+class TestRuleFiles:
+    def test_load_rules_rejects_unknown_keys(self):
+        with pytest.raises(SloError, match="unknown keys"):
+            load_rules({"rule": [{"metric": "m", "value": 1, "frobnicate": 2}]})
+
+    def test_load_rules_requires_rules(self):
+        with pytest.raises(SloError, match="no \\[\\[rule\\]\\]"):
+            load_rules({})
+
+    def test_parse_json_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(
+            {"rule": [{"metric": "m", "kind": "total", "op": "<", "value": 9}]}
+        ))
+        rules = parse_slo_file(path)
+        assert len(rules) == 1 and rules[0].metric == "m"
+
+    def test_parse_toml_file(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rule]]\n'
+            'name = "one"\n'
+            'metric = "m"\n'
+            'kind = "p95"\n'
+            'op = "<"\n'
+            'value = 0.005\n'
+            '\n'
+            '[[rule]]\n'
+            'kind = "ratio"\n'
+            'numerator = "hits"\n'
+            'denominator = ["hits", "misses"]\n'
+            'op = ">="\n'
+            'value = 0.05\n'
+            'allow_empty = true\n'
+        )
+        rules = parse_slo_file(path)
+        assert [r.kind for r in rules] == ["p95", "ratio"]
+        assert rules[1].denominator == ("hits", "misses")
+        assert rules[1].allow_empty is True
+
+    def test_mini_toml_parser_directly(self):
+        data = _parse_mini_toml(
+            "# comment\n"
+            "[[rule]]\n"
+            'name = "a" \n'
+            "value = 0.5\n"
+            "count = 3\n"
+            "flag = true  # trailing comment\n"
+            'arr = ["x", "y"]\n'
+            "[[rule]]\n"
+            'name = "b"\n'
+            "value = 1\n"
+        )
+        assert len(data["rule"]) == 2
+        first = data["rule"][0]
+        assert first == {
+            "name": "a", "value": 0.5, "count": 3, "flag": True,
+            "arr": ["x", "y"],
+        }
+        assert data["rule"][1]["name"] == "b"
+
+    def test_mini_toml_rejects_garbage(self):
+        with pytest.raises(SloError):
+            _parse_mini_toml("not a kv line\n")
+
+    def test_example_rules_file_parses(self):
+        rules = parse_slo_file(EXAMPLES_SLO)
+        assert len(rules) >= 5
+        kinds = {r.kind for r in rules}
+        assert "p95" in kinds and "ratio" in kinds
+
+
+class TestCliGate:
+    """`repro obs check` exits 0 on pass, 1 on breach, 2 on usage errors."""
+
+    @pytest.fixture
+    def snapshot_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snap(counter_entry("errs", 2.0))))
+        return path
+
+    def _rules_file(self, tmp_path, op, value):
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            "[[rule]]\n"
+            'metric = "errs"\n'
+            'kind = "total"\n'
+            f'op = "{op}"\n'
+            f"value = {value}\n"
+        )
+        return path
+
+    def test_passing_rules_exit_zero(self, tmp_path, snapshot_file, capsys):
+        from repro.cli import main
+
+        rules = self._rules_file(tmp_path, "==", 2)
+        code = main([
+            "obs", "check", "--slo", str(rules),
+            "--snapshot", str(snapshot_file), "--no-demo",
+        ])
+        assert code == 0
+        assert "SLO check passed" in capsys.readouterr().out
+
+    def test_breached_rules_exit_one(self, tmp_path, snapshot_file, capsys):
+        from repro.cli import main
+
+        rules = self._rules_file(tmp_path, "==", 0)
+        code = main([
+            "obs", "check", "--slo", str(rules),
+            "--snapshot", str(snapshot_file), "--no-demo",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_slo_flag_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "check", "--no-demo"]) == 2
+
+    def test_unreadable_rules_exit_two(self, tmp_path, snapshot_file):
+        from repro.cli import main
+
+        assert main([
+            "obs", "check", "--slo", str(tmp_path / "missing.toml"),
+            "--snapshot", str(snapshot_file), "--no-demo",
+        ]) == 2

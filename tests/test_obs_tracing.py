@@ -164,3 +164,73 @@ class TestDisabledMode:
 
         assert fn() == 7
         assert g.finished == []
+
+
+class TestCorrelationIds:
+    def test_root_gets_fresh_trace_id(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id and b.trace_id and a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_children_inherit_trace_id(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+        assert child.trace_id == root.trace_id == grand.trace_id
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        ids = {root.span_id, child.span_id, grand.span_id}
+        assert len(ids) == 3  # span ids are unique
+
+    def test_ids_are_64bit_hex(self, tracer):
+        with tracer.span("x") as sp:
+            pass
+        assert len(sp.span_id) == 16
+        int(sp.span_id, 16)  # must parse as hex
+        assert len(sp.trace_id) == 16
+
+    def test_to_dict_carries_ids(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        root = tracer.to_dicts()[0]
+        assert root["trace_id"] == root["children"][0]["trace_id"]
+        assert root["children"][0]["parent_id"] == root["span_id"]
+
+
+class TestResetInterleaving:
+    """Regression: a reset while spans are open must not resurrect
+    pre-reset parents or record stale spans (the generation guard)."""
+
+    def test_span_open_across_reset_unwinds_inertly(self, tracer):
+        with tracer.span("outer"):
+            tracer.reset()
+        assert tracer.finished == []
+        assert tracer.current() is None
+
+    def test_new_spans_after_reset_are_roots(self, tracer):
+        with tracer.span("doomed"):
+            tracer.reset()
+            with tracer.span("fresh") as fresh:
+                pass
+            # The post-reset span is a root: no stale parent attached.
+            assert fresh.parent_id is None
+        assert [s.name for s in tracer.finished] == ["fresh"]
+        # The doomed span's exit must not clobber what came after.
+        assert tracer.current() is None
+        with tracer.span("later"):
+            pass
+        assert [s.name for s in tracer.finished] == ["fresh", "later"]
+
+    def test_deep_interleave(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.reset()
+                with tracer.span("c"):
+                    pass
+        assert [s.name for s in tracer.finished] == ["c"]
+        assert tracer.current() is None
