@@ -1,0 +1,112 @@
+"""Serving-layer bench: shard-count sweep through the session manager.
+
+Offers a fixed load of cohort-scripted sessions to ``repro.serve``
+managers of increasing shard count and reports completed sessions per
+second plus per-shard p95 tick latency (read from the obs histogram via
+a before/after snapshot diff).  The headline claim this file defends:
+at a fixed offered load, going from 1 shard to 4 shards at least
+doubles sessions/second.
+
+Tunable from the environment so the CI smoke job can run a small,
+fast sweep:
+
+``REPRO_SERVE_BENCH_SHARDS``
+    Comma-separated shard counts to sweep (default ``1,2,4``).
+``REPRO_SERVE_BENCH_SESSIONS``
+    Sessions offered per sweep point (default ``200``).
+
+The sweep results are also gated in-process against the
+``repro_serve_*`` rules of ``examples/slo.toml`` — the same rules
+``repro obs check`` enforces on the demo workload.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import save_result
+from repro import obs
+from repro.core import fetch_quest_game
+from repro.reporting import format_table
+from repro.serve import run_serve_benchmark
+from repro.students import cohort_scripts
+
+SLO_FILE = Path(__file__).parent.parent / "examples" / "slo.toml"
+
+
+def _env_shards() -> list:
+    raw = os.environ.get("REPRO_SERVE_BENCH_SHARDS", "1,2,4")
+    return [int(s) for s in raw.split(",") if s.strip()]
+
+
+def _env_sessions() -> int:
+    return int(os.environ.get("REPRO_SERVE_BENCH_SESSIONS", "200"))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One shard-count sweep at fixed load, shared by every assertion."""
+    obs.enable()  # per-shard p95 needs the tick histogram recording
+    game = fetch_quest_game(n_quests=2, title="serve bench").build()
+    scripts = cohort_scripts(game, 12, seed=2007)
+    return run_serve_benchmark(
+        game,
+        _env_shards(),
+        sessions=_env_sessions(),
+        scripts=scripts,
+        tick_interval_s=0.01,
+        max_steps_per_tick=20,
+    )
+
+
+def test_serve_sweep_completes_offered_load(sweep, results_dir):
+    lines = [format_table(
+        [r.as_row() for r in sweep],
+        title=f"serve shard sweep ({_env_sessions()} sessions/point)",
+    )]
+    for r in sweep:
+        per_shard = ", ".join(
+            f"shard {label}: {q * 1e3:.2f}ms"
+            for label, q in sorted(r.tick_p95_by_shard.items())
+        )
+        lines.append(f"{r.shards}-shard tick p95 — {per_shard or '(no samples)'}")
+    save_result("serve_shard_sweep.txt", "\n".join(lines))
+    for r in sweep:
+        assert r.report.drained, f"{r.shards}-shard run failed to drain"
+        assert r.report.completed == r.report.offered
+        assert r.report.rejected == 0
+        assert r.report.failed == 0
+
+
+def test_serve_sweep_records_per_shard_latency(sweep):
+    for r in sweep:
+        assert r.tick_p95_s is not None, "tick histogram recorded no samples"
+        assert len(r.tick_p95_by_shard) == r.shards
+        # Sessions must actually land on every shard at this load.
+        active_shards = {k for k, v in r.report.completed_by_shard.items() if v}
+        assert len(active_shards) == r.shards
+
+
+def test_serve_scales_with_shard_count(sweep):
+    """The acceptance bar: >= 2x sessions/sec going from 1 to 4 shards."""
+    by_shards = {r.shards: r for r in sweep}
+    if 1 not in by_shards or 4 not in by_shards:
+        pytest.skip("sweep does not include both 1 and 4 shards")
+    one = by_shards[1].report.sessions_per_second
+    four = by_shards[4].report.sessions_per_second
+    assert one > 0
+    speedup = four / one
+    assert speedup >= 2.0, f"1->4 shard speedup only {speedup:.2f}x"
+
+
+def test_serve_slo_rules_pass(sweep):
+    """The repro_serve_* rules of examples/slo.toml hold under the sweep."""
+    rules = [
+        r for r in obs.parse_slo_file(SLO_FILE)
+        if (r.metric or r.numerator or "").startswith("repro_serve_")
+    ]
+    assert rules, "examples/slo.toml lost its serve rules"
+    results, all_ok = obs.evaluate_slos(rules, obs.snapshot())
+    breached = [r.rule.title for r in results if not r.ok]
+    assert all_ok, f"serve SLO rules breached: {breached}"

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro obs check --slo FILE      # SLO gate (nonzero on breach)
     python -m repro obs flight                # dump the flight recorder
     python -m repro top                       # live metrics/spans dashboard
+    python -m repro serve-bench               # sharded-server load sweep
 
 ``validate`` exits non-zero when the project has errors, so it slots
 into a course-content CI pipeline unchanged.  ``obs`` runs a small
@@ -124,6 +125,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.add_argument("--width", type=int, default=100,
                        help="dashboard width in columns (default 100)")
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="load-test the sharded session server across shard counts",
+    )
+    p_serve.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep (default 1,2,4)",
+    )
+    p_serve.add_argument("--sessions", type=int, default=200,
+                         help="sessions offered per sweep point (default 200)")
+    p_serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="arrival rate in sessions/s; 0 = open-loop burst (default)",
+    )
+    p_serve.add_argument("--tick-hz", type=float, default=100.0,
+                         help="shard tick frequency (default 100)")
+    p_serve.add_argument("--steps-per-tick", type=int, default=20,
+                         help="session-step budget per shard tick (default 20)")
+    p_serve.add_argument("--max-sessions", type=int, default=100_000,
+                         help="admission-control in-flight cap (default 100000)")
+    p_serve.add_argument("--seed", type=int, default=2007,
+                         help="cohort script sampling seed (default 2007)")
+    p_serve.add_argument("--scripts", type=int, default=16,
+                         help="distinct player scripts in the pool (default 16)")
+    p_serve.add_argument(
+        "--slo", type=Path, default=None,
+        help="also gate the run's metrics through an SLO rule file "
+             "(nonzero exit on breach)",
+    )
     return parser
 
 
@@ -283,6 +314,17 @@ def _obs_demo_workload() -> None:
     frames = reader.decode_segment(0)
     parallel_difference_signal(frames, max_workers=2)
 
+    # Serving layer: a short burst through the sharded session manager
+    # (fast ticks so the whole burst drains in well under a second).
+    from .serve import LoadGenerator, ServeConfig, SessionManager
+    from .students import cohort_scripts
+
+    scripts = cohort_scripts(game, 4, seed=7)
+    with SessionManager(
+        ServeConfig(n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50)
+    ) as manager:
+        LoadGenerator(manager, game, scripts).run(12, drain_timeout=30.0)
+
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     from . import obs
@@ -427,6 +469,94 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from . import obs
+    from .core import fetch_quest_game
+    from .reporting import format_table
+    from .serve import run_serve_benchmark
+    from .students import cohort_scripts
+
+    try:
+        shard_counts = [int(s) for s in str(args.shards).split(",") if s.strip()]
+    except ValueError:
+        print(f"error: cannot parse --shards {args.shards!r}", file=sys.stderr)
+        return 2
+    if not shard_counts or any(n < 1 for n in shard_counts):
+        print("error: --shards needs positive integers", file=sys.stderr)
+        return 2
+    if args.tick_hz <= 0:
+        print("error: --tick-hz must be positive", file=sys.stderr)
+        return 2
+
+    obs.enable()
+    game = fetch_quest_game(n_quests=2, title="serve-bench").build()
+    scripts = cohort_scripts(game, args.scripts, seed=args.seed)
+    results = run_serve_benchmark(
+        game,
+        shard_counts,
+        sessions=args.sessions,
+        scripts=scripts,
+        arrival_rate=args.rate,
+        tick_interval_s=1.0 / args.tick_hz,
+        max_steps_per_tick=args.steps_per_tick,
+        max_sessions=args.max_sessions,
+    )
+    print(format_table(
+        [r.as_row() for r in results],
+        title=f"serve-bench: {args.sessions} sessions per sweep point",
+    ))
+    for r in results:
+        per_shard = ", ".join(
+            f"shard {label}: {q * 1e3:.2f}ms"
+            for label, q in sorted(r.tick_p95_by_shard.items())
+        )
+        if per_shard:
+            print(f"  {r.shards}-shard tick p95 — {per_shard}")
+    base = results[0].report.sessions_per_second
+    if base > 0 and len(results) > 1:
+        for r in results[1:]:
+            print(f"  {r.shards} shards vs {results[0].shards}: "
+                  f"{r.report.sessions_per_second / base:.2f}x sessions/s")
+    if args.slo is not None:
+        return _check_serve_slos(args.slo)
+    return 0
+
+
+def _check_serve_slos(slo_path: Path) -> int:
+    """Gate a serve-bench run on the serve rules of an SLO file.
+
+    A bench run only exercises ``repro_serve_*`` metrics, so rules
+    about other subsystems (which ``repro obs check`` covers via its
+    demo workload) are skipped here rather than spuriously failing.
+    """
+    from . import obs
+    from .reporting import format_table
+
+    try:
+        rules = obs.parse_slo_file(slo_path)
+    except (OSError, obs.SloError) as exc:
+        print(f"error: cannot load SLO rules: {exc}", file=sys.stderr)
+        return 2
+    serve_rules = [
+        r for r in rules
+        if (r.metric or r.numerator or "").startswith("repro_serve_")
+    ]
+    if not serve_rules:
+        print(f"error: no repro_serve_* rules in {slo_path}", file=sys.stderr)
+        return 2
+    results, all_ok = obs.evaluate_slos(serve_rules, obs.snapshot())
+    print(format_table(
+        [r.as_row() for r in results],
+        title=f"serve SLO check: {slo_path}",
+    ))
+    if all_ok:
+        print(f"\nserve SLO check passed ({len(results)} rules)")
+        return 0
+    failed = sum(1 for r in results if not r.ok)
+    print(f"\nserve SLO check FAILED ({failed} of {len(results)} rules breached)")
+    return 1
+
+
 def _render_top_frame(width: int) -> str:
     """One ``repro top`` frame: metrics, span aggregates, flight tail."""
     from . import obs
@@ -543,6 +673,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_top(
             args.interval, args.iterations, args.once, args.no_demo, args.width
         )
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -27,6 +27,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import networkx as nx
+
 from ..graph import ScenarioGraph
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
@@ -98,6 +100,10 @@ class SegmentCache:
         #: segment id → size; order = recency (most recent last) for lru,
         #: insertion for fifo.
         self._resident: "OrderedDict[int, int]" = OrderedDict()
+        #: running byte total of ``_resident`` — the eviction loop used
+        #: to re-sum the whole OrderedDict per iteration (O(n) per
+        #: evicted segment); kept incrementally instead.
+        self._resident_bytes = 0
         self._ever_cached: Set[int] = set()
         #: segment id → scenario id (for the graph policy)
         self._scenario_of: Dict[int, str] = {}
@@ -106,7 +112,7 @@ class SegmentCache:
     # ------------------------------------------------------------------
     @property
     def resident_bytes(self) -> int:
-        return sum(self._resident.values())
+        return self._resident_bytes
 
     @property
     def resident_segments(self) -> List[int]:
@@ -160,19 +166,45 @@ class SegmentCache:
                     policy=self.policy,
                 )
         self._ever_cached.add(segment_id)
-        while self.resident_bytes + size > self.capacity_bytes:
-            self._evict_one(current_scenario)
+        if self._resident_bytes + size > self.capacity_bytes:
+            self._evict_until_fits(size, current_scenario)
         self._resident[segment_id] = size
+        self._resident_bytes += size
         return False
 
-    def _evict_one(self, current_scenario: Optional[str]) -> None:
+    def _evict_until_fits(
+        self, incoming: int, current_scenario: Optional[str]
+    ) -> None:
+        """Evict per policy until ``incoming`` bytes fit.
+
+        The graph policy's distance map is computed once per admission,
+        not once per evicted segment — one admission may evict many
+        small segments and the shortest-path tree does not change while
+        it does.
+        """
+        distances: Optional[Dict[str, int]] = None
+        if self.policy == "graph" and current_scenario is not None:
+            distances = dict(
+                nx.single_source_shortest_path_length(
+                    self.graph._g, current_scenario  # noqa: SLF001 - same package
+                )
+            )
+        while self._resident_bytes + incoming > self.capacity_bytes:
+            self._evict_one(current_scenario, distances)
+
+    def _evict_one(
+        self,
+        current_scenario: Optional[str],
+        distances: Optional[Dict[str, int]] = None,
+    ) -> None:
         if not self._resident:  # pragma: no cover - guarded by size check
             raise RuntimeError("cache invariant violated: nothing to evict")
         if self.policy in ("lru", "fifo"):
             victim, size = next(iter(self._resident.items()))
         else:
-            victim, size = self._graph_victim(current_scenario)
+            victim, size = self._graph_victim(current_scenario, distances)
         del self._resident[victim]
+        self._resident_bytes -= size
         self.stats.evictions += 1
         self.stats.bytes_evicted += size
         _M_EVICTIONS.inc(policy=self.policy)
@@ -186,18 +218,21 @@ class SegmentCache:
                 policy=self.policy,
             )
 
-    def _graph_victim(self, current_scenario: Optional[str]) -> Tuple[int, int]:
+    def _graph_victim(
+        self,
+        current_scenario: Optional[str],
+        distances: Optional[Dict[str, int]] = None,
+    ) -> Tuple[int, int]:
         """Farthest-from-player resident segment (ties: oldest)."""
         assert self.graph is not None
         if current_scenario is None:
             return next(iter(self._resident.items()))
-        import networkx as nx
-
-        distances = dict(
-            nx.single_source_shortest_path_length(
-                self.graph._g, current_scenario  # noqa: SLF001 - same package
+        if distances is None:
+            distances = dict(
+                nx.single_source_shortest_path_length(
+                    self.graph._g, current_scenario  # noqa: SLF001 - same package
+                )
             )
-        )
         best: Optional[Tuple[int, int]] = None
         best_dist = -1
         for seg, size in self._resident.items():

@@ -118,7 +118,18 @@ class StreamStats:
 
 
 class StreamSession:
-    """Simulates streamed playback of a compiled game over a channel."""
+    """Simulates streamed playback of a compiled game over a channel.
+
+    Reuse contract
+    --------------
+    One session may replay several paths (``play_path`` called more than
+    once): segments fetched by an earlier path stay resident, so a later
+    path starts warm and never re-fetches them.  Per-path statistics are
+    still isolated — ``bytes_fetched`` and ``bytes_wasted`` cover only
+    traffic *issued during that call*, even when the :class:`Channel` is
+    shared with other sessions (the channel's byte counter is
+    snapshotted at path start rather than read as an absolute).
+    """
 
     def __init__(
         self,
@@ -155,6 +166,9 @@ class StreamSession:
         #: segment id → time the last byte arrived (fetched or in flight)
         self._arrival: Dict[int, float] = {}
         self._played_segments: Set[int] = set()
+        #: per-path accounting, reset by every play_path call
+        self._path_fetched: Set[int] = set()
+        self._path_played: Set[int] = set()
 
     # ------------------------------------------------------------------
     def _segment_of(self, scenario_id: str) -> int:
@@ -171,6 +185,7 @@ class StreamSession:
         t = self.channel.request(size, now)
         self._transfers[segment_id] = t
         self._arrival[segment_id] = t.finished_at
+        self._path_fetched.add(segment_id)
         _M_FETCHES.inc(purpose=purpose)
         _M_BYTES.inc(size, purpose=purpose)
         if _obs.enabled():
@@ -248,21 +263,29 @@ class StreamSession:
 
         The first entry is the game start (its fetch is the initial
         loading screen); subsequent entries are player-taken branches.
+
+        Stats cover only this call: the channel byte counter is
+        snapshotted at path start (the channel may be shared, or this
+        session may have replayed an earlier path), and ``bytes_wasted``
+        counts segments fetched during this path but never played by it.
+        Segments resident from earlier paths carry over as a warm start.
         """
         if not path:
             raise ValueError("path must not be empty")
         stats = StreamStats()
         now = start_time
+        bytes_before = self.channel.bytes_transferred
+        self._path_fetched = set()
+        self._path_played = set()
         with _obstrace.span(
             "stream.play_path", policy=self.policy, visits=len(path)
         ):
             self._replay(path, stats, now)
-        stats.bytes_fetched = self.channel.bytes_transferred
-        wasted = 0
-        for seg, _arr in self._arrival.items():
-            if seg not in self._played_segments:
-                wasted += self._segment_bytes(seg)
-        stats.bytes_wasted = wasted
+        stats.bytes_fetched = self.channel.bytes_transferred - bytes_before
+        stats.bytes_wasted = sum(
+            self._segment_bytes(seg)
+            for seg in self._path_fetched - self._path_played
+        )
         return stats
 
     def _replay(
@@ -321,6 +344,7 @@ class StreamSession:
                 )
             )
             self._played_segments.add(seg)
+            self._path_played.add(seg)
             now = playable + rebuffer
             # Dwell in the scenario; idle link time is prefetch time.
             self._prefetch_frontier(scenario_id, now)

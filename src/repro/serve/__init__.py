@@ -1,0 +1,42 @@
+"""The serving layer: many concurrent engine sessions, one process.
+
+``repro.serve`` scales the single-player VGBL runtime into a sharded
+multi-session game server — the deployment gap between the paper's
+one-student prototype and a platform serving a school district:
+
+* :class:`~repro.serve.manager.SessionManager` — N thread-per-shard
+  workers, sessions hash-partitioned by player id, batched paced tick
+  scheduling, admission control with backpressure, graceful drain;
+* :class:`~repro.serve.session.ServedSession` — one scripted engine run,
+  owned by exactly one shard (lock-free stepping);
+* :class:`~repro.serve.loadgen.LoadGenerator` — replays
+  :mod:`repro.students` cohort scripts at a target arrival rate;
+* :func:`~repro.serve.bench.run_serve_benchmark` — the shard-count sweep
+  behind ``repro serve-bench`` and ``benchmarks/bench_serve.py``.
+
+Everything is instrumented through :mod:`repro.obs` (per-shard tick
+histograms, active/queue gauges, admission counters) and asserted by the
+serve rules in ``examples/slo.toml``.
+"""
+
+from .bench import ShardSweepResult, run_serve_benchmark
+from .loadgen import LoadGenerator, LoadReport
+from .manager import ServeConfig, SessionManager, shard_for
+from .session import (
+    ServedSession,
+    play_to_completion,
+    session_factory_for_script,
+)
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "ServeConfig",
+    "ServedSession",
+    "SessionManager",
+    "ShardSweepResult",
+    "play_to_completion",
+    "run_serve_benchmark",
+    "session_factory_for_script",
+    "shard_for",
+]

@@ -1,0 +1,141 @@
+"""Serve-layer benchmark harness: shard-count sweeps with obs readouts.
+
+Shared by ``repro serve-bench`` and ``benchmarks/bench_serve.py`` so the
+CLI, the CI smoke job and a laptop all measure the same thing: offer a
+fixed load of cohort-scripted sessions to managers of increasing shard
+count and report completed sessions/second plus per-shard p95 tick
+latency, read back from the obs histogram.
+
+Because the metrics registry is process-global and cumulative, each
+sweep point snapshots the ``repro_serve_tick_seconds`` histogram before
+and after its run and quantiles the *difference* — so a 4-shard run's
+p95 is never polluted by the 1-shard run that preceded it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.project import CompiledGame
+from ..obs import metrics as _obs
+from ..obs.slo import histogram_quantile
+from ..students.scripts import PlayerScript, cohort_scripts
+from .loadgen import LoadGenerator, LoadReport
+from .manager import ServeConfig, SessionManager
+
+__all__ = ["ShardSweepResult", "run_serve_benchmark"]
+
+_TICK_METRIC = "repro_serve_tick_seconds"
+
+
+@dataclass(slots=True)
+class ShardSweepResult:
+    """One sweep point: a full load run at a fixed shard count."""
+
+    shards: int
+    report: LoadReport
+    #: p95 busy-tick seconds merged over all shards (None: obs off)
+    tick_p95_s: Optional[float] = None
+    #: shard label -> p95 busy-tick seconds for that shard alone
+    tick_p95_by_shard: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {"shards": self.shards}
+        row.update(self.report.as_row())
+        row["tick_p95_ms"] = (
+            "-" if self.tick_p95_s is None else f"{self.tick_p95_s * 1e3:.2f}"
+        )
+        return row
+
+
+def _tick_series(
+    snapshot: Dict[str, Any]
+) -> Tuple[Dict[str, Dict[str, Any]], List[float]]:
+    """(shard-label -> histogram series, bucket bounds) for the tick metric."""
+    for metric in snapshot.get("metrics", []):
+        if metric.get("name") == _TICK_METRIC:
+            return {
+                s["labels"].get("shard", ""): s for s in metric["series"]
+            }, metric.get("buckets", [])
+    return {}, []
+
+
+def _diff_entry(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Synthetic histogram entry holding only this run's observations."""
+    after_series, buckets = _tick_series(after)
+    before_series, _ = _tick_series(before)
+    series = []
+    for label, s in after_series.items():
+        prev = before_series.get(label)
+        counts = list(s["counts"])
+        total = s["sum"]
+        count = s["count"]
+        if prev is not None:
+            counts = [c - p for c, p in zip(counts, prev["counts"])]
+            total -= prev["sum"]
+            count -= prev["count"]
+        if count > 0:
+            series.append(
+                {"labels": dict(s["labels"]), "counts": counts,
+                 "sum": total, "count": count}
+            )
+    if not series:
+        return None
+    return {"name": _TICK_METRIC, "kind": "histogram",
+            "buckets": buckets, "series": series}
+
+
+def run_serve_benchmark(
+    game: CompiledGame,
+    shard_counts: Sequence[int],
+    sessions: int = 200,
+    scripts: Optional[Sequence[PlayerScript]] = None,
+    n_scripts: int = 16,
+    seed: int = 2007,
+    arrival_rate: float = 0.0,
+    tick_interval_s: float = 0.01,
+    max_steps_per_tick: int = 20,
+    max_sessions: int = 100_000,
+    drain_timeout: float = 120.0,
+) -> List[ShardSweepResult]:
+    """Run the fixed load once per shard count; see module docstring.
+
+    The offered load (``sessions`` scripted runs) and the per-shard
+    capacity (``max_steps_per_tick / tick_interval_s`` steps/s) are held
+    constant across the sweep, so sessions/second differences isolate
+    the effect of shard count alone.
+    """
+    if not shard_counts:
+        raise ValueError("need at least one shard count")
+    if scripts is None:
+        scripts = cohort_scripts(game, n_scripts, seed=seed)
+    results: List[ShardSweepResult] = []
+    for n_shards in shard_counts:
+        config = ServeConfig(
+            n_shards=n_shards,
+            max_sessions=max_sessions,
+            tick_interval_s=tick_interval_s,
+            max_steps_per_tick=max_steps_per_tick,
+        )
+        before = _obs.snapshot()
+        with SessionManager(config) as manager:
+            gen = LoadGenerator(
+                manager, game, scripts, arrival_rate=arrival_rate
+            )
+            report = gen.run(sessions, drain_timeout=drain_timeout)
+        after = _obs.snapshot()
+        result = ShardSweepResult(shards=n_shards, report=report)
+        entry = _diff_entry(before, after)
+        if entry is not None:
+            result.tick_p95_s = histogram_quantile(entry, 0.95)
+            for series in entry["series"]:
+                label = series["labels"].get("shard", "")
+                one = {**entry, "series": [series]}
+                q = histogram_quantile(one, 0.95, labels={"shard": label})
+                if q is not None:
+                    result.tick_p95_by_shard[label] = q
+        results.append(result)
+    return results

@@ -1,0 +1,407 @@
+"""Sharded multi-session game server: thousands of engines, N threads.
+
+The paper's runtime plays one student at a time; a deployment serves a
+school district.  The :class:`SessionManager` turns the single-player
+engine into a multi-tenant server with a classic game-server shape:
+
+* **Sharding.**  Sessions are hash-partitioned by player id across N
+  worker shards (stable CRC32, *not* Python's salted ``hash()``, so a
+  player lands on the same shard across processes and restarts).  Each
+  shard owns its sessions exclusively — engines are never shared across
+  threads, so session stepping takes no locks.
+* **Batched tick scheduling.**  Each shard runs a paced tick loop: per
+  tick it admits up to ``max_admissions_per_tick`` queued sessions and
+  advances up to ``max_steps_per_tick`` session steps round-robin, then
+  sleeps out the remainder of ``tick_interval_s``.  Capacity is
+  therefore *per shard by construction* — adding shards adds throughput
+  — and per-session progress stays fair under overload.
+* **Admission control.**  A global in-flight cap (``max_sessions``)
+  rejects new work instead of queueing unboundedly; rejected admissions
+  are counted, queue depth and active sessions are exported as gauges,
+  and per-shard tick latency is a labelled histogram — the numbers the
+  load benchmark's SLO rules assert on.
+* **Graceful drain.**  ``drain()`` stops admissions and waits for every
+  in-flight session to finish; ``shutdown()`` stops the shard threads
+  (after an optional drain) and zeroes the gauges.
+
+The manager is a context manager::
+
+    with SessionManager(ServeConfig(n_shards=4)) as mgr:
+        mgr.submit("alice", factory)
+        ...
+        mgr.drain()
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from time import monotonic, perf_counter, sleep
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..obs import logging as _obslog
+from ..obs import metrics as _obs
+from .session import ServedSession, SessionFactory
+
+__all__ = ["ServeConfig", "SessionManager", "shard_for"]
+
+_M_TICK = _obs.histogram(
+    "repro_serve_tick_seconds",
+    "Busy time of one shard tick (admissions + session steps), by shard",
+)
+_M_ACTIVE = _obs.gauge(
+    "repro_serve_active_sessions",
+    "Sessions currently being stepped, by shard",
+)
+_M_QUEUE = _obs.gauge(
+    "repro_serve_queue_depth",
+    "Admitted sessions waiting for their shard to pick them up, by shard",
+)
+_M_ADMITTED = _obs.counter(
+    "repro_serve_admitted_total",
+    "Sessions accepted by admission control",
+)
+_M_REJECTED = _obs.counter(
+    "repro_serve_rejected_total",
+    "Sessions rejected by admission control (backpressure)",
+)
+_M_COMPLETED = _obs.counter(
+    "repro_serve_completed_total",
+    "Sessions run to completion, by shard",
+)
+_M_FAILURES = _obs.counter(
+    "repro_serve_session_failures_total",
+    "Sessions whose factory or step raised, by shard",
+)
+_M_STEPS = _obs.counter(
+    "repro_serve_steps_total",
+    "Session steps executed across all shards, by shard",
+)
+
+_LOG = _obslog.get_logger("serve")
+
+
+def shard_for(player_id: str, n_shards: int) -> int:
+    """Stable hash partition: the same player always lands on the same
+    shard, across processes and Python hash-seed randomisation."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return zlib.crc32(player_id.encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Knobs of the serving layer (all per-shard unless noted)."""
+
+    n_shards: int = 2
+    #: global cap on in-flight (queued + active) sessions; admissions
+    #: beyond it are rejected, not queued (backpressure, not buffering)
+    max_sessions: int = 10_000
+    #: shard tick pacing — each shard wakes this often
+    tick_interval_s: float = 0.01
+    #: session-step budget per shard per tick (the batch size)
+    max_steps_per_tick: int = 20
+    #: new sessions started per shard per tick (engine construction is
+    #: paid here; bounding it keeps tick latency flat under a burst)
+    max_admissions_per_tick: int = 32
+    #: poll interval for drain()/waiters
+    drain_poll_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if self.max_steps_per_tick < 1:
+            raise ValueError("max_steps_per_tick must be >= 1")
+        if self.max_admissions_per_tick < 1:
+            raise ValueError("max_admissions_per_tick must be >= 1")
+        if self.drain_poll_s <= 0:
+            raise ValueError("drain_poll_s must be positive")
+
+    @property
+    def steps_per_second_per_shard(self) -> float:
+        """Nominal stepping capacity one shard offers."""
+        return self.max_steps_per_tick / self.tick_interval_s
+
+
+class _Shard:
+    """One worker: an inbox of admitted sessions and a paced tick loop."""
+
+    def __init__(self, index: int, config: ServeConfig, manager: "SessionManager") -> None:
+        self.index = index
+        self.label = str(index)
+        self.config = config
+        self._manager = manager
+        self._inbox: Deque[Tuple[str, SessionFactory]] = deque()
+        self._inbox_lock = threading.Lock()
+        self._active: Deque[ServedSession] = deque()
+        self._stop = threading.Event()
+        self._discard = threading.Event()
+        self.completed = 0
+        self.failed = 0
+        self.ticks = 0
+        self.steps = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-serve-shard-{index}", daemon=True
+        )
+
+    # -- called from the manager (any thread) --------------------------
+    def start(self) -> None:
+        self._thread.start()
+
+    def enqueue(self, player_id: str, factory: SessionFactory) -> None:
+        with self._inbox_lock:
+            self._inbox.append((player_id, factory))
+
+    def request_stop(self, discard: bool = False) -> None:
+        if discard:
+            self._discard.set()
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._inbox)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    # -- shard thread --------------------------------------------------
+    def _admit(self) -> None:
+        for _ in range(self.config.max_admissions_per_tick):
+            with self._inbox_lock:
+                if not self._inbox:
+                    return
+                player_id, factory = self._inbox.popleft()
+            try:
+                session = factory(player_id)
+                session.start()
+            except Exception:
+                self.failed += 1
+                _M_FAILURES.inc(shard=self.label)
+                _LOG.warning("serve.session_failed", shard=self.index,
+                             player=player_id, at="admit")
+                self._manager._session_closed()
+                continue
+            self._active.append(session)
+
+    def _step_batch(self) -> None:
+        budget = self.config.max_steps_per_tick
+        done_count = 0
+        while self._active and budget > 0:
+            session = self._active.popleft()
+            try:
+                done = session.step()
+            except Exception:
+                session.failed = True
+                done = True
+                self.failed += 1
+                _M_FAILURES.inc(shard=self.label)
+                _LOG.warning("serve.session_failed", shard=self.index,
+                             player=session.player_id, at="step")
+            budget -= 1
+            self.steps += 1
+            if done:
+                if not session.failed:
+                    self.completed += 1
+                    _M_COMPLETED.inc(shard=self.label)
+                done_count += 1
+                self._manager._session_closed()
+            else:
+                self._active.append(session)
+        stepped = self.config.max_steps_per_tick - budget
+        if stepped and _obs.enabled():
+            _M_STEPS.inc(stepped, shard=self.label)
+            if done_count:
+                _LOG.debug("serve.tick", sample=0.05, shard=self.index,
+                           stepped=stepped, finished=done_count)
+
+    def _discard_backlog(self) -> None:
+        """Abandon queued and active sessions (non-draining shutdown)."""
+        with self._inbox_lock:
+            dropped = len(self._inbox) + len(self._active)
+            self._inbox.clear()
+        self._active.clear()
+        for _ in range(dropped):
+            self._manager._session_closed()
+
+    def _run(self) -> None:
+        interval = self.config.tick_interval_s
+        while True:
+            if self._discard.is_set():
+                self._discard_backlog()
+                break
+            t0 = perf_counter()
+            self._admit()
+            self._step_batch()
+            busy = perf_counter() - t0
+            self.ticks += 1
+            if _obs.enabled():
+                _M_TICK.observe(busy, shard=self.label)
+                _M_ACTIVE.set(len(self._active), shard=self.label)
+                _M_QUEUE.set(len(self._inbox), shard=self.label)
+            if self._stop.is_set() and not self._active and not self._inbox:
+                break
+            remaining = interval - busy
+            if remaining > 0:
+                # Plain sleep, not Event.wait: a stop request must still
+                # let the current backlog drain, so nothing to wake for.
+                sleep(remaining)
+        if _obs.enabled():
+            _M_ACTIVE.set(0, shard=self.label)
+            _M_QUEUE.set(0, shard=self.label)
+
+
+class SessionManager:
+    """Owns the shards; the only public door into the serving layer."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self._shards: List[_Shard] = [
+            _Shard(i, self.config, self) for i in range(self.config.n_shards)
+        ]
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._rejected = 0
+        self._accepting = False
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SessionManager":
+        """Spawn the shard threads and open admissions."""
+        if self._started:
+            raise RuntimeError("manager already started")
+        self._started = True
+        self._accepting = True
+        for shard in self._shards:
+            shard.start()
+        if _obs.enabled():
+            _LOG.info("serve.start", shards=self.config.n_shards,
+                      max_sessions=self.config.max_sessions)
+        return self
+
+    def __enter__(self) -> "SessionManager":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown(drain=not any(exc))
+
+    # ------------------------------------------------------------------
+    def shard_for(self, player_id: str) -> int:
+        """Which shard owns ``player_id`` (stable across restarts)."""
+        return shard_for(player_id, self.config.n_shards)
+
+    def submit(self, player_id: str, factory: SessionFactory) -> bool:
+        """Admit one session; returns False when backpressure rejects it.
+
+        The factory runs later, on the owning shard's thread — submit
+        itself is cheap enough to call from a tight arrival loop.
+        """
+        with self._lock:
+            if not self._accepting or self._inflight >= self.config.max_sessions:
+                self._rejected += 1
+                _M_REJECTED.inc()
+                return False
+            self._inflight += 1
+        _M_ADMITTED.inc()
+        self._shards[self.shard_for(player_id)].enqueue(player_id, factory)
+        return True
+
+    def _session_closed(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Sessions admitted but not yet finished (queued + active)."""
+        return self._inflight
+
+    @property
+    def completed_sessions(self) -> int:
+        return sum(s.completed for s in self._shards)
+
+    @property
+    def failed_sessions(self) -> int:
+        return sum(s.failed for s in self._shards)
+
+    @property
+    def rejected_sessions(self) -> int:
+        return self._rejected
+
+    @property
+    def active_by_shard(self) -> Dict[int, int]:
+        return {s.index: s.active_count for s in self._shards}
+
+    @property
+    def completed_by_shard(self) -> Dict[int, int]:
+        return {s.index: s.completed for s in self._shards}
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Per-shard plain-data rows (CLI table / bench report)."""
+        return [
+            {
+                "shard": s.index,
+                "completed": s.completed,
+                "failed": s.failed,
+                "steps": s.steps,
+                "ticks": s.ticks,
+                "active": s.active_count,
+                "queued": s.queue_depth,
+            }
+            for s in self._shards
+        ]
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admissions; wait for in-flight work. True when empty."""
+        with self._lock:
+            self._accepting = False
+        deadline = None if timeout is None else monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._inflight == 0:
+                    return True
+            if deadline is not None and monotonic() >= deadline:
+                return False
+            sleep(self.config.drain_poll_s)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
+        """Stop the shards (optionally draining first); idempotent.
+
+        ``drain=False`` means *discard* the backlog — queued and active
+        sessions are dropped, not ground down during the join.
+        """
+        if self._stopped:
+            return True
+        if not self._started:
+            drained = True  # nothing ever ran, nothing to discard
+        elif drain:
+            drained = self.drain(timeout=timeout)
+        else:
+            drained = False
+        with self._lock:
+            self._accepting = False
+        for shard in self._shards:
+            # A failed (timed-out) drain still discards, so the shard
+            # threads exit instead of grinding through a dead backlog.
+            shard.request_stop(discard=not drained)
+        for shard in self._shards:
+            shard.join(timeout=timeout)
+        self._stopped = True
+        if _obs.enabled():
+            _LOG.info("serve.shutdown", drained=drained,
+                      completed=self.completed_sessions,
+                      failed=self.failed_sessions,
+                      rejected=self._rejected)
+        return drained

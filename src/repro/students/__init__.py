@@ -9,6 +9,7 @@ from .cohort import (
 )
 from .model import ARCHETYPES, AttentionModel, StudentProfile, sample_profile
 from .player import DEVICE_TIME_FACTORS, PlayResult, simulate_play
+from .scripts import PlayerScript, cohort_scripts, script_for_profile
 
 __all__ = [
     "ARCHETYPES",
@@ -17,9 +18,12 @@ __all__ = [
     "ExposureReport",
     "PRIOR_KNOWLEDGE_P",
     "PlayResult",
+    "PlayerScript",
     "StudentProfile",
+    "cohort_scripts",
     "roll_acquisition",
     "run_vgbl_cohort",
     "sample_profile",
+    "script_for_profile",
     "simulate_play",
 ]

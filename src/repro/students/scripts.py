@@ -1,0 +1,119 @@
+"""Cohort-style player scripts: the load-test workload of the serve layer.
+
+A *player script* is a pre-computed session plan — a sequence of raw
+input events and abstract solver moves one simulated student will take —
+that the serving layer (:mod:`repro.serve`) can replay against a fresh
+:class:`~repro.runtime.engine.GameEngine` without solving or sampling at
+serve time.  Scripts are generated the same way the E6 cohort is built:
+sample a :class:`~repro.students.model.StudentProfile`, derive behaviour
+from it (curious students examine more objects before getting to work),
+and finish with the game's solver-proven winning walkthrough so every
+session terminates deterministically.
+
+The split matters for load generation: script generation costs one
+solver run per game and a few RNG draws per student, all paid before the
+clock starts; replay is a cheap, allocation-light loop the shard threads
+can drive at tens of thousands of steps per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.project import CompiledGame
+from ..core.solver import Move, solve
+from ..runtime.inputs import InputEvent, KeyPress, MouseClick
+from .model import StudentProfile, sample_profile
+
+__all__ = ["PlayerScript", "ScriptOp", "cohort_scripts", "script_for_profile"]
+
+#: One scripted step: a raw input event (dispatched through
+#: ``handle_input``, exercising gesture interpretation) or an abstract
+#: solver move (applied through the trigger API, like the cohort player).
+ScriptOp = Union[InputEvent, Move]
+
+
+@dataclass(slots=True)
+class PlayerScript:
+    """A pre-planned session for one simulated player."""
+
+    player_id: str
+    ops: List[ScriptOp] = field(default_factory=list)
+    #: simulated seconds ticked after each op (profile pacing)
+    dt: float = 0.25
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def script_for_profile(
+    game: CompiledGame,
+    profile: StudentProfile,
+    base_moves: Sequence[Move],
+    rng: np.random.Generator,
+    max_explore: int = 4,
+) -> PlayerScript:
+    """Plan one session: exploratory prefix + the winning walkthrough.
+
+    The prefix length scales with the profile's curiosity (explorers
+    poke at everything before following the quest); it always includes
+    at least one raw pointer event so the engine's gesture-interpretation
+    path — not just the trigger API — sees load.
+    """
+    ops: List[ScriptOp] = []
+    start_objects = [o.object_id for o in game.scenarios[game.start].objects]
+    n_explore = int(round(profile.curiosity * max_explore))
+    for _ in range(n_explore):
+        if not start_objects:
+            break
+        target = str(rng.choice(start_objects))
+        ops.append(Move(kind="examine", object_id=target))
+    # Raw input events: a right-click examine somewhere in the frame and
+    # an avatar nudge, so dispatch-latency histograms get real samples.
+    ops.append(
+        MouseClick(
+            1.0 + float(rng.integers(0, 8)),
+            1.0 + float(rng.integers(0, 8)),
+            button="right",
+        )
+    )
+    ops.append(KeyPress("right"))
+    ops.extend(base_moves)
+    # Pacing: deliberate students tick more simulated time per action.
+    dt = float(np.clip(profile.action_seconds / 16.0, 0.05, 1.0))
+    return PlayerScript(player_id=profile.player_id, ops=ops, dt=dt)
+
+
+def cohort_scripts(
+    game: CompiledGame,
+    n: int,
+    seed: int = 0,
+    archetype: Optional[str] = None,
+    max_explore: int = 4,
+) -> List[PlayerScript]:
+    """Generate ``n`` player scripts for ``game`` (one solver run total).
+
+    Raises :class:`ValueError` when the game is not provably winnable —
+    an unwinnable load script would never terminate its sessions.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    result = solve(game)
+    if not result.winnable:
+        raise ValueError(
+            "cannot script an unwinnable game "
+            f"(solver verdict: {result.winnable!r})"
+        )
+    rng = np.random.default_rng(seed)
+    scripts: List[PlayerScript] = []
+    for k in range(n):
+        profile = sample_profile(f"load-{k}", rng, archetype=archetype)
+        scripts.append(
+            script_for_profile(
+                game, profile, result.winning_script, rng, max_explore=max_explore
+            )
+        )
+    return scripts

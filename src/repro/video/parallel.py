@@ -25,7 +25,9 @@ Two degrees of parallelism:
 
 ``max_workers=0`` or ``1`` selects the serial path; the parallel path
 falls back to serial if a process pool cannot be created (restricted
-sandboxes), recording the fallback in the returned stats.
+sandboxes) or its workers die mid-run (``BrokenProcessPool`` — e.g. a
+seccomp'd container killing the fork), recording the fallback in the
+returned stats.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -296,7 +299,7 @@ def _encode_segments_impl(
                         pos += ln
                     results.append(out)
             return results, ParallelStats(
-                workers, workers, len(segments), transport="cow"
+                workers, min(workers, len(segments)), len(segments), transport="cow"
             )
         jobs_p = []
         for sid, seg in enumerate(segments):
@@ -307,9 +310,9 @@ def _encode_segments_impl(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(_encode_pickle_worker, jobs_p))
         return results, ParallelStats(
-            workers, workers, len(segments), transport="pickle"
+            workers, min(workers, len(segments)), len(segments), transport="pickle"
         )
-    except (OSError, PermissionError):
+    except (OSError, PermissionError, BrokenProcessPool):
         codec = get_codec(codec_name, **params)
         out = [codec.encode_all(list(seg)) for seg in segments]
         return out, ParallelStats(
@@ -369,7 +372,9 @@ def _difference_signal_impl(
             signal = np.concatenate(
                 [np.asarray(p, dtype=np.float64) for p in parts]
             )
-            return signal, ParallelStats(workers, workers, len(spans), transport="cow")
+            return signal, ParallelStats(
+                workers, min(workers, len(spans)), len(spans), transport="cow"
+            )
         jobs_p = []
         for (s, e) in spans:
             block = _frames_to_block(list(frames[s : e + 1]))
@@ -380,9 +385,9 @@ def _difference_signal_impl(
             parts = list(pool.map(_diff_signal_pickle_worker, jobs_p))
         signal = np.concatenate([np.asarray(p, dtype=np.float64) for p in parts])
         return signal, ParallelStats(
-            workers, workers, len(spans), transport="pickle"
+            workers, min(workers, len(spans)), len(spans), transport="pickle"
         )
-    except (OSError, PermissionError):
+    except (OSError, PermissionError, BrokenProcessPool):
         return (
             serial_detector.difference_signal(frames),
             ParallelStats(workers, 1, 1, fell_back_to_serial=True),

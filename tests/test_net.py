@@ -114,6 +114,49 @@ class TestStreaming:
         stats = sess.play_path(self.PATH)
         assert stats.bytes_wasted == 0
 
+    def test_repeated_play_path_bytes_accounting(self, game_parts):
+        """A reused session must not carry byte counts across paths.
+
+        Before the fix, the second ``play_path`` call reported
+        ``channel.bytes_transferred`` since the channel was *created*,
+        double-counting the first path's traffic.
+        """
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6), policy="none")
+        first = sess.play_path([("classroom", 1.0)])
+        second = sess.play_path([("market", 1.0)])
+        assert first.bytes_fetched > 0
+        # classroom is resident from the first path, so only the market
+        # segment is fetched — not first + second combined.
+        market = reader.index[graph.scenarios["market"].segment_ref].byte_size
+        assert second.bytes_fetched == market
+        assert second.bytes_fetched < first.bytes_fetched + market
+
+    def test_shared_channel_bytes_accounting(self, game_parts):
+        """Two sessions on one channel only see their own traffic."""
+        reader, graph = game_parts
+        channel = Channel(1e6)
+        a = StreamSession(reader, graph, channel, policy="none")
+        b = StreamSession(reader, graph, channel, policy="none")
+        stats_a = a.play_path([("classroom", 1.0)])
+        stats_b = b.play_path([("market", 1.0)])
+        assert stats_a.bytes_fetched > 0
+        market = reader.index[graph.scenarios["market"].segment_ref].byte_size
+        assert stats_b.bytes_fetched == market
+
+    def test_repeated_play_path_waste_accounting(self, game_parts):
+        """bytes_wasted is per-path too: a prefetch wasted on path one
+        must not be re-reported as waste by a pathless second run."""
+        reader, graph = game_parts
+        sess = StreamSession(reader, graph, Channel(1e6), policy="all")
+        first = sess.play_path([("classroom", 1.0)])
+        assert first.bytes_wasted > 0
+        # Second path plays everything already resident: nothing new is
+        # fetched, so nothing can be wasted.
+        second = sess.play_path([("classroom", 1.0), ("market", 1.0)])
+        assert second.bytes_fetched == 0
+        assert second.bytes_wasted == 0
+
     def test_path_validation(self, game_parts):
         reader, graph = game_parts
         sess = StreamSession(reader, graph, Channel(1e6))

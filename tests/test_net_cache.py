@@ -48,6 +48,64 @@ class TestSegmentCacheBasics:
         assert cache.stats.refetches == 1
 
 
+class TestEvictionAccounting:
+    def test_resident_bytes_invariant_random_workload(self):
+        """The incremental byte total always equals the true sum.
+
+        The eviction loop used to re-sum the OrderedDict per iteration;
+        the running total must stay exact through arbitrary interleaved
+        hits, misses, and multi-segment evictions.
+        """
+        import random
+
+        rng = random.Random(42)
+        for policy in ("lru", "fifo"):
+            cache = SegmentCache(1000, policy=policy)
+            for _ in range(500):
+                cache.access(rng.randrange(40), rng.randrange(1, 400))
+                assert cache.resident_bytes == sum(
+                    cache._resident.values()
+                )
+                assert cache.resident_bytes <= cache.capacity_bytes
+
+    def test_one_admission_can_evict_many(self):
+        cache = SegmentCache(100, policy="lru")
+        for seg in range(5):
+            cache.access(seg, 20)
+        cache.access(99, 100)  # needs the whole cache: evicts all five
+        assert cache.stats.evictions == 5
+        assert cache.resident_segments == [99]
+        assert cache.resident_bytes == 100
+
+    def test_graph_distances_computed_once_per_admission(self, monkeypatch):
+        """A multi-eviction admission walks the graph exactly once."""
+        import repro.net.cache as cache_mod
+
+        game = fetch_quest_game(n_quests=3, size=FrameSize(64, 48)).build()
+        graph = build_graph(game.scenarios, game.events, game.start)
+        calls = {"n": 0}
+        real = cache_mod.nx.single_source_shortest_path_length
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            cache_mod.nx, "single_source_shortest_path_length", counting
+        )
+        cache = SegmentCache(100, policy="graph", graph=graph)
+        names = list(graph.scenarios)
+        for k, name in enumerate(names[:4]):
+            cache.access(10 + k, 25, scenario_id=name, current_scenario=name)
+        calls["n"] = 0
+        # Admitting a full-cache segment evicts all four residents but
+        # must compute the shortest-path tree exactly once.
+        cache.access(99, 100, scenario_id=names[0],
+                     current_scenario=names[0])
+        assert cache.stats.evictions == 4
+        assert calls["n"] == 1
+
+
 class TestLruVsFifo:
     def test_lru_keeps_hot_segment(self):
         cache = SegmentCache(100, policy="lru")

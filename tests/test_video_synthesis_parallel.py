@@ -182,3 +182,73 @@ class TestParallelKernels:
     def test_invalid_workers(self, clip):
         with pytest.raises(ValueError):
             parallel_difference_signal(clip.frames, max_workers=-2)
+
+    def test_workers_used_capped_by_spans(self, clip):
+        """With fewer spans than workers, stats report the real count."""
+        _, stats = parallel_difference_signal(
+            clip.frames, max_workers=8, min_chunk=4
+        )
+        assert stats.workers_used == min(8, stats.chunks)
+        assert stats.workers_used <= stats.workers_requested
+
+    def test_encode_workers_used_capped_by_segments(self, clip):
+        segments = [clip.frames[:8], clip.frames[8:]]
+        _, stats = parallel_encode_segments(
+            segments, codec_name="rle", max_workers=6
+        )
+        assert stats.workers_used == 2  # only two segments to hand out
+
+
+class TestBrokenPoolFallback:
+    """Workers dying mid-run must degrade to serial, not crash."""
+
+    @pytest.fixture(scope="class")
+    def clip(self):
+        rng = np.random.default_rng(13)
+        return generate_clip(
+            SIZE,
+            random_shot_script(3, rng, size=SIZE, min_duration=8,
+                               max_duration=12),
+            seed=13,
+        )
+
+    @pytest.fixture()
+    def broken_pool(self, monkeypatch):
+        """Make every pool die as soon as work is mapped onto it."""
+        import repro.video.parallel as par
+        from concurrent.futures.process import BrokenProcessPool
+
+        class DyingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, jobs):
+                raise BrokenProcessPool("worker killed (simulated)")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", DyingPool)
+
+    def test_diff_signal_survives_broken_pool(self, clip, broken_pool):
+        serial = ShotDetector().difference_signal(clip.frames)
+        signal, stats = parallel_difference_signal(
+            clip.frames, max_workers=2, min_chunk=4
+        )
+        assert stats.fell_back_to_serial
+        assert stats.workers_used == 1
+        assert np.allclose(signal, serial)
+
+    def test_encode_survives_broken_pool(self, clip, broken_pool):
+        segments = [clip.frames[:8], clip.frames[8:]]
+        par_out, stats = parallel_encode_segments(
+            segments, codec_name="rle", max_workers=2
+        )
+        assert stats.fell_back_to_serial
+        ser_out, _ = parallel_encode_segments(
+            segments, codec_name="rle", max_workers=1
+        )
+        assert par_out == ser_out
