@@ -13,6 +13,9 @@ Subcommands::
     python -m repro obs flight                # dump the flight recorder
     python -m repro top                       # live metrics/spans dashboard
     python -m repro serve-bench               # sharded-server load sweep
+    python -m repro wal inspect DIR           # scan durable session journals
+    python -m repro wal recover DIR           # rebuild committed sessions
+    python -m repro wal compact DIR           # drop snapshot-covered segments
 
 ``validate`` exits non-zero when the project has errors, so it slots
 into a course-content CI pipeline unchanged.  ``obs`` runs a small
@@ -154,6 +157,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo", type=Path, default=None,
         help="also gate the run's metrics through an SLO rule file "
              "(nonzero exit on breach)",
+    )
+    p_serve.add_argument(
+        "--persist-dir", type=Path, default=None,
+        help="enable durable sessions: per-shard WAL + snapshots under "
+             "this directory",
+    )
+
+    p_wal = sub.add_parser(
+        "wal",
+        help="inspect, recover or compact durable session journals",
+    )
+    p_wal.add_argument(
+        "action", choices=("inspect", "recover", "compact"),
+        help="inspect: read-only scan; recover: rebuild committed "
+             "sessions (truncates torn tails); compact: drop WAL "
+             "segments fully covered by snapshots",
+    )
+    p_wal.add_argument(
+        "directory", type=Path,
+        help="persistence root (contains shard-*/) or a single shard dir",
+    )
+    p_wal.add_argument(
+        "--project", type=Path, default=None,
+        help="for 'recover': the game project the sessions were playing "
+             "(default: the built-in fetch-quest demo game)",
+    )
+    p_wal.add_argument(
+        "--quests", type=int, default=2,
+        help="for 'recover' without --project: quest count of the "
+             "built-in game (default 2)",
     )
     return parser
 
@@ -325,6 +358,27 @@ def _obs_demo_workload() -> None:
     ) as manager:
         LoadGenerator(manager, game, scripts).run(12, drain_timeout=30.0)
 
+    # Durability: a persisted burst, then crash recovery over its WAL —
+    # so repro_persist_* commit/recovery metrics have real samples.
+    import tempfile as _tempfile
+
+    from .persist import PersistenceConfig, recover_shard
+
+    with _tempfile.TemporaryDirectory(prefix="repro-obs-wal-") as wal_dir:
+        pconfig = PersistenceConfig(
+            directory=wal_dir, snapshot_every=4, group_window_s=0.001
+        )
+        config = ServeConfig(
+            n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50,
+            persistence=pconfig,
+        )
+        with SessionManager(config) as manager:
+            LoadGenerator(manager, game, scripts).run(8, drain_timeout=30.0)
+        for i in range(config.n_shards):
+            shard_dir = pconfig.shard_dir(i)
+            if shard_dir.is_dir():
+                recover_shard(shard_dir, game)
+
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     from . import obs
@@ -491,6 +545,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     obs.enable()
     game = fetch_quest_game(n_quests=2, title="serve-bench").build()
     scripts = cohort_scripts(game, args.scripts, seed=args.seed)
+    persistence = None
+    if args.persist_dir is not None:
+        from .persist import PersistenceConfig
+
+        persistence = PersistenceConfig(directory=args.persist_dir)
     results = run_serve_benchmark(
         game,
         shard_counts,
@@ -500,6 +559,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         tick_interval_s=1.0 / args.tick_hz,
         max_steps_per_tick=args.steps_per_tick,
         max_sessions=args.max_sessions,
+        persistence=persistence,
     )
     print(format_table(
         [r.as_row() for r in results],
@@ -555,6 +615,136 @@ def _check_serve_slos(slo_path: Path) -> int:
     failed = sum(1 for r in results if not r.ok)
     print(f"\nserve SLO check FAILED ({failed} of {len(results)} rules breached)")
     return 1
+
+
+def _wal_shard_dirs(root: Path) -> list:
+    """Journal directories under a persistence root (or the root itself)."""
+    if not root.is_dir():
+        return []
+    shards = sorted(p for p in root.glob("shard-*") if p.is_dir())
+    return shards if shards else [root]
+
+
+def _cmd_wal(args: argparse.Namespace) -> int:
+    from . import obs
+    from .persist import (
+        SnapshotStore,
+        compact_segments,
+        compaction_watermark,
+        list_segments,
+        recover_shard,
+        scan_journal,
+        snapshot_dir_for,
+    )
+    from .reporting import format_table
+
+    shard_dirs = _wal_shard_dirs(args.directory)
+    if not shard_dirs:
+        print(f"error: {args.directory} is not a journal directory",
+              file=sys.stderr)
+        return 2
+
+    if args.action == "inspect":
+        rows = []
+        for shard_dir in shard_dirs:
+            report = scan_journal(shard_dir)  # read-only: no truncation
+            sids: dict = {}
+            for record in report.records:
+                sid = record.get("sid")
+                if sid is not None:
+                    sids[sid] = record.get("t")
+            store = SnapshotStore(snapshot_dir_for(shard_dir))
+            bytes_on_disk = sum(
+                p.stat().st_size for _seq, p in list_segments(shard_dir)
+            )
+            rows.append({
+                "shard": shard_dir.name,
+                "segments": report.segments,
+                "records": len(report.records),
+                "tip_lsn": report.tip_lsn,
+                "live": sum(1 for t in sids.values() if t != "end"),
+                "ended": sum(1 for t in sids.values() if t == "end"),
+                "snapshots": store.count(),
+                "torn": report.torn_records,
+                "discarded_b": report.discarded_bytes,
+                "wal_bytes": bytes_on_disk,
+            })
+        print(format_table(rows, title=f"wal inspect: {args.directory}"))
+        torn = sum(r["torn"] for r in rows)
+        if torn:
+            print(f"\n{torn} torn record(s) detected; "
+                  "'repro wal recover' will truncate and replay")
+        return 0
+
+    if args.action == "compact":
+        total_dropped = 0
+        for shard_dir in shard_dirs:
+            report = scan_journal(shard_dir)
+            snapshots, _rejected = SnapshotStore(
+                snapshot_dir_for(shard_dir)
+            ).load_all()
+            covered = {}
+            ended = set()
+            for record in report.records:
+                sid = record.get("sid")
+                if record.get("t") == "start" and sid not in covered:
+                    covered[sid] = int(record.get("n", 0)) - 1
+                elif record.get("t") == "end":
+                    ended.add(sid)
+            for sid, snap in snapshots.items():
+                covered[sid] = max(
+                    covered.get(sid, 0), int(snap.get("lsn", 0))
+                )
+            for sid in ended:  # finished sessions don't pin the watermark
+                covered.pop(sid, None)
+            watermark = compaction_watermark(
+                covered.values(), report.tip_lsn
+            )
+            dropped = compact_segments(shard_dir, watermark)
+            total_dropped += dropped
+            print(f"{shard_dir.name}: watermark lsn {watermark}, "
+                  f"dropped {dropped} segment(s)")
+        print(f"compacted {total_dropped} segment(s) total")
+        return 0
+
+    # recover: needs the game the journals were recorded against.
+    obs.enable()
+    if args.project is not None:
+        from .core import load_project
+
+        game = load_project(args.project).compile()
+    else:
+        from .core import fetch_quest_game
+
+        game = fetch_quest_game(
+            n_quests=args.quests, title="wal-recover"
+        ).build()
+    rows = []
+    exit_code = 0
+    for shard_dir in shard_dirs:
+        try:
+            report = recover_shard(shard_dir, game)
+        except Exception as exc:
+            print(f"error: recovery of {shard_dir} failed: {exc}",
+                  file=sys.stderr)
+            exit_code = 1
+            continue
+        rows.append({
+            "shard": shard_dir.name,
+            "live": len(report.sessions),
+            "ended": report.ended_sessions,
+            "replayed": report.replayed_records,
+            "snapshots": report.snapshots_used,
+            "torn": report.torn_records,
+            "duration_ms": f"{report.duration_s * 1e3:.2f}",
+        })
+        for session in report.sessions:
+            print(f"  {shard_dir.name}/{session.player_id}: "
+                  f"cursor {session.cursor}/{len(session.ops)}, "
+                  f"digest {session.digest[:16]}…")
+    if rows:
+        print(format_table(rows, title=f"wal recover: {args.directory}"))
+    return exit_code
 
 
 def _render_top_frame(width: int) -> str:
@@ -675,6 +865,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "wal":
+        return _cmd_wal(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,86 @@
+"""Durable session persistence: WAL, snapshots, crash recovery.
+
+``repro.persist`` makes the sharded game server (:mod:`repro.serve`)
+restartable: each shard owns an append-only, CRC-framed write-ahead
+log with **group commit** (one fsync covers a batch of records across
+sessions), per-session **snapshots** written atomically, WAL
+**compaction** that deletes segments fully covered by snapshots, and
+**recovery** that tolerates a torn tail and rebuilds every committed
+session bit-identically (snapshot + deterministic input replay).
+
+The pieces:
+
+* :class:`~repro.persist.wal.Journal` /
+  :class:`~repro.persist.wal.PersistenceConfig` — the log itself;
+* :mod:`repro.persist.records` — record payloads, the op codec, the
+  shared step semantics and the state digest;
+* :class:`~repro.persist.snapshot.SnapshotStore` +
+  :func:`~repro.persist.snapshot.compact_segments` — resume points and
+  segment garbage collection;
+* :func:`~repro.persist.recovery.recover_shard` /
+  :func:`~repro.persist.recovery.scan_journal` — crash recovery, used
+  by ``SessionManager.recover()`` and the ``repro wal`` CLI.
+
+Everything is instrumented through :mod:`repro.obs`
+(``repro_persist_*`` commit-latency / group-size / recovery-duration
+histograms and torn-record counters) and asserted by the persist rules
+in ``examples/slo.toml``.
+"""
+
+from .records import (
+    PersistError,
+    apply_scripted_op,
+    end_record,
+    input_record,
+    op_from_dict,
+    op_to_dict,
+    start_record,
+    state_digest,
+)
+from .recovery import (
+    RecoveredSession,
+    ScanReport,
+    ShardRecovery,
+    recover_shard,
+    scan_journal,
+)
+from .snapshot import (
+    SnapshotStore,
+    compact_segments,
+    compaction_watermark,
+    snapshot_dir_for,
+)
+from .wal import (
+    Journal,
+    PersistenceConfig,
+    encode_frame,
+    list_segments,
+    read_segment,
+    segment_first_lsn,
+)
+
+__all__ = [
+    "Journal",
+    "PersistError",
+    "PersistenceConfig",
+    "RecoveredSession",
+    "ScanReport",
+    "ShardRecovery",
+    "SnapshotStore",
+    "apply_scripted_op",
+    "compact_segments",
+    "compaction_watermark",
+    "encode_frame",
+    "end_record",
+    "input_record",
+    "list_segments",
+    "op_from_dict",
+    "op_to_dict",
+    "read_segment",
+    "recover_shard",
+    "scan_journal",
+    "segment_first_lsn",
+    "snapshot_dir_for",
+    "start_record",
+    "state_digest",
+]

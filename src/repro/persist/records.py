@@ -1,0 +1,159 @@
+"""WAL record payloads: the logical content of the durability log.
+
+The physical framing (length + CRC32) lives in :mod:`repro.persist.wal`;
+this module defines what goes *inside* a frame and how to get it back
+out.  Three durable record types describe one served session's life:
+
+``start``
+    The session exists: player id, pacing ``dt`` and the full scripted
+    op list.  Carrying the script in the log makes recovery
+    self-contained — a rebuilt session knows both where it was *and*
+    what it still has to do, without consulting the load generator.
+``input``
+    One scripted op was applied (and the engine ticked ``dt``).  Replay
+    of the input records after a snapshot reproduces the session state
+    bit-for-bit, because the engine is deterministic under a simulated
+    clock.
+``end``
+    The session finished (script exhausted or game over) with an
+    outcome; its earlier records are dead weight for compaction.
+
+Ops are either abstract solver :class:`~repro.core.solver.Move`\\ s or
+raw input events (:class:`~repro.runtime.inputs.MouseClick` /
+:class:`~repro.runtime.inputs.MouseDrag` /
+:class:`~repro.runtime.inputs.KeyPress`); both directions of the codec
+are total over exactly that set.  :func:`apply_scripted_op` is the
+single definition of step semantics shared by the serving layer and
+recovery replay — if one changes, the other cannot drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.solver import Move, _apply
+from ..runtime.inputs import KeyPress, MouseClick, MouseDrag
+from ..runtime.state import GameState
+
+__all__ = [
+    "PersistError",
+    "REC_END",
+    "REC_INPUT",
+    "REC_START",
+    "apply_scripted_op",
+    "end_record",
+    "input_record",
+    "op_from_dict",
+    "op_to_dict",
+    "ops_from_dicts",
+    "ops_to_dicts",
+    "start_record",
+    "state_digest",
+]
+
+REC_START = "start"
+REC_INPUT = "input"
+REC_END = "end"
+
+
+class PersistError(RuntimeError):
+    """Raised on invalid persistence operations or unreadable journals."""
+
+
+# ----------------------------------------------------------------------
+# Op codec
+# ----------------------------------------------------------------------
+
+def op_to_dict(op: Any) -> Dict[str, Any]:
+    """Serialise one scripted op to a JSON-safe dict."""
+    if isinstance(op, Move):
+        return {
+            "k": "move",
+            "kind": op.kind,
+            "object_id": op.object_id,
+            "item_id": op.item_id,
+            "path": list(op.dialogue_path),
+        }
+    if isinstance(op, MouseClick):
+        return {"k": "click", "x": op.x, "y": op.y, "button": op.button}
+    if isinstance(op, MouseDrag):
+        return {"k": "drag", "x0": op.x0, "y0": op.y0, "x1": op.x1, "y1": op.y1}
+    if isinstance(op, KeyPress):
+        return {"k": "key", "key": op.key}
+    raise PersistError(f"unloggable script op {type(op).__name__}")
+
+
+def op_from_dict(d: Dict[str, Any]) -> Any:
+    """Inverse of :func:`op_to_dict`."""
+    k = d.get("k")
+    if k == "move":
+        return Move(
+            kind=d["kind"],
+            object_id=d.get("object_id"),
+            item_id=d.get("item_id"),
+            dialogue_path=tuple(d.get("path", ())),
+        )
+    if k == "click":
+        return MouseClick(d["x"], d["y"], button=d.get("button", "left"))
+    if k == "drag":
+        return MouseDrag(d["x0"], d["y0"], d["x1"], d["y1"])
+    if k == "key":
+        return KeyPress(d["key"])
+    raise PersistError(f"unknown op kind {k!r}")
+
+
+def ops_to_dicts(ops: Sequence[Any]) -> List[Dict[str, Any]]:
+    return [op_to_dict(op) for op in ops]
+
+
+def ops_from_dicts(dicts: Sequence[Dict[str, Any]]) -> List[Any]:
+    return [op_from_dict(d) for d in dicts]
+
+
+# ----------------------------------------------------------------------
+# Record constructors (the ``lsn`` field is stamped by the journal)
+# ----------------------------------------------------------------------
+
+def start_record(player_id: str, dt: float, ops: Sequence[Any]) -> Dict[str, Any]:
+    return {"t": REC_START, "sid": player_id, "dt": dt, "ops": ops_to_dicts(ops)}
+
+
+def input_record(player_id: str, op: Any) -> Dict[str, Any]:
+    return {"t": REC_INPUT, "sid": player_id, "op": op_to_dict(op)}
+
+
+def end_record(player_id: str, outcome: Optional[str]) -> Dict[str, Any]:
+    return {"t": REC_END, "sid": player_id, "out": outcome}
+
+
+# ----------------------------------------------------------------------
+# Shared step semantics + state digest
+# ----------------------------------------------------------------------
+
+def apply_scripted_op(engine: Any, op: Any, dt: float) -> None:
+    """Apply one scripted op to an engine and tick ``dt``.
+
+    Ops the real UI would have prevented (using an item never picked
+    up, clicking a hidden object) change nothing — matching the
+    forgiving semantics of the cohort player.  An op that raises also
+    skips its tick, exactly as :class:`~repro.serve.session.ServedSession`
+    does; recovery replay uses this same function so the two cannot
+    diverge.
+    """
+    try:
+        if isinstance(op, Move):
+            _apply(engine, op)
+        else:
+            engine.handle_input(op)
+        engine.tick(dt)
+    except Exception:
+        pass
+
+
+def state_digest(state: "GameState | Dict[str, Any]") -> str:
+    """Canonical SHA-256 over a game state (bit-identical-recovery check)."""
+    d = state.to_dict() if isinstance(state, GameState) else state
+    payload = json.dumps(d, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import time as _time
 from dataclasses import dataclass
@@ -66,7 +67,12 @@ class SaveManager:
 
     # ------------------------------------------------------------------
     def save(self, slot: str, state: GameState, saved_at: Optional[float] = None) -> SlotInfo:
-        """Write a state snapshot into a slot (overwrites)."""
+        """Write a state snapshot into a slot (overwrites, atomically).
+
+        The document is written to a temp file, fsynced and renamed over
+        the slot with :func:`os.replace` — a crash mid-save leaves either
+        the old save or the new one, never a truncated half.
+        """
         state_dict = state.to_dict()
         payload = json.dumps(state_dict, sort_keys=True)
         info = SlotInfo(
@@ -86,7 +92,16 @@ class SaveManager:
             "state_sha256": hashlib.sha256(payload.encode()).hexdigest(),
             "state": state_dict,
         }
-        self._path(slot).write_text(json.dumps(doc, sort_keys=True))
+        path = self._path(slot)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return info
 
     def load(self, slot: str) -> GameState:

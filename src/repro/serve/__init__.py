@@ -14,11 +14,17 @@ one-student prototype and a platform serving a school district:
 * :func:`~repro.serve.bench.run_serve_benchmark` — the shard-count sweep
   behind ``repro serve-bench`` and ``benchmarks/bench_serve.py``.
 
+With ``ServeConfig(persistence=PersistenceConfig(directory=...))`` the
+server becomes crash-recoverable: each shard owns a write-ahead journal
+(:mod:`repro.persist`) and ``SessionManager.recover()`` rebuilds every
+committed session after a restart.
+
 Everything is instrumented through :mod:`repro.obs` (per-shard tick
 histograms, active/queue gauges, admission counters) and asserted by the
 serve rules in ``examples/slo.toml``.
 """
 
+from ..persist import PersistenceConfig
 from .bench import ShardSweepResult, run_serve_benchmark
 from .loadgen import LoadGenerator, LoadReport
 from .manager import ServeConfig, SessionManager, shard_for
@@ -31,6 +37,7 @@ from .session import (
 __all__ = [
     "LoadGenerator",
     "LoadReport",
+    "PersistenceConfig",
     "ServeConfig",
     "ServedSession",
     "SessionManager",

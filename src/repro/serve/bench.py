@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.project import CompiledGame
 from ..obs import metrics as _obs
 from ..obs.slo import histogram_quantile
+from ..persist import PersistenceConfig
 from ..students.scripts import PlayerScript, cohort_scripts
 from .loadgen import LoadGenerator, LoadReport
 from .manager import ServeConfig, SessionManager
@@ -100,6 +101,7 @@ def run_serve_benchmark(
     max_steps_per_tick: int = 20,
     max_sessions: int = 100_000,
     drain_timeout: float = 120.0,
+    persistence: Optional[PersistenceConfig] = None,
 ) -> List[ShardSweepResult]:
     """Run the fixed load once per shard count; see module docstring.
 
@@ -114,11 +116,23 @@ def run_serve_benchmark(
         scripts = cohort_scripts(game, n_scripts, seed=seed)
     results: List[ShardSweepResult] = []
     for n_shards in shard_counts:
+        sweep_persist = persistence
+        if persistence is not None and len(shard_counts) > 1:
+            # One journal tree per sweep point: a 4-shard run must not
+            # append to (or recover from) the 1-shard run's segments.
+            from dataclasses import replace as _replace
+            from pathlib import Path as _Path
+
+            sweep_persist = _replace(
+                persistence,
+                directory=_Path(persistence.directory) / f"shards-{n_shards}",
+            )
         config = ServeConfig(
             n_shards=n_shards,
             max_sessions=max_sessions,
             tick_interval_s=tick_interval_s,
             max_steps_per_tick=max_steps_per_tick,
+            persistence=sweep_persist,
         )
         before = _obs.snapshot()
         with SessionManager(config) as manager:

@@ -22,7 +22,18 @@ engine into a multi-tenant server with a classic game-server shape:
   load benchmark's SLO rules assert on.
 * **Graceful drain.**  ``drain()`` stops admissions and waits for every
   in-flight session to finish; ``shutdown()`` stops the shard threads
-  (after an optional drain) and zeroes the gauges.
+  (after an optional drain) and zeroes the gauges.  With persistence
+  on, every shard journal is flushed, fsynced and closed before
+  ``shutdown()`` returns — draining or discarding.
+* **Durability (opt-in).**  ``ServeConfig(persistence=...)`` gives each
+  shard its own write-ahead journal (:mod:`repro.persist`) — no
+  cross-shard locking, by construction.  Admissions log a start
+  record, steps log input records (group-committed: one fsync covers a
+  batch across sessions), finishes log an end record; sessions are
+  snapshotted every N inputs and fully-covered WAL segments are
+  compacted away.  After a crash, :meth:`SessionManager.recover`
+  rebuilds every committed session bit-identically and ``start()``
+  resumes stepping them.
 
 The manager is a context manager::
 
@@ -43,6 +54,20 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..persist import (
+    Journal,
+    PersistenceConfig,
+    PersistError,
+    ShardRecovery,
+    SnapshotStore,
+    compact_segments,
+    compaction_watermark,
+    end_record,
+    input_record,
+    recover_shard,
+    snapshot_dir_for,
+    start_record,
+)
 from .session import ServedSession, SessionFactory
 
 __all__ = ["ServeConfig", "SessionManager", "shard_for"]
@@ -108,6 +133,10 @@ class ServeConfig:
     max_admissions_per_tick: int = 32
     #: poll interval for drain()/waiters
     drain_poll_s: float = 0.005
+    #: durability: when set, every shard owns a write-ahead journal
+    #: under ``persistence.shard_dir(i)`` and the manager becomes
+    #: crash-recoverable via :meth:`SessionManager.recover`
+    persistence: Optional[PersistenceConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -146,6 +175,17 @@ class _Shard:
         self.failed = 0
         self.ticks = 0
         self.steps = 0
+        #: durability (None when persistence is off or the journal died)
+        self._journal: Optional[Journal] = None
+        self._snapshots: Optional[SnapshotStore] = None
+        #: player id -> newest LSN a snapshot covers (start_lsn - 1
+        #: before the first snapshot); drives the compaction watermark
+        self._covered: Dict[str, int] = {}
+        #: player id -> input records logged since the last snapshot
+        self._since_snapshot: Dict[str, int] = {}
+        #: sessions recovered from the WAL whose start record must not
+        #: be re-logged (seeded by SessionManager.recover)
+        self._recovered_ids: set = set()
         self._thread = threading.Thread(
             target=self._run, name=f"repro-serve-shard-{index}", daemon=True
         )
@@ -163,6 +203,20 @@ class _Shard:
             self._discard.set()
         self._stop.set()
 
+    def seed_recovered(self, session: ServedSession, covered_lsn: int) -> None:
+        """Queue a WAL-recovered session for resumption (pre-start only).
+
+        The session's history is already durable: its start record (or
+        a snapshot at ``covered_lsn``) is on disk, so admission must
+        not journal it again.
+        """
+        sid = session.player_id
+        self._recovered_ids.add(sid)
+        self._covered[sid] = covered_lsn
+        self._since_snapshot[sid] = 0
+        with self._inbox_lock:
+            self._inbox.append((sid, lambda _pid, s=session: s))
+
     def join(self, timeout: Optional[float] = None) -> None:
         if self._thread.is_alive():
             self._thread.join(timeout)
@@ -174,6 +228,79 @@ class _Shard:
     @property
     def active_count(self) -> int:
         return len(self._active)
+
+    # -- shard thread: durability hooks --------------------------------
+    def _open_journal(self) -> None:
+        persistence = self.config.persistence
+        if persistence is None:
+            return
+        directory = persistence.shard_dir(self.index)
+        try:
+            self._journal = Journal(directory, persistence, label=self.label)
+            self._snapshots = SnapshotStore(snapshot_dir_for(directory))
+        except Exception:
+            self._journal = None
+            self._snapshots = None
+            _LOG.error("persist.journal_open_failed", shard=self.index,
+                       dir=str(directory))
+
+    def _close_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def _journal_append(self, record: Dict) -> Optional[int]:
+        """Append one record; a dead journal disables persistence for
+        this shard (serving keeps going — durability is best-effort
+        once the disk has failed, and the failure is counted)."""
+        if self._journal is None:
+            return None
+        try:
+            return self._journal.append(record)
+        except PersistError:
+            self._journal = None
+            _LOG.error("persist.journal_lost", shard=self.index)
+            return None
+
+    def _maybe_snapshot(self, session: ServedSession, lsn: int) -> None:
+        """Snapshot a session every ``snapshot_every`` logged inputs and
+        compact away WAL segments the snapshots now fully cover."""
+        persistence = self.config.persistence
+        if (
+            self._snapshots is None
+            or persistence is None
+            or persistence.snapshot_every <= 0
+        ):
+            return
+        sid = session.player_id
+        count = self._since_snapshot.get(sid, 0) + 1
+        if count < persistence.snapshot_every:
+            self._since_snapshot[sid] = count
+            return
+        self._since_snapshot[sid] = 0
+        try:
+            self._snapshots.write(
+                sid, session.dt, session.ops, session.cursor,
+                session.engine.state.to_dict(), lsn=lsn,
+            )
+        except OSError:  # pragma: no cover - disk death
+            return
+        self._covered[sid] = lsn
+        if persistence.compact and self._journal is not None:
+            watermark = compaction_watermark(
+                self._covered.values(), self._journal.durable_lsn
+            )
+            compact_segments(self._journal.directory, watermark)
+
+    def _retire_persisted(self, session: ServedSession) -> None:
+        """End-of-life bookkeeping for a finished session."""
+        sid = session.player_id
+        self._journal_append(end_record(sid, session.engine.state.outcome))
+        self._covered.pop(sid, None)
+        self._since_snapshot.pop(sid, None)
+        self._recovered_ids.discard(sid)
+        if self._snapshots is not None:
+            self._snapshots.remove(sid)
 
     # -- shard thread --------------------------------------------------
     def _admit(self) -> None:
@@ -192,13 +319,24 @@ class _Shard:
                              player=player_id, at="admit")
                 self._manager._session_closed()
                 continue
+            if self._journal is not None and player_id not in self._recovered_ids:
+                lsn = self._journal_append(
+                    start_record(player_id, session.dt, session.ops)
+                )
+                if lsn is not None:
+                    # nothing snapshotted yet: the start record itself
+                    # must survive compaction
+                    self._covered[player_id] = lsn - 1
+                    self._since_snapshot[player_id] = 0
             self._active.append(session)
 
     def _step_batch(self) -> None:
         budget = self.config.max_steps_per_tick
         done_count = 0
+        journal = self._journal
         while self._active and budget > 0:
             session = self._active.popleft()
+            op = session.peek() if journal is not None else None
             try:
                 done = session.step()
             except Exception:
@@ -208,12 +346,19 @@ class _Shard:
                 _M_FAILURES.inc(shard=self.label)
                 _LOG.warning("serve.session_failed", shard=self.index,
                              player=session.player_id, at="step")
+            if journal is not None and op is not None and not session.failed:
+                lsn = self._journal_append(input_record(session.player_id, op))
+                journal = self._journal  # may have died on append
+                if lsn is not None and not done:
+                    self._maybe_snapshot(session, lsn)
             budget -= 1
             self.steps += 1
             if done:
                 if not session.failed:
                     self.completed += 1
                     _M_COMPLETED.inc(shard=self.label)
+                if journal is not None or self._snapshots is not None:
+                    self._retire_persisted(session)
                 done_count += 1
                 self._manager._session_closed()
             else:
@@ -236,26 +381,36 @@ class _Shard:
 
     def _run(self) -> None:
         interval = self.config.tick_interval_s
-        while True:
-            if self._discard.is_set():
-                self._discard_backlog()
-                break
-            t0 = perf_counter()
-            self._admit()
-            self._step_batch()
-            busy = perf_counter() - t0
-            self.ticks += 1
-            if _obs.enabled():
-                _M_TICK.observe(busy, shard=self.label)
-                _M_ACTIVE.set(len(self._active), shard=self.label)
-                _M_QUEUE.set(len(self._inbox), shard=self.label)
-            if self._stop.is_set() and not self._active and not self._inbox:
-                break
-            remaining = interval - busy
-            if remaining > 0:
-                # Plain sleep, not Event.wait: a stop request must still
-                # let the current backlog drain, so nothing to wake for.
-                sleep(remaining)
+        self._open_journal()
+        try:
+            while True:
+                if self._discard.is_set():
+                    self._discard_backlog()
+                    break
+                t0 = perf_counter()
+                self._admit()
+                self._step_batch()
+                busy = perf_counter() - t0
+                self.ticks += 1
+                if _obs.enabled():
+                    _M_TICK.observe(busy, shard=self.label)
+                    _M_ACTIVE.set(len(self._active), shard=self.label)
+                    _M_QUEUE.set(len(self._inbox), shard=self.label)
+                if self._stop.is_set() and not self._active and not self._inbox:
+                    break
+                remaining = interval - busy
+                if remaining > 0:
+                    # Plain sleep, not Event.wait: a stop request must
+                    # still let the current backlog drain, so nothing to
+                    # wake for.
+                    sleep(remaining)
+        finally:
+            # Flush-on-exit: close() drains the group-commit queue and
+            # fsyncs, so shutdown(drain=True) — which joins this thread
+            # — returns only once every shard journal is durable.  The
+            # discard path closes the journal just as cleanly: the
+            # backlog is dropped, the log is not torn.
+            self._close_journal()
         if _obs.enabled():
             _M_ACTIVE.set(0, shard=self.label)
             _M_QUEUE.set(0, shard=self.label)
@@ -295,6 +450,52 @@ class SessionManager:
 
     def __exit__(self, *exc: object) -> None:
         self.shutdown(drain=not any(exc))
+
+    # ------------------------------------------------------------------
+    def recover(self, game, with_video: bool = False) -> List[ShardRecovery]:
+        """Rebuild the previous process's committed sessions from disk.
+
+        Call between construction and :meth:`start` on a manager whose
+        config carries the same ``persistence`` directory the crashed
+        process used.  Each shard's journal is scanned (torn tails
+        truncated and counted), every committed-but-unfinished session
+        is rebuilt bit-identically from its latest snapshot plus input
+        replay, and the rebuilt sessions are queued on their owning
+        shards — ``start()`` then resumes stepping them exactly where
+        the crash cut them off.  Returns the per-shard recovery
+        reports.
+        """
+        if self.config.persistence is None:
+            raise RuntimeError("recover() needs ServeConfig.persistence")
+        if self._started:
+            raise RuntimeError("recover() must run before start()")
+        reports: List[ShardRecovery] = []
+        for shard in self._shards:
+            directory = self.config.persistence.shard_dir(shard.index)
+            if not directory.is_dir():
+                reports.append(ShardRecovery(directory=directory))
+                continue
+            report = recover_shard(directory, game, with_video=with_video)
+            for recovered in report.sessions:
+                session = ServedSession.resume(
+                    recovered.player_id,
+                    recovered.engine,
+                    recovered.ops,
+                    recovered.dt,
+                    recovered.cursor,
+                )
+                shard.seed_recovered(session, covered_lsn=report.tip_lsn)
+                with self._lock:
+                    self._inflight += 1
+            reports.append(report)
+        if _obs.enabled():
+            _LOG.info(
+                "serve.recovered",
+                sessions=sum(len(r.sessions) for r in reports),
+                ended=sum(r.ended_sessions for r in reports),
+                torn=sum(r.torn_records for r in reports),
+            )
+        return reports
 
     # ------------------------------------------------------------------
     def shard_for(self, player_id: str) -> int:

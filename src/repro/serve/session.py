@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..core.project import CompiledGame
-from ..core.solver import Move, _apply
+from ..core.solver import Move
+from ..persist.records import apply_scripted_op
 from ..runtime.inputs import KeyPress, MouseClick, MouseDrag
 from ..students.scripts import PlayerScript, ScriptOp
 
@@ -57,12 +58,33 @@ class ServedSession:
         self._cursor = 0
         self._started = False
 
+    @classmethod
+    def resume(
+        cls,
+        player_id: str,
+        engine,
+        ops: Sequence[ScriptOp],
+        dt: float,
+        cursor: int,
+    ) -> "ServedSession":
+        """Rebuild a session recovered from the WAL: the engine is
+        already started and ``cursor`` ops have already been applied."""
+        session = cls(player_id, engine, ops, dt=dt)
+        session._cursor = max(0, min(int(cursor), len(session.ops)))
+        session._started = True
+        return session
+
     def start(self) -> None:
         """Begin the underlying engine session (idempotent)."""
         if self._started:
             return
         self._started = True
         self.engine.start()
+
+    @property
+    def cursor(self) -> int:
+        """Ops applied so far (the WAL/snapshot resume position)."""
+        return self._cursor
 
     @property
     def done(self) -> bool:
@@ -73,25 +95,28 @@ class ServedSession:
             or not self.engine.running
         )
 
+    def peek(self) -> Optional[ScriptOp]:
+        """The op the next ``step()`` will apply (None when done) — what
+        the serving layer writes to the WAL alongside the step."""
+        if self.done:
+            return None
+        return self.ops[self._cursor]
+
     def step(self) -> bool:
         """Apply the next scripted op and tick; returns ``done``.
 
         Ops the real UI would have prevented (e.g. using an item the
         student never picked up) cost the step but change nothing — the
-        same forgiving semantics the cohort player uses.
+        same forgiving semantics the cohort player uses.  The actual
+        op+tick semantics live in
+        :func:`repro.persist.records.apply_scripted_op`, shared with
+        crash-recovery replay so the two cannot drift.
         """
         if self.done:
             return True
         op = self.ops[self._cursor]
         self._cursor += 1
-        try:
-            if isinstance(op, Move):
-                _apply(self.engine, op)
-            else:
-                self.engine.handle_input(op)
-            self.engine.tick(self.dt)
-        except Exception:
-            pass
+        apply_scripted_op(self.engine, op, self.dt)
         self.steps += 1
         return self.done
 

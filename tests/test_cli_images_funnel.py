@@ -97,6 +97,49 @@ class TestCli:
         out = capsys.readouterr().out
         assert "vgbl" in out and "slideshow" in out
 
+    def test_wal_inspect_recover_compact(self, tmp_path, capsys):
+        """End-to-end over real journals: log sessions with the built-in
+        demo game, tear the tail, then drive all three wal actions."""
+        from repro.core import fetch_quest_game
+        from repro.persist import (
+            Journal,
+            PersistenceConfig,
+            input_record,
+            start_record,
+        )
+        from repro.students import cohort_scripts
+
+        game = fetch_quest_game(n_quests=2, title="wal-recover").build()
+        scripts = cohort_scripts(game, 2, seed=13)
+        shard_dir = tmp_path / "shard-00"
+        journal = Journal(shard_dir, PersistenceConfig(directory=tmp_path))
+        for script in scripts:
+            journal.append(
+                start_record(script.player_id, script.dt, script.ops)
+            )
+            for op in script.ops[:3]:
+                journal.append(input_record(script.player_id, op))
+        journal.sync(timeout=5.0)
+        journal.close()
+        segment = sorted(shard_dir.glob("wal-*.log"))[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b"\x22\x00\x00\x00 torn")
+
+        assert main(["wal", "inspect", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-00" in out and "torn" in out
+
+        assert main(["wal", "recover", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+
+        assert main(["wal", "compact", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "watermark" in out
+
+    def test_wal_inspect_bad_directory(self, tmp_path, capsys):
+        assert main(["wal", "inspect", str(tmp_path / "missing")]) == 2
+
 
 class TestScenarioFunnel:
     def _play_session(self, game, visit_market: bool):

@@ -1,0 +1,167 @@
+"""Tests for the write-ahead log: framing, rotation, group commit."""
+
+import struct
+import threading
+
+import pytest
+
+from repro.persist import (
+    Journal,
+    PersistenceConfig,
+    encode_frame,
+    list_segments,
+    read_segment,
+    segment_first_lsn,
+)
+from repro.persist.records import PersistError
+
+
+def _rec(i, sid="s"):
+    return {"t": "input", "sid": sid, "op": {"k": "key", "key": str(i)}}
+
+
+class TestFrameCodec:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "seg.log"
+        records = [{"t": "h", "seg": 1, "first": 1}, _rec(0), _rec(1)]
+        path.write_bytes(b"".join(encode_frame(r) for r in records))
+        parsed, valid, torn = read_segment(path)
+        assert parsed == records
+        assert valid == path.stat().st_size
+        assert not torn
+
+    def test_partial_tail_is_torn_not_fatal(self, tmp_path):
+        path = tmp_path / "seg.log"
+        good = encode_frame(_rec(0))
+        path.write_bytes(good + encode_frame(_rec(1))[:-3])
+        parsed, valid, torn = read_segment(path)
+        assert parsed == [_rec(0)]
+        assert valid == len(good)
+        assert torn
+
+    def test_crc_mismatch_is_torn(self, tmp_path):
+        path = tmp_path / "seg.log"
+        frame = bytearray(encode_frame(_rec(0)))
+        frame[-1] ^= 0xFF  # flip a payload bit; CRC now lies
+        path.write_bytes(bytes(frame))
+        parsed, valid, torn = read_segment(path)
+        assert parsed == [] and valid == 0 and torn
+
+    def test_absurd_length_is_torn(self, tmp_path):
+        path = tmp_path / "seg.log"
+        path.write_bytes(struct.pack("<II", 2**31, 0) + b"xx")
+        _parsed, valid, torn = read_segment(path)
+        assert valid == 0 and torn
+
+
+class TestJournal:
+    def test_append_assigns_dense_lsns(self, tmp_path):
+        j = Journal(tmp_path, PersistenceConfig(directory=tmp_path))
+        lsns = [j.append(_rec(i)) for i in range(5)]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert j.sync(timeout=5.0)
+        assert j.durable_lsn == 5
+        j.close()
+        records, _valid, torn = read_segment(list_segments(tmp_path)[0][1])
+        assert not torn
+        assert [r["n"] for r in records if r.get("t") != "h"] == lsns
+
+    def test_sync_each_mode_is_durable_per_append(self, tmp_path):
+        config = PersistenceConfig(directory=tmp_path, sync_each=True)
+        j = Journal(tmp_path, config)
+        lsn = j.append(_rec(0))
+        assert j.durable_lsn == lsn  # no waiting needed
+        j.close()
+
+    def test_reopen_continues_lsn_sequence(self, tmp_path):
+        config = PersistenceConfig(directory=tmp_path)
+        j = Journal(tmp_path, config)
+        for i in range(3):
+            j.append(_rec(i))
+        j.close()
+        j2 = Journal(tmp_path, config)
+        assert j2.append(_rec(3)) == 4
+        j2.close()
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        config = PersistenceConfig(directory=tmp_path)
+        j = Journal(tmp_path, config)
+        for i in range(3):
+            j.append(_rec(i))
+        j.sync(timeout=5.0)
+        j.close()
+        _seq, path = list_segments(tmp_path)[-1]
+        clean_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef-torn")
+        j2 = Journal(tmp_path, config)
+        assert path.stat().st_size == clean_size  # tail cut back
+        assert j2.append(_rec(3)) == 4  # sequence unharmed
+        j2.sync(timeout=5.0)
+        j2.close()
+        records, _valid, torn = read_segment(path)
+        assert not torn
+        assert [r["n"] for r in records if r.get("t") != "h"] == [1, 2, 3, 4]
+
+    def test_segment_rotation_and_headers(self, tmp_path):
+        config = PersistenceConfig(
+            directory=tmp_path, segment_max_bytes=4096, sync_each=True
+        )
+        j = Journal(tmp_path, config)
+        for i in range(200):
+            j.append(_rec(i, sid=f"player-{i % 7}"))
+        j.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        # Headers chain: segment i+1's first LSN continues segment i.
+        last = 0
+        for _seq, path in segments:
+            first = segment_first_lsn(path)
+            assert first == last + 1
+            records, _valid, torn = read_segment(path)
+            assert not torn
+            data = [r["n"] for r in records if r.get("t") != "h"]
+            assert data == list(range(first, first + len(data)))
+            last = data[-1]
+        assert last == 200
+
+    def test_group_commit_batches_across_threads(self, tmp_path):
+        config = PersistenceConfig(directory=tmp_path, group_window_s=0.005)
+        j = Journal(tmp_path, config)
+        done = []
+
+        def commit(w):
+            lsn = j.append(_rec(w, sid=f"w{w}"))
+            assert j.wait_durable(lsn, timeout=10.0)
+            done.append(lsn)
+
+        threads = [threading.Thread(target=commit, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(done) == list(range(1, 9))
+        j.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        j = Journal(tmp_path, PersistenceConfig(directory=tmp_path))
+        j.close()
+        with pytest.raises(PersistError):
+            j.append(_rec(0))
+
+    def test_close_flushes_pending(self, tmp_path):
+        config = PersistenceConfig(directory=tmp_path, group_window_s=0.5)
+        j = Journal(tmp_path, config)
+        lsns = [j.append(_rec(i)) for i in range(10)]
+        j.close()  # must not lose the batch still inside the window
+        records, _valid, torn = read_segment(list_segments(tmp_path)[0][1])
+        assert not torn
+        assert [r["n"] for r in records if r.get("t") != "h"] == lsns
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            PersistenceConfig(directory=tmp_path, segment_max_bytes=16)
+        with pytest.raises(ValueError):
+            PersistenceConfig(directory=tmp_path, group_window_s=-1)
+        with pytest.raises(ValueError):
+            PersistenceConfig(directory=tmp_path, snapshot_every=-1)

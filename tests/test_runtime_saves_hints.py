@@ -58,6 +58,37 @@ class TestSaveManager:
         with pytest.raises(SaveError):
             mgr.load("s")
 
+    def test_partial_write_leaves_old_save_intact(
+        self, tmp_path, classroom_game, monkeypatch
+    ):
+        """A crash mid-save must never corrupt the previous save.
+
+        ``save()`` goes through a temp file + ``os.replace``; we inject a
+        failure between the partial write and the rename and assert the
+        slot still loads the *old* state and no temp litter remains.
+        """
+        import os as _os
+
+        mgr = SaveManager(tmp_path, classroom_game.title)
+        old = GameState("classroom")
+        old.add_score(3)
+        mgr.save("s", old, saved_at=1.0)
+
+        new = GameState("classroom")
+        new.add_score(99)
+
+        def die_before_rename(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(_os, "replace", die_before_rename)
+        with pytest.raises(OSError):
+            mgr.save("s", new, saved_at=2.0)
+        monkeypatch.undo()
+
+        loaded = mgr.load("s")
+        assert loaded.score == 3  # the old save survived, bit-intact
+        assert list(tmp_path.glob("*.tmp")) == []
+
     def test_slots_sorted_newest_first(self, tmp_path, classroom_game):
         mgr = SaveManager(tmp_path, classroom_game.title)
         mgr.save("old", GameState("classroom"), saved_at=1.0)
