@@ -33,7 +33,7 @@ from pathlib import Path
 
 import pytest
 
-from conftest import save_result
+from conftest import save_json, save_result
 from repro import obs
 from repro.persist import (
     Journal,
@@ -178,6 +178,36 @@ def test_group_commit_beats_per_record_fsync(commit_runs):
         f"group commit only {speedup:.2f}x over fsync-per-record "
         f"({grouped['records_per_s']:.0f} vs {baseline['records_per_s']:.0f} rec/s)"
     )
+
+
+def test_persist_emits_machine_readable_result(commit_runs, results_dir):
+    """BENCH_persist.json: throughput + commit p95, for tooling."""
+    from repro.obs.slo import _find_metric, histogram_quantile
+
+    baseline, grouped = commit_runs
+    entry = _find_metric(obs.snapshot(), "repro_persist_commit_seconds")
+    commit_p95 = None if entry is None else histogram_quantile(entry, 0.95)
+    payload = {
+        "benchmark": "persist",
+        "writers": WRITERS,
+        "commits_per_writer": COMMITS,
+        "modelled_fsync_ms": FSYNC_MS,
+        "p95_commit_s": commit_p95,
+        "points": [
+            {
+                "mode": r["mode"],
+                "throughput_records_per_s": r["records_per_s"],
+                "records": r["records"],
+                "recovery_s": r["recovery_s"],
+            }
+            for r in (baseline, grouped)
+        ],
+    }
+    path = save_json("BENCH_persist.json", payload)
+    assert path.is_file()
+    assert commit_p95 is not None and commit_p95 > 0
+    for point in payload["points"]:
+        assert point["throughput_records_per_s"] > 0
 
 
 def test_persist_slo_rules_pass(commit_runs):

@@ -25,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from conftest import save_result
+from conftest import save_json, save_result
 from repro import obs
 from repro.core import fetch_quest_game
 from repro.reporting import format_table
@@ -98,6 +98,29 @@ def test_serve_scales_with_shard_count(sweep):
     assert one > 0
     speedup = four / one
     assert speedup >= 2.0, f"1->4 shard speedup only {speedup:.2f}x"
+
+
+def test_serve_emits_machine_readable_result(sweep, results_dir):
+    """BENCH_serve.json: throughput + p95 per sweep point, for tooling."""
+    payload = {
+        "benchmark": "serve",
+        "sessions_per_point": _env_sessions(),
+        "points": [
+            {
+                "shards": r.shards,
+                "throughput_sessions_per_s": r.report.sessions_per_second,
+                "p95_tick_s": r.tick_p95_s,
+                "completed": r.report.completed,
+                "rejected": r.report.rejected,
+            }
+            for r in sweep
+        ],
+    }
+    path = save_json("BENCH_serve.json", payload)
+    assert path.is_file()
+    for point in payload["points"]:
+        assert point["throughput_sessions_per_s"] > 0
+        assert point["p95_tick_s"] is not None
 
 
 def test_serve_slo_rules_pass(sweep):

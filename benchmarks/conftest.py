@@ -46,3 +46,19 @@ def save_result(name: str, content: str) -> Path:
     path.write_text(content + "\n")
     print(f"\n=== {name} ===\n{content}")
     return path
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Write one machine-readable benchmark result (``BENCH_*.json``).
+
+    The CI bench-smoke job uploads these alongside the obs snapshot so
+    run-over-run throughput/latency history is diffable by tooling, not
+    just readable by humans.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    return path

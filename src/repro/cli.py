@@ -13,6 +13,8 @@ Subcommands::
     python -m repro obs flight                # dump the flight recorder
     python -m repro top                       # live metrics/spans dashboard
     python -m repro serve-bench               # sharded-server load sweep
+    python -m repro gateway serve             # TCP front-end for the server
+    python -m repro gateway bench             # socket-mode load sweep
     python -m repro wal inspect DIR           # scan durable session journals
     python -m repro wal recover DIR           # rebuild committed sessions
     python -m repro wal compact DIR           # drop snapshot-covered segments
@@ -164,6 +166,62 @@ def build_parser() -> argparse.ArgumentParser:
              "this directory",
     )
 
+    p_gw = sub.add_parser(
+        "gateway",
+        help="network gateway: serve the sharded session server over "
+             "TCP, or load-test it through real sockets",
+    )
+    p_gw.add_argument(
+        "action", choices=("serve", "bench"),
+        help="serve: run the asyncio TCP front-end until interrupted; "
+             "bench: shard-count sweep through loopback sockets",
+    )
+    p_gw.add_argument("--host", default="127.0.0.1",
+                      help="bind/connect address (default 127.0.0.1)")
+    p_gw.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 binds an ephemeral port and prints it (default 0)",
+    )
+    p_gw.add_argument(
+        "--shards", default=None,
+        help="serve: shard count (default 2); bench: comma-separated "
+             "sweep counts (default 1,2,4)",
+    )
+    p_gw.add_argument("--sessions", type=int, default=120,
+                      help="bench: sessions offered per sweep point (default 120)")
+    p_gw.add_argument("--clients", type=int, default=4,
+                      help="bench: concurrent client connections (default 4)")
+    p_gw.add_argument(
+        "--rate", type=float, default=0.0,
+        help="bench: arrival rate in sessions/s; 0 = open-loop burst",
+    )
+    p_gw.add_argument("--tick-hz", type=float, default=100.0,
+                      help="shard tick frequency (default 100)")
+    p_gw.add_argument("--steps-per-tick", type=int, default=20,
+                      help="session-step budget per shard tick (default 20)")
+    p_gw.add_argument("--max-sessions", type=int, default=100_000,
+                      help="admission-control in-flight cap (default 100000)")
+    p_gw.add_argument("--seed", type=int, default=2007,
+                      help="cohort script sampling seed (default 2007)")
+    p_gw.add_argument("--scripts", type=int, default=12,
+                      help="distinct player scripts in the pool (default 12)")
+    p_gw.add_argument("--quests", type=int, default=2,
+                      help="quest count of the built-in game (default 2)")
+    p_gw.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve: exit after this many seconds (0 = run until ^C)",
+    )
+    p_gw.add_argument(
+        "--persist-dir", type=Path, default=None,
+        help="durable sessions: per-shard WAL under this directory; "
+             "serve recovers any committed sessions found there first",
+    )
+    p_gw.add_argument(
+        "--slo", type=Path, default=None,
+        help="bench: gate the run's repro_gateway_* metrics through an "
+             "SLO rule file (nonzero exit on breach)",
+    )
+
     p_wal = sub.add_parser(
         "wal",
         help="inspect, recover or compact durable session journals",
@@ -302,6 +360,7 @@ def _obs_demo_workload() -> None:
     replay), segment cache (bounded replay), and parallel segmentation
     (difference signal over a short clip).
     """
+    from . import obs
     from .core import fetch_quest_game, solve
     from .core.solver import _apply
     from .graph import build_graph
@@ -309,6 +368,11 @@ def _obs_demo_workload() -> None:
     from .runtime import KeyPress, MouseClick, SessionRecorder
     from .video import VideoReader
     from .video.parallel import parallel_difference_signal
+
+    # Deterministic baseline: back-to-back workload runs in one process
+    # (repro top refresh, repeated CLI calls under pytest) must not
+    # double-count each other's serve/gateway/persist counters.
+    obs.reset()
 
     # Engine + session: author, solve and replay the fetch-quest demo.
     game = fetch_quest_game(n_quests=2, title="obs demo").build()
@@ -378,6 +442,19 @@ def _obs_demo_workload() -> None:
             shard_dir = pconfig.shard_dir(i)
             if shard_dir.is_dir():
                 recover_shard(shard_dir, game)
+
+    # Network gateway: the same burst through a loopback TCP socket so
+    # repro_gateway_* frame/handshake/RTT metrics have real samples.
+    from .gateway import GatewayServer, GatewayThread
+    from .serve import SocketLoadGenerator
+
+    manager = SessionManager(
+        ServeConfig(n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50)
+    )
+    with GatewayThread(GatewayServer(manager, game)) as handle:
+        SocketLoadGenerator(
+            handle.host, handle.port, scripts, clients=2,
+        ).run(6, timeout=30.0)
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -543,6 +620,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 2
 
     obs.enable()
+    # Fresh counters per bench pass: back-to-back CLI runs in one
+    # process would otherwise double-count serve totals in the SLO gate.
+    obs.reset()
     game = fetch_quest_game(n_quests=2, title="serve-bench").build()
     scripts = cohort_scripts(game, args.scripts, seed=args.seed)
     persistence = None
@@ -578,16 +658,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {r.shards} shards vs {results[0].shards}: "
                   f"{r.report.sessions_per_second / base:.2f}x sessions/s")
     if args.slo is not None:
-        return _check_serve_slos(args.slo)
+        return _check_slo_rules(args.slo, "repro_serve_", label="serve")
     return 0
 
 
-def _check_serve_slos(slo_path: Path) -> int:
-    """Gate a serve-bench run on the serve rules of an SLO file.
+def _check_slo_rules(slo_path: Path, prefix: str, label: str) -> int:
+    """Gate a bench run on one subsystem's rules in an SLO file.
 
-    A bench run only exercises ``repro_serve_*`` metrics, so rules
-    about other subsystems (which ``repro obs check`` covers via its
-    demo workload) are skipped here rather than spuriously failing.
+    A bench run only exercises one metric family (``repro_serve_*``
+    for ``serve-bench``, ``repro_gateway_*`` for ``gateway bench``),
+    so rules about other subsystems (which ``repro obs check`` covers
+    via its demo workload) are skipped here rather than spuriously
+    failing.
     """
     from . import obs
     from .reporting import format_table
@@ -597,24 +679,149 @@ def _check_serve_slos(slo_path: Path) -> int:
     except (OSError, obs.SloError) as exc:
         print(f"error: cannot load SLO rules: {exc}", file=sys.stderr)
         return 2
-    serve_rules = [
+    picked = [
         r for r in rules
-        if (r.metric or r.numerator or "").startswith("repro_serve_")
+        if (r.metric or r.numerator or "").startswith(prefix)
     ]
-    if not serve_rules:
-        print(f"error: no repro_serve_* rules in {slo_path}", file=sys.stderr)
+    if not picked:
+        print(f"error: no {prefix}* rules in {slo_path}", file=sys.stderr)
         return 2
-    results, all_ok = obs.evaluate_slos(serve_rules, obs.snapshot())
+    results, all_ok = obs.evaluate_slos(picked, obs.snapshot())
     print(format_table(
         [r.as_row() for r in results],
-        title=f"serve SLO check: {slo_path}",
+        title=f"{label} SLO check: {slo_path}",
     ))
     if all_ok:
-        print(f"\nserve SLO check passed ({len(results)} rules)")
+        print(f"\n{label} SLO check passed ({len(results)} rules)")
         return 0
     failed = sum(1 for r in results if not r.ok)
-    print(f"\nserve SLO check FAILED ({failed} of {len(results)} rules breached)")
+    print(f"\n{label} SLO check FAILED "
+          f"({failed} of {len(results)} rules breached)")
     return 1
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from . import obs
+
+    if args.tick_hz <= 0:
+        print("error: --tick-hz must be positive", file=sys.stderr)
+        return 2
+    obs.enable()
+    if args.action == "serve":
+        return _cmd_gateway_serve(args)
+    return _cmd_gateway_bench(args)
+
+
+def _cmd_gateway_serve(args: argparse.Namespace) -> int:
+    """Run a gateway-fronted session server until ^C (or --duration)."""
+    import asyncio
+
+    from .core import fetch_quest_game
+    from .gateway import GatewayConfig, GatewayServer
+    from .serve import ServeConfig, SessionManager
+
+    if args.shards is None:
+        n_shards = 2
+    else:
+        try:
+            n_shards = int(args.shards)
+        except ValueError:
+            print(f"error: cannot parse --shards {args.shards!r}",
+                  file=sys.stderr)
+            return 2
+    if n_shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    persistence = None
+    if args.persist_dir is not None:
+        from .persist import PersistenceConfig
+
+        persistence = PersistenceConfig(directory=args.persist_dir)
+    game = fetch_quest_game(n_quests=args.quests, title="gateway").build()
+    manager = SessionManager(ServeConfig(
+        n_shards=n_shards,
+        max_sessions=args.max_sessions,
+        tick_interval_s=1.0 / args.tick_hz,
+        max_steps_per_tick=args.steps_per_tick,
+        persistence=persistence,
+    ))
+    server = GatewayServer(
+        manager, game, config=GatewayConfig(host=args.host, port=args.port)
+    )
+
+    async def _serve() -> None:
+        if persistence is not None:
+            recovered = server.recover()
+            if recovered:
+                print(f"recovered {len(recovered)} live session(s) from WAL")
+        await server.start()
+        print(f"gateway listening on {args.host}:{server.port} "
+              f"({n_shards} shard(s); ^C to drain and exit)")
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.shutdown(drain=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ndrained and stopped")
+    return 0
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    """Loopback shard sweep through the gateway (mirrors serve-bench)."""
+    from . import obs
+    from .core import fetch_quest_game
+    from .gateway import run_gateway_benchmark
+    from .reporting import format_table
+    from .students import cohort_scripts
+
+    shards_spec = args.shards if args.shards is not None else "1,2,4"
+    try:
+        shard_counts = [int(s) for s in str(shards_spec).split(",") if s.strip()]
+    except ValueError:
+        print(f"error: cannot parse --shards {shards_spec!r}", file=sys.stderr)
+        return 2
+    if not shard_counts or any(n < 1 for n in shard_counts):
+        print("error: --shards needs positive integers", file=sys.stderr)
+        return 2
+    # Fresh counters per bench pass (same contract as serve-bench).
+    obs.reset()
+    game = fetch_quest_game(n_quests=args.quests, title="gateway-bench").build()
+    scripts = cohort_scripts(game, args.scripts, seed=args.seed)
+    persistence = None
+    if args.persist_dir is not None:
+        from .persist import PersistenceConfig
+
+        persistence = PersistenceConfig(directory=args.persist_dir)
+    results = run_gateway_benchmark(
+        game,
+        shard_counts,
+        sessions=args.sessions,
+        scripts=scripts,
+        clients=args.clients,
+        arrival_rate=args.rate,
+        tick_interval_s=1.0 / args.tick_hz,
+        max_steps_per_tick=args.steps_per_tick,
+        max_sessions=args.max_sessions,
+        persistence=persistence,
+    )
+    print(format_table(
+        [r.as_row() for r in results],
+        title=f"gateway bench: {args.sessions} sessions per sweep point",
+    ))
+    base = results[0].report.sessions_per_second
+    if base > 0 and len(results) > 1:
+        for r in results[1:]:
+            print(f"  {r.shards} shards vs {results[0].shards}: "
+                  f"{r.report.sessions_per_second / base:.2f}x sessions/s")
+    if args.slo is not None:
+        return _check_slo_rules(args.slo, "repro_gateway_", label="gateway")
+    return 0
 
 
 def _wal_shard_dirs(root: Path) -> list:
@@ -865,6 +1072,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "wal":
         return _cmd_wal(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

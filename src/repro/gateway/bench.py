@@ -1,0 +1,93 @@
+"""Gateway benchmark harness: shard sweeps measured through real sockets.
+
+Shared by ``repro gateway bench`` and ``benchmarks/bench_gateway.py``,
+the same way the serve sweep is shared — CLI, CI smoke and a laptop all
+measure the same thing.  Per sweep point a fresh
+:class:`~repro.serve.manager.SessionManager` of the given shard count
+is fronted by a :class:`~repro.gateway.server.GatewayServer` on a
+loopback ephemeral port, a :class:`~repro.serve.loadgen.SocketLoadGenerator`
+offers a fixed load over ``clients`` TCP connections, and the report
+carries completed sessions/second plus the p95 PING round trip.
+
+Per-shard capacity is fixed across the sweep, so sessions/second
+differences isolate shard count — the acceptance bar (>= 2x going
+1 → 4 shards *through the gateway*) proves the wire edge does not
+serialise what the shards parallelise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.project import CompiledGame
+from ..persist import PersistenceConfig
+from ..serve.loadgen import SocketLoadGenerator, SocketLoadReport
+from ..serve.manager import ServeConfig, SessionManager
+from ..students.scripts import PlayerScript, cohort_scripts
+from .server import GatewayConfig, GatewayServer, GatewayThread
+
+__all__ = ["GatewaySweepResult", "run_gateway_benchmark"]
+
+
+@dataclass(slots=True)
+class GatewaySweepResult:
+    """One sweep point: a full socket load run at a fixed shard count."""
+
+    shards: int
+    report: SocketLoadReport
+
+    def as_row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {"shards": self.shards}
+        row.update(self.report.as_row())
+        return row
+
+
+def run_gateway_benchmark(
+    game: CompiledGame,
+    shard_counts: Sequence[int],
+    sessions: int = 120,
+    scripts: Optional[Sequence[PlayerScript]] = None,
+    n_scripts: int = 12,
+    seed: int = 2007,
+    clients: int = 4,
+    arrival_rate: float = 0.0,
+    tick_interval_s: float = 0.01,
+    max_steps_per_tick: int = 20,
+    max_sessions: int = 100_000,
+    timeout: float = 120.0,
+    persistence: Optional[PersistenceConfig] = None,
+    gateway_config: Optional[GatewayConfig] = None,
+) -> List[GatewaySweepResult]:
+    """Run the fixed socket load once per shard count."""
+    if not shard_counts:
+        raise ValueError("need at least one shard count")
+    if scripts is None:
+        scripts = cohort_scripts(game, n_scripts, seed=seed)
+    results: List[GatewaySweepResult] = []
+    for n_shards in shard_counts:
+        sweep_persist = persistence
+        if persistence is not None and len(shard_counts) > 1:
+            from dataclasses import replace as _replace
+            from pathlib import Path as _Path
+
+            sweep_persist = _replace(
+                persistence,
+                directory=_Path(persistence.directory) / f"shards-{n_shards}",
+            )
+        manager = SessionManager(ServeConfig(
+            n_shards=n_shards,
+            max_sessions=max_sessions,
+            tick_interval_s=tick_interval_s,
+            max_steps_per_tick=max_steps_per_tick,
+            persistence=sweep_persist,
+        ))
+        server = GatewayServer(manager, game, config=gateway_config)
+        with GatewayThread(server) as handle:
+            gen = SocketLoadGenerator(
+                handle.host, handle.port, scripts,
+                clients=clients, arrival_rate=arrival_rate,
+            )
+            report = gen.run(sessions, timeout=timeout)
+        results.append(GatewaySweepResult(shards=n_shards, report=report))
+    return results

@@ -26,7 +26,12 @@ serve rules in ``examples/slo.toml``.
 
 from ..persist import PersistenceConfig
 from .bench import ShardSweepResult, run_serve_benchmark
-from .loadgen import LoadGenerator, LoadReport
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    SocketLoadGenerator,
+    SocketLoadReport,
+)
 from .manager import ServeConfig, SessionManager, shard_for
 from .session import (
     ServedSession,
@@ -42,6 +47,8 @@ __all__ = [
     "ServedSession",
     "SessionManager",
     "ShardSweepResult",
+    "SocketLoadGenerator",
+    "SocketLoadReport",
     "play_to_completion",
     "run_serve_benchmark",
     "session_factory_for_script",

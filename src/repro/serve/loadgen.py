@@ -11,10 +11,17 @@ completion spread.
 Arrival pacing uses an absolute schedule (``t0 + k/rate``), not
 ``sleep(1/rate)``, so generator-side jitter does not silently lower the
 offered load.
+
+Two generators share that design: :class:`LoadGenerator` drives a
+:class:`~repro.serve.manager.SessionManager` in-process (isolates the
+serving layer), while :class:`SocketLoadGenerator` drives a running
+network gateway over real TCP connections (measures the whole edge:
+framing, admission acks, END push latency, PING round trips).
 """
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from time import monotonic, sleep
 from typing import Dict, List, Optional, Sequence
@@ -24,7 +31,12 @@ from ..students.scripts import PlayerScript
 from .manager import SessionManager
 from .session import session_factory_for_script
 
-__all__ = ["LoadGenerator", "LoadReport"]
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "SocketLoadGenerator",
+    "SocketLoadReport",
+]
 
 
 @dataclass(slots=True)
@@ -129,4 +141,169 @@ class LoadGenerator:
             elapsed_s=elapsed,
             drained=drained,
             completed_by_shard=dict(self.manager.completed_by_shard),
+        )
+
+
+# ----------------------------------------------------------------------
+# Socket mode: the same offered load, but through the network gateway
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class SocketLoadReport:
+    """One gateway load run, as observed from the client side of TCP."""
+
+    offered: int
+    admitted: int
+    rejected: int
+    completed: int
+    failed: int
+    elapsed_s: float
+    drained: bool
+    #: PING round-trip samples interleaved with the load (seconds)
+    rtt_samples: List[float] = field(default_factory=list)
+    clients: int = 1
+
+    @property
+    def sessions_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    @property
+    def rtt_p95_s(self) -> Optional[float]:
+        """p95 of the interleaved PING round trips (None: no samples)."""
+        if not self.rtt_samples:
+            return None
+        ordered = sorted(self.rtt_samples)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    def as_row(self) -> Dict[str, object]:
+        rtt = self.rtt_p95_s
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "clients": self.clients,
+            "elapsed_s": f"{self.elapsed_s:.3f}",
+            "sessions_per_s": f"{self.sessions_per_second:.1f}",
+            "rtt_p95_ms": "-" if rtt is None else f"{rtt * 1e3:.2f}",
+            "drained": self.drained,
+        }
+
+
+class SocketLoadGenerator:
+    """Offers scripted sessions to a gateway over ``clients`` sockets.
+
+    Sessions are spread round-robin across persistent client
+    connections (a school lab, not one socket per student); each client
+    pipelines its submissions, interleaves a PING every ``ping_every``
+    sessions so the report carries real frame-RTT percentiles, and then
+    waits for every END push.  Like the in-process generator, elapsed
+    time runs from the first submission to the last completion, which
+    charges the server for its backlog.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        scripts: Sequence[PlayerScript],
+        clients: int = 4,
+        arrival_rate: float = 0.0,
+        ping_every: int = 8,
+    ) -> None:
+        if not scripts:
+            raise ValueError("need at least one player script")
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be >= 0")
+        if ping_every < 1:
+            raise ValueError("ping_every must be >= 1")
+        self.host = host
+        self.port = port
+        self.scripts = list(scripts)
+        self.clients = clients
+        self.arrival_rate = arrival_rate
+        self.ping_every = ping_every
+
+    def run(self, n_sessions: int, timeout: float = 120.0) -> SocketLoadReport:
+        """Synchronous entry point: one ``asyncio.run`` per load run."""
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        return asyncio.run(self.run_async(n_sessions, timeout=timeout))
+
+    async def run_async(
+        self, n_sessions: int, timeout: float = 120.0
+    ) -> SocketLoadReport:
+        from ..gateway.client import GatewayClient, GatewayRejected
+
+        pool = [
+            GatewayClient(
+                self.host, self.port,
+                client_name=f"loadgen-{i}",
+                request_timeout_s=timeout,
+            )
+            for i in range(min(self.clients, n_sessions))
+        ]
+        for client in pool:
+            await client.connect()
+        admitted = 0
+        rejected = 0
+        completed = 0
+        failed = 0
+        rtts: List[float] = []
+        pending: List[tuple] = []  # (client, player_id)
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            for k in range(n_sessions):
+                if self.arrival_rate > 0:
+                    due = t0 + k / self.arrival_rate
+                    delay = due - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                script = self.scripts[k % len(self.scripts)]
+                client = pool[k % len(pool)]
+                player_id = f"{script.player_id}#{k}"
+                try:
+                    await client.submit(player_id, script.ops, dt=script.dt)
+                except GatewayRejected:
+                    rejected += 1
+                    continue
+                admitted += 1
+                pending.append((client, player_id))
+                if k % self.ping_every == 0:
+                    rtts.append(await client.ping())
+            ends = await asyncio.gather(
+                *(
+                    client.wait_end(pid, timeout=timeout)
+                    for client, pid in pending
+                ),
+                return_exceptions=True,
+            )
+            drained = True
+            for end in ends:
+                if isinstance(end, BaseException):
+                    drained = False
+                elif end.get("failed"):
+                    failed += 1
+                else:
+                    completed += 1
+            elapsed = loop.time() - t0
+        finally:
+            for client in pool:
+                await client.close()
+        return SocketLoadReport(
+            offered=n_sessions,
+            admitted=admitted,
+            rejected=rejected,
+            completed=completed,
+            failed=failed,
+            elapsed_s=elapsed,
+            drained=drained and admitted == completed + failed,
+            rtt_samples=rtts,
+            clients=len(pool),
         )

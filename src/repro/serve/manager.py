@@ -50,7 +50,7 @@ import zlib
 from collections import deque
 from dataclasses import dataclass
 from time import monotonic, perf_counter, sleep
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
@@ -361,6 +361,17 @@ class _Shard:
                     self._retire_persisted(session)
                 done_count += 1
                 self._manager._session_closed()
+                callback = session.on_done
+                if callback is not None:
+                    # Fires after the final step *and* the durability
+                    # bookkeeping: the session is fully settled, so a
+                    # completion bridge (e.g. the network gateway) can
+                    # read the engine state without racing this shard.
+                    try:
+                        callback(session)
+                    except Exception:
+                        _LOG.warning("serve.on_done_failed", shard=self.index,
+                                     player=session.player_id)
             else:
                 self._active.append(session)
         stepped = self.config.max_steps_per_tick - budget
@@ -452,7 +463,12 @@ class SessionManager:
         self.shutdown(drain=not any(exc))
 
     # ------------------------------------------------------------------
-    def recover(self, game, with_video: bool = False) -> List[ShardRecovery]:
+    def recover(
+        self,
+        game,
+        with_video: bool = False,
+        session_hook: Optional[Callable[[ServedSession], None]] = None,
+    ) -> List[ShardRecovery]:
         """Rebuild the previous process's committed sessions from disk.
 
         Call between construction and :meth:`start` on a manager whose
@@ -464,6 +480,11 @@ class SessionManager:
         shards — ``start()`` then resumes stepping them exactly where
         the crash cut them off.  Returns the per-shard recovery
         reports.
+
+        ``session_hook`` (when given) sees every rebuilt
+        :class:`ServedSession` before it is queued — the network
+        gateway uses it to re-arm completion callbacks so reconnecting
+        clients still receive their END frames.
         """
         if self.config.persistence is None:
             raise RuntimeError("recover() needs ServeConfig.persistence")
@@ -484,6 +505,8 @@ class SessionManager:
                     recovered.dt,
                     recovered.cursor,
                 )
+                if session_hook is not None:
+                    session_hook(session)
                 shard.seed_recovered(session, covered_lsn=report.tip_lsn)
                 with self._lock:
                     self._inflight += 1

@@ -34,7 +34,7 @@ class ServedSession:
 
     __slots__ = (
         "player_id", "engine", "ops", "dt", "steps", "failed", "_cursor",
-        "_started",
+        "_started", "on_done",
     )
 
     def __init__(
@@ -57,6 +57,12 @@ class ServedSession:
         self.failed = False
         self._cursor = 0
         self._started = False
+        #: optional completion hook, invoked by the owning shard after
+        #: the session's final step and retirement bookkeeping — the
+        #: engine is settled and no thread will touch it again, so the
+        #: callback may read state freely (the gateway bridges it onto
+        #: its event loop from here)
+        self.on_done: Optional[Callable[["ServedSession"], None]] = None
 
     @classmethod
     def resume(
