@@ -11,6 +11,7 @@ Subcommands::
     python -m repro obs tail                  # recent structured log events
     python -m repro obs check --slo FILE      # SLO gate (nonzero on breach)
     python -m repro obs flight                # dump the flight recorder
+    python -m repro obs trace [ID]            # request-trace waterfall
     python -m repro top                       # live metrics/spans dashboard
     python -m repro serve-bench               # sharded-server load sweep
     python -m repro gateway serve             # TCP front-end for the server
@@ -70,10 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser(
         "obs",
         help="observability: dump/reset/export metrics, tail logs, "
-             "check SLOs, dump the flight recorder",
+             "check SLOs, dump the flight recorder, render "
+             "request-trace waterfalls",
     )
     p_obs.add_argument(
-        "action", choices=("dump", "reset", "export", "tail", "check", "flight")
+        "action",
+        choices=("dump", "reset", "export", "tail", "check", "flight",
+                 "trace"),
+    )
+    p_obs.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="for 'trace': the request-trace id to render "
+             "(default: the most recently finished trace)",
     )
     p_obs.add_argument(
         "--format", dest="fmt", choices=("prometheus", "table", "json"),
@@ -112,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "--level", default=None,
         help="for 'tail': minimum level to show (debug/info/warning/error)",
+    )
+    p_obs.add_argument(
+        "--url", default=None,
+        help="for 'trace': fetch the timeline from a live gateway "
+             "telemetry endpoint (e.g. http://127.0.0.1:9100) instead "
+             "of the in-process trace store",
     )
 
     p_top = sub.add_parser(
@@ -220,6 +235,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo", type=Path, default=None,
         help="bench: gate the run's repro_gateway_* metrics through an "
              "SLO rule file (nonzero exit on breach)",
+    )
+    p_gw.add_argument(
+        "--telemetry-port", type=int, default=None,
+        help="serve: also bind the HTTP telemetry endpoint "
+             "(/metrics, /healthz, /trace/<id>) on this port; "
+             "0 picks an ephemeral port (default: disabled)",
+    )
+    p_gw.add_argument(
+        "--trace-sample", type=float, default=0.0,
+        help="fraction of submissions stamped with a request-trace id "
+             "for phase attribution (default 0.0; serve samples "
+             "server-side, bench stamps client-side)",
     )
 
     p_wal = sub.add_parser(
@@ -445,6 +472,8 @@ def _obs_demo_workload() -> None:
 
     # Network gateway: the same burst through a loopback TCP socket so
     # repro_gateway_* frame/handshake/RTT metrics have real samples.
+    # Every submission is trace-sampled so the repro_trace_* phase
+    # histograms (and the `repro obs trace` waterfall) have data too.
     from .gateway import GatewayServer, GatewayThread
     from .serve import SocketLoadGenerator
 
@@ -454,7 +483,11 @@ def _obs_demo_workload() -> None:
     with GatewayThread(GatewayServer(manager, game)) as handle:
         SocketLoadGenerator(
             handle.host, handle.port, scripts, clients=2,
+            trace_sample=1.0,
         ).run(6, timeout=30.0)
+    from .obs import metrics as _obs_metrics
+
+    _obs_metrics.get_ring().sample()  # one history point per workload run
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -469,6 +502,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return _cmd_obs_check(args)
     if action == "tail":
         return _cmd_obs_tail(args)
+    if action == "trace":
+        return _cmd_obs_trace(args)
     if not args.no_demo:
         obs.enable()
         _obs_demo_workload()
@@ -598,6 +633,76 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Render one request trace as a waterfall.
+
+    Local mode (default) reads the in-process trace store — running the
+    demo workload first unless ``--no-demo`` — and renders the named
+    trace, or the most recently finished one.  With ``--url`` it
+    fetches the timeline from a live gateway's telemetry endpoint
+    instead, so an operator can point it at a serving process.
+    """
+    import json
+
+    from . import obs
+    from .reporting import render_waterfall
+
+    timeline = None
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        if "://" not in base:
+            base = "http://" + base
+        trace_id = args.trace_id
+        try:
+            if trace_id is None:
+                with urllib.request.urlopen(base + "/traces", timeout=10) as r:
+                    finished = json.loads(r.read()).get("finished") or []
+                if not finished:
+                    print("error: the gateway has no finished traces "
+                          "(is --trace-sample > 0?)", file=sys.stderr)
+                    return 1
+                trace_id = finished[-1]
+            with urllib.request.urlopen(
+                f"{base}/trace/{trace_id}", timeout=10
+            ) as r:
+                timeline = json.loads(r.read())
+        except urllib.error.HTTPError as exc:
+            print(f"error: {base}/trace/{trace_id}: HTTP {exc.code}",
+                  file=sys.stderr)
+            return 1
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        if not args.no_demo:
+            obs.enable()
+            _obs_demo_workload()
+        store = obs.get_trace_store()
+        trace_id = args.trace_id or store.latest()
+        if trace_id is None:
+            print("error: no finished traces in this process "
+                  "(run without --no-demo, or use --url)", file=sys.stderr)
+            return 1
+        timeline = store.get(trace_id)
+        if timeline is None:
+            print(f"error: unknown trace id {trace_id!r}", file=sys.stderr)
+            return 1
+    text = render_waterfall(timeline)
+    if args.output is not None:
+        try:
+            args.output.write_text(text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote trace waterfall to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -745,8 +850,15 @@ def _cmd_gateway_serve(args: argparse.Namespace) -> int:
         max_steps_per_tick=args.steps_per_tick,
         persistence=persistence,
     ))
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print("error: --trace-sample must be within [0, 1]", file=sys.stderr)
+        return 2
     server = GatewayServer(
-        manager, game, config=GatewayConfig(host=args.host, port=args.port)
+        manager, game, config=GatewayConfig(
+            host=args.host, port=args.port,
+            trace_sample=args.trace_sample,
+            telemetry_port=args.telemetry_port,
+        )
     )
 
     async def _serve() -> None:
@@ -757,6 +869,9 @@ def _cmd_gateway_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"gateway listening on {args.host}:{server.port} "
               f"({n_shards} shard(s); ^C to drain and exit)")
+        if server.telemetry_port is not None:
+            print(f"telemetry on http://{args.host}:{server.telemetry_port} "
+                  "(/metrics /healthz /trace/<id> /traces /history)")
         try:
             if args.duration > 0:
                 await asyncio.sleep(args.duration)
@@ -798,6 +913,9 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         from .persist import PersistenceConfig
 
         persistence = PersistenceConfig(directory=args.persist_dir)
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print("error: --trace-sample must be within [0, 1]", file=sys.stderr)
+        return 2
     results = run_gateway_benchmark(
         game,
         shard_counts,
@@ -809,6 +927,7 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         max_steps_per_tick=args.steps_per_tick,
         max_sessions=args.max_sessions,
         persistence=persistence,
+        trace_sample=args.trace_sample,
     )
     print(format_table(
         [r.as_row() for r in results],
@@ -819,6 +938,20 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         for r in results[1:]:
             print(f"  {r.shards} shards vs {results[0].shards}: "
                   f"{r.report.sessions_per_second / base:.2f}x sessions/s")
+    if args.trace_sample > 0:
+        from .obs import get_trace_store
+        from .reporting import render_waterfall
+
+        # Render the last sampled request's waterfall so the sweep ends
+        # with a concrete latency attribution, not just aggregate rows.
+        for r in reversed(results):
+            if not r.report.trace_ids:
+                continue
+            timeline = get_trace_store().get(r.report.trace_ids[-1])
+            if timeline is not None:
+                print()
+                print(render_waterfall(timeline))
+                break
     if args.slo is not None:
         return _check_slo_rules(args.slo, "repro_gateway_", label="gateway")
     return 0
@@ -1001,11 +1134,30 @@ def _render_top_frame(width: int) -> str:
         f"{flight.total_recorded} total)"
     )
 
+    # Time-series ring: one sample per rendered frame, so successive
+    # frames grow a real history even without a telemetry sidecar.
+    ring = obs.get_ring()
+    ring.sample(snap=snap)
+    history_lines = []
+    busiest = sorted(
+        ((ring.series(name)[-1][1], name) for name in ring.names()),
+        reverse=True,
+    )[:4]
+    label_w = max((len(name) for _v, name in busiest), default=0)
+    for _value, name in busiest:
+        values = [v for _t, v in ring.series(name)]
+        history_lines.append(
+            f"{name:<{label_w}} {sparkline(values, width=width - label_w - 20)}"
+            f" {values[-1]:g}"
+        )
+    history_title = f"History ({len(ring)} samples)"
+
     return render_dashboard(
         "repro top - VGBL runtime observability",
         [
             ("Metrics", metric_lines),
             ("Spans", span_lines),
+            (history_title, history_lines or ["(no samples)"]),
             (flight_title, flight_lines),
         ],
         width=width,

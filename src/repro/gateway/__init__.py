@@ -37,12 +37,16 @@ from .protocol import (
     FrameDecoder,
     FrameTooLarge,
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
+    SUPPORTED_VERSIONS,
     VersionMismatch,
     encode_frame,
+    negotiate_version,
 )
 from .server import GatewayConfig, GatewayServer, GatewayThread
+from .telemetry import TelemetryServer
 
 __all__ = [
     "FrameDecoder",
@@ -56,10 +60,14 @@ __all__ = [
     "GatewaySweepResult",
     "GatewayThread",
     "MAX_FRAME_BYTES",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "SUPPORTED_VERSIONS",
+    "TelemetryServer",
     "VersionMismatch",
     "backoff_delays",
     "encode_frame",
+    "negotiate_version",
     "run_gateway_benchmark",
 ]

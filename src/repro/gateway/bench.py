@@ -58,8 +58,16 @@ def run_gateway_benchmark(
     timeout: float = 120.0,
     persistence: Optional[PersistenceConfig] = None,
     gateway_config: Optional[GatewayConfig] = None,
+    trace_sample: float = 0.0,
 ) -> List[GatewaySweepResult]:
-    """Run the fixed socket load once per shard count."""
+    """Run the fixed socket load once per shard count.
+
+    ``trace_sample`` stamps that fraction of submissions with a
+    request-trace id; the ids come back on
+    ``GatewaySweepResult.report.trace_ids`` and each one's phase
+    waterfall is readable from the in-process trace store (or over
+    ``/trace/<id>`` when the gateway config binds a telemetry port).
+    """
     if not shard_counts:
         raise ValueError("need at least one shard count")
     if scripts is None:
@@ -87,6 +95,7 @@ def run_gateway_benchmark(
             gen = SocketLoadGenerator(
                 handle.host, handle.port, scripts,
                 clients=clients, arrival_rate=arrival_rate,
+                trace_sample=trace_sample,
             )
             report = gen.run(sessions, timeout=timeout)
         results.append(GatewaySweepResult(shards=n_shards, report=report))

@@ -30,6 +30,7 @@ import asyncio
 from time import perf_counter
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import attribution as _attr
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 from ..persist.records import op_to_dict, ops_to_dicts
@@ -131,6 +132,7 @@ class GatewayClient:
         backoff_factor: float = 2.0,
         backoff_max_s: float = 2.0,
         auto_reconnect: bool = False,
+        trace_sample: float = 0.0,
         connector: Optional[Connector] = None,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     ) -> None:
@@ -146,6 +148,12 @@ class GatewayClient:
         self.backoff_factor = backoff_factor
         self.backoff_max_s = backoff_max_s
         self.auto_reconnect = auto_reconnect
+        #: fraction of submits stamped with a fresh trace id (server
+        #: attributes the request's phases under it; END echoes it)
+        self.trace_sample = trace_sample
+        self._trace_sampler = (
+            _attr.Sampler(trace_sample) if trace_sample > 0 else None
+        )
         self._connector = connector or _tcp_connector
         self._sleep = sleep
         self._reader: Optional[asyncio.StreamReader] = None
@@ -157,6 +165,10 @@ class GatewayClient:
         self._acks: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
         self._ends: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self._players: List[str] = []
+        #: player id -> trace id for in-flight traced sessions; rides
+        #: the resume HELLO so a reconnect re-attributes under the
+        #: same id
+        self._traces: Dict[str, str] = {}
         self._server_info: Dict[str, Any] = {}
         self._closing = False
         self._last_recv = 0.0
@@ -171,14 +183,25 @@ class GatewayClient:
         """The server's HELLO payload from the latest handshake."""
         return dict(self._server_info)
 
-    async def connect(self, resume: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    async def connect(
+        self,
+        resume: Optional[Sequence[str]] = None,
+        traces: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, str]:
         """Connect (with bounded backoff retry) and handshake.
 
         Returns the resume-status map from the server's HELLO:
         player id → ``live`` / ``done`` / ``unknown``.  Player ids
         submitted earlier on this client are always resumed.
+
+        ``traces`` maps resumed player ids to request-trace ids from a
+        previous process, so a restart can keep attributing under the
+        ids it handed out before the crash (this client's own in-flight
+        trace ids ride the resume HELLO automatically).
         """
         self._closing = False
+        if traces:
+            self._traces.update(traces)
         delays = backoff_delays(
             self.retries, self.backoff_base_s,
             self.backoff_factor, self.backoff_max_s,
@@ -223,9 +246,11 @@ class GatewayClient:
         self, resume: Optional[Sequence[str]]
     ) -> Dict[str, str]:
         pids = list(dict.fromkeys([*(resume or []), *self._players]))
-        ack = await self._request(HELLO, {
-            "client": self.client_name, "resume": pids,
-        })
+        hello: Dict[str, Any] = {"client": self.client_name, "resume": pids}
+        traces = {pid: self._traces[pid] for pid in pids if pid in self._traces}
+        if traces:
+            hello["traces"] = traces
+        ack = await self._request(HELLO, hello)
         self._server_info = ack
         for pid in pids:
             if pid not in self._players:
@@ -378,19 +403,42 @@ class GatewayClient:
         ops: Sequence[Any],
         dt: float = 0.25,
         timeout: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit one scripted session; returns the admission STATE.
 
         Raises :class:`GatewayRejected` when admission control says no
         — callers decide whether to back off and retry.
+
+        ``trace`` forces a request-trace id onto the submission;
+        without it, the client's ``trace_sample`` may stamp one.  The
+        STATE ack echoes whichever id the server actually attributes
+        under (it may also be server-sampled), and
+        :meth:`trace_for` remembers it until END.
         """
         self._end_future(player_id)  # register before the race can start
-        ack = await self._request(SUBMIT, {
+        trace_id = trace
+        if trace_id is None and self._trace_sampler is not None \
+                and self._trace_sampler():
+            trace_id = _attr.new_trace_id()
+        payload: Dict[str, Any] = {
             "player": player_id, "dt": dt, "ops": ops_to_dicts(ops),
-        }, timeout=timeout)
+        }
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        ack = await self._request(SUBMIT, payload, timeout=timeout)
+        echoed = ack.get("trace")
+        if isinstance(echoed, str) and echoed:
+            trace_id = echoed
+        if trace_id is not None:
+            self._traces[player_id] = trace_id
         if player_id not in self._players:
             self._players.append(player_id)
         return ack
+
+    def trace_for(self, player_id: str) -> Optional[str]:
+        """The trace id of an in-flight traced session (None otherwise)."""
+        return self._traces.get(player_id)
 
     async def send_input(
         self, player_id: str, op: Any, timeout: Optional[float] = None
@@ -431,6 +479,7 @@ class GatewayClient:
             asyncio.shield(future), timeout or self.request_timeout_s
         )
         self._ends.pop(player_id, None)
+        self._traces.pop(player_id, None)
         if player_id in self._players:
             self._players.remove(player_id)
         return payload

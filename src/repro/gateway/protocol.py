@@ -43,6 +43,19 @@ Frame types (client → server unless noted):
 A decoder never guesses across corruption: any header/CRC/JSON fault
 raises :class:`ProtocolError` and the connection must be torn down —
 resynchronising inside a byte stream is how protocol bugs hide.
+
+Versioning: the header's first byte carries the sender's protocol
+version, and a decoder accepts any member of
+:data:`SUPPORTED_VERSIONS`.  The server answers HELLO with
+``min(its version, the client's version)`` (:func:`negotiate_version`)
+and speaks that for the rest of the connection, so old clients keep
+working against new servers and vice versa.  Version 2 adds the
+optional trace-context field: HELLO (``traces``: player id → trace id
+for resumed sessions), SUBMIT and INPUT (``trace``) may carry a
+request-trace id which the server threads through the shard and WAL
+layers and echoes on STATE/END — see :mod:`repro.obs.attribution`.
+Unknown payload keys were always ignored, so the field is also
+harmless to v1 peers.
 """
 
 from __future__ import annotations
@@ -63,18 +76,44 @@ __all__ = [
     "HELLO",
     "INPUT",
     "MAX_FRAME_BYTES",
+    "MIN_PROTOCOL_VERSION",
     "PING",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "STATE",
     "SUBMIT",
+    "SUPPORTED_VERSIONS",
     "VersionMismatch",
     "encode_frame",
+    "negotiate_version",
 ]
 
-#: bump on any incompatible wire change; HELLO carries it implicitly in
-#: every header byte 0
-PROTOCOL_VERSION = 1
+#: the newest protocol this build speaks (v2 = optional trace context);
+#: every frame header carries the sender's version in byte 0
+PROTOCOL_VERSION = 2
+
+#: the oldest version still accepted on the wire
+MIN_PROTOCOL_VERSION = 1
+
+#: every version a decoder accepts; anything else is a VersionMismatch
+SUPPORTED_VERSIONS = frozenset(
+    range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1)
+)
+
+
+def negotiate_version(peer_version: int) -> int:
+    """The version both sides speak: ``min(ours, theirs)``.
+
+    Raises :class:`VersionMismatch` for peers older than
+    :data:`MIN_PROTOCOL_VERSION` (a peer *newer* than us is fine — it
+    is expected to downgrade to our answer, exactly as we do to its).
+    """
+    if peer_version < MIN_PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"peer protocol version {peer_version} predates the oldest "
+            f"supported version {MIN_PROTOCOL_VERSION}"
+        )
+    return min(PROTOCOL_VERSION, peer_version)
 
 #: ver(u8) typ(u8) payload_len(u32) payload_crc(u32) header_crc(u32)
 HEADER = struct.Struct("<BBIII")
@@ -123,6 +162,8 @@ def encode_frame(
     """Frame one payload dict; raises :class:`ProtocolError` on misuse."""
     if ftype not in FRAME_TYPES:
         raise ProtocolError(f"unknown frame type {ftype}")
+    if version not in SUPPORTED_VERSIONS:
+        raise VersionMismatch(f"cannot encode protocol version {version}")
     body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameTooLarge(f"{FRAME_NAMES[ftype]} payload is {len(body)} bytes")
@@ -140,12 +181,15 @@ class FrameDecoder:
     find the next frame boundary.
     """
 
-    __slots__ = ("_buf", "max_frame_bytes", "_poisoned")
+    __slots__ = ("_buf", "max_frame_bytes", "_poisoned", "last_version")
 
     def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buf = bytearray()
         self.max_frame_bytes = max_frame_bytes
         self._poisoned = False
+        #: version byte of the most recent accepted frame (None before
+        #: the first) — what the server negotiates against at HELLO
+        self.last_version: "int | None" = None
 
     @property
     def pending_bytes(self) -> int:
@@ -162,9 +206,10 @@ class FrameDecoder:
             version, ftype, length, pay_crc, head_crc = HEADER.unpack_from(self._buf)
             if zlib.crc32(bytes(self._buf[: HEADER.size - 4])) != head_crc:
                 self._fail("corrupt frame header (CRC mismatch)")
-            if version != PROTOCOL_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 self._fail(
-                    f"protocol version {version}, expected {PROTOCOL_VERSION}",
+                    f"protocol version {version}, supported "
+                    f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}",
                     VersionMismatch,
                 )
             if ftype not in FRAME_TYPES:
@@ -188,6 +233,7 @@ class FrameDecoder:
             if not isinstance(payload, dict):
                 self._fail("frame payload is not a JSON object")
             del self._buf[:end]
+            self.last_version = version
             frames.append((ftype, payload))
         return frames
 

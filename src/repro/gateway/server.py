@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Deque, Dict, List, Optional
 
+from ..obs import attribution as _attr
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 from ..obs.tracing import span as _span
@@ -53,11 +54,13 @@ from .protocol import (
     HELLO,
     INPUT,
     PING,
+    PROTOCOL_VERSION,
     STATE,
     SUBMIT,
     FrameDecoder,
     ProtocolError,
     encode_frame,
+    negotiate_version,
 )
 
 __all__ = ["GatewayConfig", "GatewayServer", "GatewayThread"]
@@ -124,6 +127,17 @@ class GatewayConfig:
     handshake_timeout_s: float = 10.0
     #: END payloads kept for clients that resume after completion
     finished_cache: int = 1024
+    #: server-initiated request-trace sampling of SUBMITs that carry no
+    #: client trace id (0.0 = only client-chosen traces; 1.0 = all)
+    trace_sample: float = 0.0
+    #: bind the live telemetry HTTP endpoint on this port (None =
+    #: disabled, 0 = ephemeral; read it back from ``telemetry_port``)
+    telemetry_port: Optional[int] = None
+    #: telemetry bind address; None reuses ``host``
+    telemetry_host: Optional[str] = None
+    #: how often the telemetry server appends a metrics sample to the
+    #: time-series ring
+    telemetry_sample_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_frame_bytes < 1024:
@@ -134,6 +148,10 @@ class GatewayConfig:
             raise ValueError("timeouts must be positive")
         if self.finished_cache < 0:
             raise ValueError("finished_cache must be >= 0")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
+        if self.telemetry_sample_interval_s <= 0:
+            raise ValueError("telemetry_sample_interval_s must be positive")
 
 
 class _LiveSession(ServedSession):
@@ -174,7 +192,8 @@ class _LiveSession(ServedSession):
 class _PlayerEntry:
     """Gateway-side bookkeeping for one submitted/resumed player."""
 
-    __slots__ = ("player_id", "session", "conn", "done_payload", "extra")
+    __slots__ = ("player_id", "session", "conn", "done_payload", "extra",
+                 "trace_id")
 
     def __init__(self, player_id: str) -> None:
         self.player_id = player_id
@@ -188,6 +207,9 @@ class _PlayerEntry:
         #: thread has even built the engine are not lost; None for
         #: recovered sessions, which replay a fixed script
         self.extra: Optional[Deque[Any]] = None
+        #: request-trace id for this player's session (sampled requests
+        #: only) — survives disconnects alongside the session itself
+        self.trace_id: Optional[str] = None
 
 
 class _Connection:
@@ -204,23 +226,34 @@ class _Connection:
         self.writer = writer
         self.config = server.config
         self.decoder = FrameDecoder(self.config.max_frame_bytes)
-        self.outbound: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(
+        #: (frame_bytes, trace_id, trace_status) — None is the flush
+        #: marker; a trace id rides with its END frame so the writer
+        #: can close the trace's flush phase after the actual drain
+        self.outbound: "asyncio.Queue[Optional[tuple]]" = asyncio.Queue(
             maxsize=self.config.outbound_queue_frames
         )
         self.peer = writer.get_extra_info("peername")
         self.closed = False
         self.close_reason = "eof"
         self.players: List[str] = []
+        #: negotiated at HELLO: min(our version, the client's)
+        self.version = PROTOCOL_VERSION
         self._writer_task: Optional[asyncio.Task] = None
 
     # -- outbound ------------------------------------------------------
-    def send(self, ftype: int, payload: Dict[str, Any]) -> bool:
+    def send(
+        self,
+        ftype: int,
+        payload: Dict[str, Any],
+        trace: Optional[str] = None,
+        trace_status: str = "ok",
+    ) -> bool:
         """Enqueue one frame; a full queue drops the whole connection."""
         if self.closed:
             return False
-        frame = encode_frame(ftype, payload)
+        frame = encode_frame(ftype, payload, version=self.version)
         try:
-            self.outbound.put_nowait(frame)
+            self.outbound.put_nowait((frame, trace, trace_status))
         except asyncio.QueueFull:
             _M_SLOW.inc()
             _LOG.warning("gateway.slow_reader", peer=str(self.peer),
@@ -241,12 +274,19 @@ class _Connection:
     async def _write_loop(self) -> None:
         try:
             while True:
-                frame = await self.outbound.get()
-                if frame is None:
+                item = await self.outbound.get()
+                if item is None:
                     break
+                frame, trace, trace_status = item
                 self.writer.write(frame)
                 _M_BYTES.inc(len(frame), direction="out")
                 await self.writer.drain()
+                if trace is not None:
+                    # the END frame is in the kernel's hands: close the
+                    # flush phase and the whole request trace
+                    store = _attr.get_store()
+                    store.mark(trace, "flush")
+                    store.finish(trace, status=trace_status)
         except (ConnectionError, asyncio.CancelledError, OSError):
             pass
 
@@ -344,9 +384,18 @@ class _Connection:
             raise ProtocolError(
                 f"first frame must be HELLO, got {FRAME_NAMES.get(ftype, ftype)}"
             )
-        resumed = self.server._attach_players(self, payload.get("resume") or [])
+        # the decoder vouched the client's version is supported; speak
+        # the lower of the two for the rest of the connection
+        self.version = negotiate_version(
+            self.decoder.last_version or PROTOCOL_VERSION
+        )
+        resumed = self.server._attach_players(
+            self, payload.get("resume") or [],
+            traces=payload.get("traces") if self.version >= 2 else None,
+        )
         self.send(HELLO, {
             "server": "repro-gateway",
+            "version": self.version,
             "shards": self.server.manager.config.n_shards,
             "resumed": resumed,
             "seq": payload.get("seq"),
@@ -381,10 +430,12 @@ class _Connection:
             self.server._handle_input(self, payload)
         elif ftype == HELLO:
             resumed = self.server._attach_players(
-                self, payload.get("resume") or []
+                self, payload.get("resume") or [],
+                traces=payload.get("traces") if self.version >= 2 else None,
             )
             self.send(HELLO, {
                 "server": "repro-gateway",
+                "version": self.version,
                 "shards": self.server.manager.config.n_shards,
                 "resumed": resumed,
                 "seq": seq,
@@ -428,6 +479,14 @@ class GatewayServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._draining = False
+        #: deterministic head sampling of untraced SUBMITs
+        self._sampler = (
+            _attr.Sampler(self.config.trace_sample)
+            if self.config.trace_sample > 0 else None
+        )
+        #: live telemetry endpoint (started with the listener when
+        #: ``config.telemetry_port`` is set)
+        self.telemetry: Optional[Any] = None
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -436,6 +495,11 @@ class GatewayServer:
         if self._server is None or not self._server.sockets:
             raise RuntimeError("gateway is not listening")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def telemetry_port(self) -> Optional[int]:
+        """The telemetry endpoint's bound port (None when disabled)."""
+        return self.telemetry.port if self.telemetry is not None else None
 
     def recover(self) -> List[Any]:
         """Rebuild persisted sessions and re-arm their END callbacks."""
@@ -459,8 +523,19 @@ class GatewayServer:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+        if self.config.telemetry_port is not None:
+            from .telemetry import TelemetryServer
+
+            self.telemetry = TelemetryServer(
+                self,
+                host=self.config.telemetry_host or self.config.host,
+                port=self.config.telemetry_port,
+                sample_interval_s=self.config.telemetry_sample_interval_s,
+            )
+            await self.telemetry.start()
         _LOG.info("gateway.listening", host=self.config.host, port=self.port,
-                  shards=self.manager.config.n_shards)
+                  shards=self.manager.config.n_shards,
+                  telemetry=self.telemetry_port)
         return self
 
     async def _on_connection(
@@ -500,6 +575,10 @@ class GatewayServer:
             await conn._finish()
         if self._server is not None:
             await self._server.wait_closed()
+        if self.telemetry is not None:
+            # last: /healthz stays scrapeable through the whole drain
+            await self.telemetry.stop()
+            self.telemetry = None
         _LOG.info("gateway.shutdown", drained=drained)
         return drained
 
@@ -515,10 +594,22 @@ class GatewayServer:
 
     # -- player table (event loop only) --------------------------------
     def _attach_players(
-        self, conn: _Connection, resume: List[str]
+        self,
+        conn: _Connection,
+        resume: List[str],
+        traces: Optional[Dict[str, str]] = None,
     ) -> Dict[str, str]:
-        """Attach ``conn`` to each resumed player; report each status."""
+        """Attach ``conn`` to each resumed player; report each status.
+
+        ``traces`` (protocol v2) maps player id → the trace id the
+        client used before its connection (or the whole gateway
+        process) died; a live resumed session is re-attributed under
+        the same id, so the waterfall a client fetches after a
+        kill-and-reconnect still answers for the request it actually
+        made.
+        """
         statuses: Dict[str, str] = {}
+        traces = traces if isinstance(traces, dict) else {}
         for pid in resume:
             pid = str(pid)
             entry = self._players.get(pid)
@@ -529,6 +620,21 @@ class GatewayServer:
             if pid not in conn.players:
                 conn.players.append(pid)
             statuses[pid] = "done" if entry.done_payload is not None else "live"
+            tid = traces.get(pid)
+            if (
+                isinstance(tid, str) and tid
+                and statuses[pid] == "live"
+                and entry.trace_id is None
+            ):
+                session = entry.session
+                if session is not None and _attr.get_store().start(
+                    tid, player=pid, source="gateway", resumed=True
+                ):
+                    entry.trace_id = tid
+                    # plain attribute store: visible to the shard thread
+                    # by its next done-check; phases recorded from here
+                    # on re-attribute to the resumed session
+                    session.trace_id = tid
         return statuses
 
     def _push_end(self, conn: _Connection, pid: str) -> None:
@@ -549,15 +655,31 @@ class GatewayServer:
         if entry is not None and entry.done_payload is None:
             conn.send_error("duplicate", f"session {pid!r} is live", seq=seq)
             return
+        # Trace context: the client's id wins (v2 payload field), else
+        # the server's own sampler may pick the request up.  Opening
+        # the trace *before* parsing charges parse+admission to the
+        # accept phase — the partition starts at frame receipt.
+        store = _attr.get_store()
+        trace_id = payload.get("trace") if conn.version >= 2 else None
+        if not (isinstance(trace_id, str) and trace_id):
+            trace_id = None
+        if trace_id is None and self._sampler is not None and self._sampler():
+            trace_id = _attr.new_trace_id()
+        if trace_id is not None and not store.start(
+            trace_id, player=pid, source="gateway"
+        ):
+            trace_id = None  # recording off, or a duplicate id
         try:
             ops = ops_from_dicts(payload.get("ops") or [])
             dt = float(payload.get("dt", 0.25))
         except (PersistError, KeyError, TypeError, ValueError) as exc:
+            store.finish(trace_id, status="invalid")
             conn.send_error("bad_op", str(exc), seq=seq)
             return
         entry = _PlayerEntry(pid)
         entry.conn = conn
         entry.extra = deque()
+        entry.trace_id = trace_id
         extra = entry.extra
         game, with_video, on_done = self.game, self.with_video, self._on_session_done
         finish = self._finish_session_threadsafe
@@ -570,27 +692,37 @@ class GatewayServer:
                 session = _LiveSession(player_id, engine, ops, dt=dt,
                                        extra=extra)
             except Exception as exc:
-                finish(player_id, {
+                fail_payload: Dict[str, Any] = {
                     "player": player_id, "failed": True, "outcome": None,
                     "score": 0, "steps": 0, "digest": None,
                     "error": type(exc).__name__,
-                })
+                }
+                if trace_id is not None:
+                    fail_payload["trace"] = trace_id
+                finish(player_id, fail_payload)
                 raise
+            session.trace_id = trace_id
             session.on_done = on_done
             entry.session = session
             return session
 
         if not self.manager.submit(pid, factory):
             _M_REJECTED.inc()
+            store.finish(trace_id, status="rejected")
             conn.send_error("rejected", "admission control refused", seq=seq)
             return
+        # admission accepted: everything since frame receipt was accept
+        store.mark(trace_id, "accept")
         self._players[pid] = entry
         if pid not in conn.players:
             conn.players.append(pid)
-        conn.send(STATE, {
+        ack: Dict[str, Any] = {
             "player": pid, "status": "admitted",
             "shard": self.manager.shard_for(pid), "seq": seq,
-        })
+        }
+        if trace_id is not None and conn.version >= 2:
+            ack["trace"] = trace_id
+        conn.send(STATE, ack)
 
     def _handle_input(self, conn: _Connection, payload: Dict[str, Any]) -> None:
         seq = payload.get("seq")
@@ -612,6 +744,8 @@ class GatewayServer:
             # the factory runs on the shard thread, and an INPUT racing
             # it must not be lost)
             entry.extra.append(op)
+            if entry.trace_id is not None:
+                _attr.get_store().increment(entry.trace_id, "live_inputs")
         else:
             # recovered sessions replay a fixed script; late ops
             # cannot be spliced in deterministically
@@ -632,6 +766,8 @@ class GatewayServer:
             "steps": session.steps,
             "digest": None if session.failed else state_digest(state),
         }
+        if session.trace_id is not None:
+            payload["trace"] = session.trace_id
         self._finish_session_threadsafe(session.player_id, payload)
 
     def _finish_session_threadsafe(
@@ -654,8 +790,19 @@ class GatewayServer:
             entry = self._players[pid] = _PlayerEntry(pid)
         entry.done_payload = payload
         entry.session = None
+        tid = payload.get("trace")
+        tid = tid if isinstance(tid, str) and tid else None
+        status = "failed" if payload.get("failed") else "ok"
+        sent = False
         if entry.conn is not None:
-            entry.conn.send(END, payload)
+            sent = entry.conn.send(END, payload, trace=tid,
+                                   trace_status=status)
+        if tid is not None and not sent:
+            # nobody connected to flush to: the trace ends here with a
+            # zero-width flush (the END is parked for a later resume)
+            store = _attr.get_store()
+            store.mark(tid, "flush")
+            store.finish(tid, status=status)
         # Bounded memory for unclaimed results: oldest finished
         # sessions age out of the resume window first.
         self._finished[pid] = None
@@ -687,6 +834,10 @@ class GatewayThread:
     @property
     def port(self) -> int:
         return self.server.port
+
+    @property
+    def telemetry_port(self) -> Optional[int]:
+        return self.server.telemetry_port
 
     def start(self, timeout: float = 10.0) -> "GatewayThread":
         loop = asyncio.new_event_loop()

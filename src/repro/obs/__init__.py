@@ -33,9 +33,18 @@ Quick tour::
 ``python -m repro top`` dashboard do the same from the command line.
 """
 
+from . import attribution as _attribution_mod
 from . import metrics as _metrics_mod
 from . import recorder as _recorder_mod
 from . import tracing as _tracing_mod
+from .attribution import (
+    PHASES,
+    RequestTrace,
+    Sampler,
+    TraceStore,
+    get_store as get_trace_store,
+    new_trace_id,
+)
 from .metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -43,11 +52,13 @@ from .metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    TimeSeriesRing,
     counter,
     disable,
     enabled,
     gauge,
     get_registry,
+    get_ring,
     histogram,
     set_enabled,
     snapshot,
@@ -97,11 +108,16 @@ __all__ = [
     "LEVELS",
     "MetricError",
     "MetricsRegistry",
+    "PHASES",
+    "RequestTrace",
+    "Sampler",
     "SloError",
     "SloResult",
     "SloRule",
     "Span",
     "StructLogger",
+    "TimeSeriesRing",
+    "TraceStore",
     "Tracer",
     "add_log_file",
     "add_log_sink",
@@ -116,9 +132,12 @@ __all__ = [
     "get_flight_recorder",
     "get_logger",
     "get_registry",
+    "get_ring",
+    "get_trace_store",
     "get_tracer",
     "histogram",
     "install_excepthook",
+    "new_trace_id",
     "parse_slo_file",
     "remove_log_sink",
     "render_json",
@@ -147,13 +166,17 @@ def reset() -> None:
     """Reset all runtime observability state.
 
     Clears every metric series (definitions survive), drops finished
-    span trees *and* the active-span state, and empties the flight
-    recorder — so interleaved spans or stale ring contents can never
-    leak across a reset boundary.
+    span trees *and* the active-span state, empties the flight
+    recorder, the time-series ring and the request-attribution store —
+    so interleaved spans, stale history samples or half-marked request
+    traces can never leak across a reset boundary (serve-bench and the
+    demo workload reset between passes and must stay isolated).
     """
     _metrics_mod.reset()
+    _metrics_mod.get_ring().clear()
     _tracing_mod.get_tracer().reset()
     _recorder_mod.get_flight_recorder().clear()
+    _attribution_mod.get_store().clear()
 
 
 # REPRO_OBS=1 in the environment enables recording at import time; arm

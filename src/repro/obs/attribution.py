@@ -1,0 +1,324 @@
+"""Per-request latency attribution across the serving stack.
+
+:mod:`repro.obs.tracing` spans answer "where did this *function call*
+spend its time" inside one thread; this module answers the cross-layer
+question for one *request*: a SUBMIT frame enters the gateway on the
+event loop, waits in a shard inbox, is stepped by a shard thread, waits
+for its WAL end-record fsync, and finally has its END frame flushed
+down a socket — five phases owned by three different threads.  A
+:class:`RequestTrace` stitches them back together.
+
+The model is deliberately mark-based: a trace opens at one instant
+(``t0``) and every ``mark(phase)`` closes the interval since the
+previous mark, attributing it to ``phase``.  Phases therefore
+*partition* the request's wall time — their durations sum to the
+client-observed latency (minus sub-millisecond socket transit), which
+is what makes a waterfall trustworthy: no double counting, no
+unattributed gaps.
+
+Canonical phases of a gateway SUBMIT (:data:`PHASES`):
+
+``accept``
+    SUBMIT receipt → admission accepted by the manager (parse + hash +
+    admission control, on the event loop).
+``queue_wait``
+    Admission → the owning shard's tick loop actually starts the
+    session (inbox residency).
+``shard_step``
+    Session start → final step (includes tick pacing — wall residency
+    on the shard, not busy CPU time, because that is what the client
+    waits for).
+``fsync_wait``
+    Final step → the session's WAL end record is durable (group-commit
+    latency; absent when persistence is off).
+``flush``
+    END frame enqueued → drained into the socket.
+
+Everything is process-global and thread-safe, mirroring the metrics
+registry: producers on any thread call :meth:`TraceStore.mark` with a
+trace id, the telemetry endpoint and ``repro obs trace`` read
+timelines back out.  Recording is gated on the same master switch as
+metrics — with observability off, :meth:`TraceStore.start` refuses and
+every later call on that id is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+from .tracing import new_id
+
+__all__ = [
+    "PHASES",
+    "RequestTrace",
+    "Sampler",
+    "TraceStore",
+    "get_store",
+    "new_trace_id",
+]
+
+#: canonical request phases, in pipeline order
+PHASES = ("accept", "queue_wait", "shard_step", "fsync_wait", "flush")
+
+_M_PHASE = _metrics.histogram(
+    "repro_trace_phase_seconds",
+    "Wall time one traced request spent in each pipeline phase, by phase",
+)
+_M_REQUESTS = _metrics.counter(
+    "repro_trace_requests_total",
+    "Requests traced end-to-end, by final status",
+)
+_M_ORPHANED = _metrics.counter(
+    "repro_trace_orphaned_total",
+    "Traces evicted or abandoned before their final phase was recorded",
+)
+_M_OPEN = _metrics.gauge(
+    "repro_trace_open",
+    "Traces currently open (started but not finished)",
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (same id space as span ids)."""
+    return new_id()
+
+
+class Sampler:
+    """Deterministic 1-in-N head sampler.
+
+    ``rate`` is the target sampled fraction; the sampler fires on the
+    first call of every ``round(1/rate)``-call period, so a load run of
+    K requests samples ``~K*rate`` of them *deterministically* — no RNG,
+    so benchmark overhead comparisons are exactly repeatable.
+    """
+
+    __slots__ = ("rate", "period", "_calls", "_lock")
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sample rate must be within [0, 1]")
+        self.rate = rate
+        self.period = 0 if rate <= 0.0 else max(1, round(1.0 / rate))
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> bool:
+        if self.period == 0:
+            return False
+        with self._lock:
+            hit = (self._calls % self.period) == 0
+            self._calls += 1
+        return hit
+
+
+class RequestTrace:
+    """One request's phase timeline; mutated under the store's lock."""
+
+    __slots__ = (
+        "trace_id", "player", "started_at", "t0", "last_mark",
+        "segments", "attributes", "status", "total_s",
+    )
+
+    def __init__(
+        self, trace_id: str, player: Optional[str], **attributes: Any
+    ) -> None:
+        self.trace_id = trace_id
+        self.player = player
+        self.started_at = time.time()
+        self.t0 = time.perf_counter()
+        self.last_mark = self.t0
+        #: ``(phase, start_offset_s, duration_s)`` in mark order
+        self.segments: List[tuple] = []
+        self.attributes: Dict[str, Any] = dict(attributes)
+        self.status: Optional[str] = None  # None while open
+        self.total_s: Optional[float] = None
+
+    def mark(self, phase: str, at: Optional[float] = None) -> float:
+        """Close the interval since the last mark as ``phase``."""
+        now = time.perf_counter() if at is None else at
+        duration = max(0.0, now - self.last_mark)
+        self.segments.append((phase, self.last_mark - self.t0, duration))
+        self.last_mark = now
+        return duration
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for phase, _start, duration in self.segments:
+            totals[phase] = totals.get(phase, 0.0) + duration
+        return totals
+
+    def timeline(self) -> Dict[str, Any]:
+        """The JSON shape ``/trace/<id>`` serves and the CLI renders."""
+        return {
+            "trace_id": self.trace_id,
+            "player": self.player,
+            "status": self.status or "open",
+            "started_at": self.started_at,
+            "total_s": (
+                self.total_s if self.total_s is not None
+                else self.last_mark - self.t0
+            ),
+            "phases": [
+                {"phase": phase, "start_s": start, "duration_s": duration}
+                for phase, start, duration in self.segments
+            ],
+            "phase_totals": self.phase_totals(),
+            "attributes": dict(self.attributes),
+        }
+
+
+class TraceStore:
+    """Bounded, thread-safe home of open and recently finished traces.
+
+    Both tables are bounded: an *open* trace evicted by overflow is an
+    orphan (its request outlived the store's memory of it — counted in
+    ``repro_trace_orphaned_total``, the quantity the SLO pins to zero),
+    while finished traces simply age out oldest-first.
+    """
+
+    def __init__(self, max_open: int = 1024, max_finished: int = 256) -> None:
+        if max_open < 1 or max_finished < 1:
+            raise ValueError("store bounds must be >= 1")
+        self.max_open = max_open
+        self.max_finished = max_finished
+        self._open: "OrderedDict[str, RequestTrace]" = OrderedDict()
+        self._finished: "OrderedDict[str, RequestTrace]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- producers -----------------------------------------------------
+    def start(
+        self, trace_id: str, player: Optional[str] = None, **attributes: Any
+    ) -> bool:
+        """Open a trace; False when recording is off or the id is taken."""
+        if not _metrics.enabled() or not trace_id:
+            return False
+        with self._lock:
+            if trace_id in self._open or trace_id in self._finished:
+                return False
+            while len(self._open) >= self.max_open:
+                old_id, old = self._open.popitem(last=False)
+                old.status = "orphaned"
+                self._orphan_locked(old_id, old)
+            self._open[trace_id] = RequestTrace(trace_id, player, **attributes)
+            _M_OPEN.set(len(self._open))
+        return True
+
+    def mark(self, trace_id: Optional[str], phase: str) -> None:
+        """Attribute the time since the trace's last mark to ``phase``."""
+        if not trace_id:
+            return
+        with self._lock:
+            tr = self._open.get(trace_id)
+            if tr is None:
+                return
+            duration = tr.mark(phase)
+        _M_PHASE.observe(duration, phase=phase)
+
+    def annotate(self, trace_id: Optional[str], **attributes: Any) -> None:
+        if not trace_id:
+            return
+        with self._lock:
+            tr = self._open.get(trace_id)
+            if tr is not None:
+                tr.attributes.update(attributes)
+
+    def increment(
+        self, trace_id: Optional[str], key: str, amount: int = 1
+    ) -> None:
+        """Bump a numeric attribute (e.g. live INPUT ops absorbed)."""
+        if not trace_id:
+            return
+        with self._lock:
+            tr = self._open.get(trace_id)
+            if tr is not None:
+                tr.attributes[key] = int(tr.attributes.get(key, 0)) + amount
+
+    def finish(
+        self, trace_id: Optional[str], status: str = "ok"
+    ) -> Optional[RequestTrace]:
+        """Close a trace; idempotent (a second finish is a no-op)."""
+        if not trace_id:
+            return None
+        with self._lock:
+            tr = self._open.pop(trace_id, None)
+            if tr is None:
+                return None
+            tr.status = status
+            tr.total_s = tr.last_mark - tr.t0
+            self._retain_finished_locked(trace_id, tr)
+            _M_OPEN.set(len(self._open))
+        _M_REQUESTS.inc(status=status)
+        return tr
+
+    def abandon(self, trace_id: Optional[str]) -> None:
+        """Give up on an open trace (its request died mid-pipeline)."""
+        if not trace_id:
+            return
+        with self._lock:
+            tr = self._open.pop(trace_id, None)
+            if tr is None:
+                return
+            tr.status = "orphaned"
+            self._orphan_locked(trace_id, tr)
+            _M_OPEN.set(len(self._open))
+
+    def _orphan_locked(self, trace_id: str, tr: RequestTrace) -> None:
+        tr.total_s = tr.last_mark - tr.t0
+        self._retain_finished_locked(trace_id, tr)
+        _M_ORPHANED.inc()
+
+    def _retain_finished_locked(self, trace_id: str, tr: RequestTrace) -> None:
+        self._finished[trace_id] = tr
+        self._finished.move_to_end(trace_id)
+        while len(self._finished) > self.max_finished:
+            self._finished.popitem(last=False)
+
+    # -- consumers -----------------------------------------------------
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The timeline dict of one open or finished trace, else None."""
+        with self._lock:
+            tr = self._open.get(trace_id) or self._finished.get(trace_id)
+            return tr.timeline() if tr is not None else None
+
+    def finished_ids(self) -> List[str]:
+        """Finished trace ids, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def latest(self) -> Optional[str]:
+        """The most recently finished trace id (None when empty)."""
+        with self._lock:
+            return next(reversed(self._finished), None)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def finished_count(self) -> int:
+        return len(self._finished)
+
+    def clear(self) -> None:
+        """Drop every trace, open or finished (``obs.reset()``).
+
+        Deliberate teardown, not loss: open traces dropped here are
+        *not* counted as orphans — the whole observability state is
+        being discarded, metrics included.
+        """
+        with self._lock:
+            self._open.clear()
+            self._finished.clear()
+            _M_OPEN.set(0)
+
+
+#: the process-global store every layer marks into
+STORE = TraceStore()
+
+
+def get_store() -> TraceStore:
+    """The process-global trace store."""
+    return STORE

@@ -34,12 +34,14 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "TimeSeriesRing",
     "counter",
     "disable",
     "enable",
     "enabled",
     "gauge",
     "get_registry",
+    "get_ring",
     "histogram",
     "reset",
     "set_enabled",
@@ -391,8 +393,99 @@ class MetricsRegistry:
         return {"enabled": _ENABLED, "metrics": out}
 
 
+class TimeSeriesRing:
+    """Bounded history of scalar metric samples — the dashboard's memory.
+
+    A snapshot is a point in time; ``repro top`` sparklines and the
+    telemetry endpoint's ``/history`` route need *series*.  The ring
+    reduces each metric of a snapshot to one scalar (counters/gauges:
+    sum over labeled series; histograms: total observation count),
+    stamps it with a wall-clock time, and keeps the newest ``capacity``
+    samples.  Sampling cadence is the caller's business (the gateway's
+    telemetry server ticks it; ``repro top`` samples once per frame).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise MetricError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._samples: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def reduce(snap: Dict[str, Any]) -> Dict[str, float]:
+        """Collapse one registry snapshot to ``{metric_name: scalar}``."""
+        values: Dict[str, float] = {}
+        for metric in snap.get("metrics", []):
+            series = metric.get("series", [])
+            if metric.get("kind") == "histogram":
+                values[metric["name"]] = float(
+                    sum(s.get("count", 0) for s in series)
+                )
+            else:
+                values[metric["name"]] = float(
+                    sum(s.get("value", 0.0) for s in series)
+                )
+        return values
+
+    def sample(
+        self,
+        snap: Optional[Dict[str, Any]] = None,
+        at: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Append one sample (of ``snap``, default: the global registry)."""
+        if snap is None:
+            snap = REGISTRY.snapshot()
+        values = self.reduce(snap)
+        entry = {"t": time.time() if at is None else at, "values": values}
+        with self._lock:
+            self._samples.append(entry)
+            if len(self._samples) > self.capacity:
+                del self._samples[: len(self._samples) - self.capacity]
+        return values
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """All retained samples, oldest first (shallow copies)."""
+        with self._lock:
+            return [
+                {"t": s["t"], "values": dict(s["values"])}
+                for s in self._samples
+            ]
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """``(t, value)`` history of one metric (0.0 where absent)."""
+        with self._lock:
+            return [
+                (s["t"], float(s["values"].get(name, 0.0)))
+                for s in self._samples
+            ]
+
+    def names(self) -> List[str]:
+        """Every metric name seen in any retained sample, sorted."""
+        seen: set = set()
+        with self._lock:
+            for s in self._samples:
+                seen.update(s["values"])
+        return sorted(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
 #: The process-global registry every instrumented module uses.
 REGISTRY = MetricsRegistry()
+
+#: The process-global sample history (``obs.reset()`` clears it).
+RING = TimeSeriesRing()
+
+
+def get_ring() -> TimeSeriesRing:
+    """The process-global time-series ring."""
+    return RING
 
 
 def get_registry() -> MetricsRegistry:

@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..obs.tracing import span as _span
 from .records import PersistError
 
 __all__ = [
@@ -473,8 +474,14 @@ class Journal:
                 batch = self._pending
                 self._pending = []
             try:
-                self._write_batch([(lsn, fr) for lsn, fr, _ in batch])
-                _fsync_file(self._fh)
+                # One span per fsync batch: request traces attribute
+                # their fsync_wait to this window, and the span ties a
+                # slow commit to its batch size/shard in the flight
+                # recorder.
+                with _span("wal.group_commit", shard=self.label,
+                           batch=len(batch)):
+                    self._write_batch([(lsn, fr) for lsn, fr, _ in batch])
+                    _fsync_file(self._fh)
             except Exception as exc:
                 with self._cond:
                     self._mark_failed(exc)

@@ -9,6 +9,7 @@ from .tui import (
     render_authoring_screenshot,
     render_dashboard,
     render_runtime_screenshot,
+    render_waterfall,
     sparkline,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "render_authoring_screenshot",
     "render_dashboard",
     "render_runtime_screenshot",
+    "render_waterfall",
     "sparkline",
 ]

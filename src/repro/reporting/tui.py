@@ -28,6 +28,7 @@ __all__ = [
     "render_authoring_screenshot",
     "render_runtime_screenshot",
     "render_dashboard",
+    "render_waterfall",
     "sparkline",
 ]
 
@@ -153,6 +154,60 @@ def render_dashboard(
         c.blit_lines(2, y + 1, clipped)
         y += len(clipped) + 2
     return c.render()
+
+
+def render_waterfall(timeline: dict, width: int = 72) -> str:
+    """Render one request trace timeline as a text waterfall.
+
+    ``timeline`` is the JSON dict served at the gateway's
+    ``/trace/<id>`` endpoint (see
+    :meth:`repro.obs.attribution.RequestTrace.timeline`): a header plus
+    ``phases`` entries carrying ``start_s`` offsets and ``duration_s``.
+    Each phase becomes one row whose bar is indented by its start offset
+    and sized by its duration, both proportional to total trace time —
+    so queue wait, shard residency and fsync wait are comparable at a
+    glance, the way a browser dev-tools network panel reads.
+    """
+    if width < 40:
+        raise ValueError("waterfall width must be >= 40")
+    trace_id = timeline.get("trace_id", "?")
+    player = timeline.get("player") or "-"
+    status = timeline.get("status", "?")
+    total = float(timeline.get("total_s") or 0.0)
+    phases = timeline.get("phases") or []
+    label_w = max([len("phase")] + [len(str(p.get("phase", ""))) for p in phases])
+    bar_w = max(10, width - label_w - 14)  # label + duration column
+    lines = [
+        f"trace {trace_id}  player={player}  status={status}"
+        f"  total={total * 1e3:.2f}ms",
+        "-" * min(width, 78),
+    ]
+    span = total if total > 0 else max(
+        (float(p.get("start_s", 0.0)) + float(p.get("duration_s", 0.0))
+         for p in phases),
+        default=0.0,
+    )
+    for p in phases:
+        name = str(p.get("phase", "?"))
+        start = float(p.get("start_s", 0.0))
+        dur = float(p.get("duration_s", 0.0))
+        if span > 0:
+            lead = int(round(start / span * bar_w))
+            fill = int(round(dur / span * bar_w))
+        else:
+            lead, fill = 0, 0
+        fill = max(fill, 1) if dur > 0 else fill
+        lead = min(lead, bar_w - fill)
+        bar = " " * max(lead, 0) + "#" * fill
+        lines.append(
+            f"{name:<{label_w}} |{bar:<{bar_w}}| {dur * 1e3:8.2f}ms"
+        )
+    totals = timeline.get("phase_totals") or {}
+    if totals:
+        summed = sum(float(v) for v in totals.values())
+        lines.append("-" * min(width, 78))
+        lines.append(f"{'sum':<{label_w}} |{'':<{bar_w}}| {summed * 1e3:8.2f}ms")
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

@@ -162,6 +162,9 @@ class SocketLoadReport:
     #: PING round-trip samples interleaved with the load (seconds)
     rtt_samples: List[float] = field(default_factory=list)
     clients: int = 1
+    #: request-trace ids echoed on END frames (sampled sessions only) —
+    #: each resolves to a phase timeline at the gateway's ``/trace/<id>``
+    trace_ids: List[str] = field(default_factory=list)
 
     @property
     def sessions_per_second(self) -> float:
@@ -189,6 +192,7 @@ class SocketLoadReport:
             "elapsed_s": f"{self.elapsed_s:.3f}",
             "sessions_per_s": f"{self.sessions_per_second:.1f}",
             "rtt_p95_ms": "-" if rtt is None else f"{rtt * 1e3:.2f}",
+            "traced": len(self.trace_ids),
             "drained": self.drained,
         }
 
@@ -213,6 +217,7 @@ class SocketLoadGenerator:
         clients: int = 4,
         arrival_rate: float = 0.0,
         ping_every: int = 8,
+        trace_sample: float = 0.0,
     ) -> None:
         if not scripts:
             raise ValueError("need at least one player script")
@@ -222,12 +227,16 @@ class SocketLoadGenerator:
             raise ValueError("arrival_rate must be >= 0")
         if ping_every < 1:
             raise ValueError("ping_every must be >= 1")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
         self.host = host
         self.port = port
         self.scripts = list(scripts)
         self.clients = clients
         self.arrival_rate = arrival_rate
         self.ping_every = ping_every
+        #: fraction of submissions stamped with a request-trace id
+        self.trace_sample = trace_sample
 
     def run(self, n_sessions: int, timeout: float = 120.0) -> SocketLoadReport:
         """Synchronous entry point: one ``asyncio.run`` per load run."""
@@ -245,6 +254,7 @@ class SocketLoadGenerator:
                 self.host, self.port,
                 client_name=f"loadgen-{i}",
                 request_timeout_s=timeout,
+                trace_sample=self.trace_sample,
             )
             for i in range(min(self.clients, n_sessions))
         ]
@@ -285,10 +295,15 @@ class SocketLoadGenerator:
                 return_exceptions=True,
             )
             drained = True
+            trace_ids: List[str] = []
             for end in ends:
                 if isinstance(end, BaseException):
                     drained = False
-                elif end.get("failed"):
+                    continue
+                tid = end.get("trace")
+                if isinstance(tid, str) and tid:
+                    trace_ids.append(tid)
+                if end.get("failed"):
                     failed += 1
                 else:
                     completed += 1
@@ -306,4 +321,5 @@ class SocketLoadGenerator:
             drained=drained and admitted == completed + failed,
             rtt_samples=rtts,
             clients=len(pool),
+            trace_ids=trace_ids,
         )

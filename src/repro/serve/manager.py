@@ -54,6 +54,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
+from ..obs.attribution import get_store as _trace_store
 from ..persist import (
     Journal,
     PersistenceConfig,
@@ -292,15 +293,20 @@ class _Shard:
             )
             compact_segments(self._journal.directory, watermark)
 
-    def _retire_persisted(self, session: ServedSession) -> None:
-        """End-of-life bookkeeping for a finished session."""
+    def _retire_persisted(self, session: ServedSession) -> Optional[int]:
+        """End-of-life bookkeeping for a finished session.
+
+        Returns the end record's LSN (None when the journal is gone) so
+        a traced session can wait out its own fsync.
+        """
         sid = session.player_id
-        self._journal_append(end_record(sid, session.engine.state.outcome))
+        lsn = self._journal_append(end_record(sid, session.engine.state.outcome))
         self._covered.pop(sid, None)
         self._since_snapshot.pop(sid, None)
         self._recovered_ids.discard(sid)
         if self._snapshots is not None:
             self._snapshots.remove(sid)
+        return lsn
 
     # -- shard thread --------------------------------------------------
     def _admit(self) -> None:
@@ -312,6 +318,9 @@ class _Shard:
             try:
                 session = factory(player_id)
                 session.start()
+                if session.trace_id is not None:
+                    # inbox residency ends here: admission -> first run
+                    _trace_store().mark(session.trace_id, "queue_wait")
             except Exception:
                 self.failed += 1
                 _M_FAILURES.inc(shard=self.label)
@@ -354,11 +363,29 @@ class _Shard:
             budget -= 1
             self.steps += 1
             if done:
+                trace_id = session.trace_id
+                if trace_id is not None:
+                    # wall residency on this shard, pacing included:
+                    # that is what the client actually waited for
+                    _trace_store().mark(trace_id, "shard_step")
                 if not session.failed:
                     self.completed += 1
                     _M_COMPLETED.inc(shard=self.label)
                 if journal is not None or self._snapshots is not None:
-                    self._retire_persisted(session)
+                    end_lsn = self._retire_persisted(session)
+                    if trace_id is not None:
+                        if end_lsn is not None and self._journal is not None:
+                            # Traced sessions ride out their own group
+                            # commit (bounded by the window), so the
+                            # fsync_wait phase is measured, not modelled
+                            # — and their END implies a durable end
+                            # record.
+                            self._journal.wait_durable(end_lsn, timeout=5.0)
+                        _trace_store().mark(trace_id, "fsync_wait")
+                elif trace_id is not None:
+                    # no journal: a zero-width mark keeps the phase
+                    # partition exact (fsync_wait ~ 0)
+                    _trace_store().mark(trace_id, "fsync_wait")
                 done_count += 1
                 self._manager._session_closed()
                 callback = session.on_done

@@ -34,7 +34,7 @@ class ServedSession:
 
     __slots__ = (
         "player_id", "engine", "ops", "dt", "steps", "failed", "_cursor",
-        "_started", "on_done",
+        "_started", "on_done", "trace_id",
     )
 
     def __init__(
@@ -63,6 +63,10 @@ class ServedSession:
         #: callback may read state freely (the gateway bridges it onto
         #: its event loop from here)
         self.on_done: Optional[Callable[["ServedSession"], None]] = None
+        #: request-trace correlation id (:mod:`repro.obs.attribution`);
+        #: None for unsampled sessions, which must stay the common case
+        #: — every trace hook in the shard loop is gated on it
+        self.trace_id: Optional[str] = None
 
     @classmethod
     def resume(

@@ -11,16 +11,25 @@ from repro.gateway.protocol import (
     FRAME_TYPES,
     HEADER,
     HELLO,
+    MIN_PROTOCOL_VERSION,
     PING,
     PROTOCOL_VERSION,
     STATE,
     SUBMIT,
+    SUPPORTED_VERSIONS,
     FrameDecoder,
     FrameTooLarge,
     ProtocolError,
     VersionMismatch,
     encode_frame,
+    negotiate_version,
 )
+
+
+def _raw_frame(ftype: int, body: bytes, version: int) -> bytes:
+    """Hand-assemble a frame, bypassing encode_frame's version check."""
+    head = struct.pack("<BBII", version, ftype, len(body), zlib.crc32(body))
+    return head + struct.pack("<I", zlib.crc32(head)) + body
 
 
 def _corrupt(frame: bytes, index: int) -> bytes:
@@ -89,7 +98,7 @@ class TestDecoder:
             FrameDecoder().feed(frame)
 
     def test_version_mismatch(self):
-        frame = encode_frame(HELLO, {}, version=PROTOCOL_VERSION + 1)
+        frame = _raw_frame(HELLO, b"{}", version=PROTOCOL_VERSION + 1)
         with pytest.raises(VersionMismatch):
             FrameDecoder().feed(frame)
 
@@ -140,3 +149,53 @@ class TestDecoder:
         # no resync: even a pristine frame is refused afterwards
         with pytest.raises(ProtocolError):
             decoder.feed(encode_frame(PING, {}))
+
+
+class TestVersioning:
+    """v2 negotiation: old peers keep working, unknown versions do not."""
+
+    def test_supported_window(self):
+        assert MIN_PROTOCOL_VERSION == 1
+        assert PROTOCOL_VERSION == 2
+        assert SUPPORTED_VERSIONS == frozenset({1, 2})
+
+    def test_decoder_accepts_every_supported_version(self):
+        for version in sorted(SUPPORTED_VERSIONS):
+            decoder = FrameDecoder()
+            frames = decoder.feed(_raw_frame(PING, b"{}", version=version))
+            assert frames == [(PING, {})]
+            assert decoder.last_version == version
+
+    def test_decoder_rejects_below_window(self):
+        with pytest.raises(VersionMismatch):
+            FrameDecoder().feed(_raw_frame(PING, b"{}", version=0))
+
+    def test_encode_rejects_unsupported_version(self):
+        with pytest.raises(VersionMismatch):
+            encode_frame(PING, {}, version=0)
+        with pytest.raises(VersionMismatch):
+            encode_frame(PING, {}, version=PROTOCOL_VERSION + 1)
+
+    def test_encode_v1_roundtrips(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(HELLO, {"client": "old"},
+                                           version=1))
+        assert frames == [(HELLO, {"client": "old"})]
+        assert decoder.last_version == 1
+
+    def test_negotiate_takes_minimum(self):
+        assert negotiate_version(1) == 1
+        assert negotiate_version(2) == 2
+        # a future peer speaks down to us
+        assert negotiate_version(PROTOCOL_VERSION + 5) == PROTOCOL_VERSION
+
+    def test_negotiate_rejects_prehistoric_peer(self):
+        with pytest.raises(VersionMismatch):
+            negotiate_version(MIN_PROTOCOL_VERSION - 1)
+
+    def test_last_version_tracks_most_recent_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.last_version is None
+        decoder.feed(_raw_frame(PING, b"{}", version=1))
+        decoder.feed(_raw_frame(PING, b"{}", version=2))
+        assert decoder.last_version == 2

@@ -107,6 +107,99 @@ def test_kill_and_reconnect_resumes_bit_identical(
         )
 
 
+def test_trace_id_survives_kill_and_reconnect(
+    tmp_path, classroom_game, scripts
+):
+    """Request traces re-attach across crash recovery.
+
+    Phase 1 stamps every submission with a trace id; the gateway dies
+    mid-flight.  Phase 2 simulates a fresh process (``obs.reset()``
+    empties the trace store), recovers the WAL, and the reconnecting
+    client offers its remembered trace ids in the resume HELLO.  The
+    resumed sessions must finish *under the original ids*, with their
+    remaining phases re-attributed to the recovered process.
+    """
+    from repro import obs
+
+    was = obs.enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        config = _config(tmp_path)
+        pids = [f"trace-crash-{i}" for i in range(len(scripts))]
+
+        server1 = GatewayServer(SessionManager(config), classroom_game)
+        handle1 = GatewayThread(server1).start()
+        try:
+            async def submit_all():
+                client = GatewayClient(handle1.host, handle1.port,
+                                       trace_sample=1.0)
+                await client.connect()
+                tids = {}
+                for pid, script in zip(pids, scripts):
+                    await client.submit(pid, script.ops, dt=script.dt)
+                    tids[pid] = client.trace_for(pid)
+                await client.close()
+                return tids
+
+            trace_map = asyncio.run(submit_all())
+            time.sleep(0.15)
+        finally:
+            handle1.stop(drain=False)
+        assert all(trace_map.values()), "submissions were not trace-stamped"
+
+        # Fresh process: the old process's trace store dies with it.
+        obs.reset()
+
+        server2 = GatewayServer(SessionManager(config), classroom_game)
+        reports = server2.recover()
+        recovered = {s.player_id for r in reports for s in r.sessions}
+        if not recovered:
+            pytest.skip("every session finished before the kill")
+        handle2 = GatewayThread(server2).start()
+        try:
+            async def resume_all():
+                client = GatewayClient(handle2.host, handle2.port,
+                                       client_name="trace-survivor")
+                statuses = await client.connect(
+                    resume=pids, traces=trace_map,
+                )
+                ends = {}
+                for pid in pids:
+                    if statuses.get(pid) in ("live", "done"):
+                        ends[pid] = await client.wait_end(pid, timeout=60.0)
+                await client.close()
+                return ends
+
+            ends = asyncio.run(resume_all())
+        finally:
+            handle2.stop(drain=True)
+
+        store = obs.get_trace_store()
+        checked = 0
+        for pid in recovered:
+            end = ends.get(pid)
+            if end is None or end.get("failed"):
+                continue
+            # the END frame carries the *original* trace id
+            assert end.get("trace") == trace_map[pid], (
+                f"{pid} finished under a different trace id after recovery"
+            )
+            timeline = store.get(trace_map[pid])
+            assert timeline is not None
+            assert timeline["status"] == "ok"
+            assert timeline["attributes"].get("resumed") is True
+            phases = {p["phase"] for p in timeline["phases"]}
+            # the post-crash phases were re-attributed under the old id
+            assert "shard_step" in phases
+            assert "flush" in phases
+            checked += 1
+        assert checked, "no resumed session finished with its trace attached"
+    finally:
+        obs.reset()
+        obs.set_enabled(was)
+
+
 def test_recovered_session_rejects_live_input(
     tmp_path, classroom_game, scripts
 ):

@@ -1,0 +1,176 @@
+"""HTTP tests for the gateway's live telemetry endpoint."""
+
+import asyncio
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayServer,
+    GatewayThread,
+    TelemetryServer,
+)
+from repro.serve import ServeConfig, SessionManager
+from repro.students import cohort_scripts
+
+
+@pytest.fixture
+def live():
+    was = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.reset()
+    obs.set_enabled(was)
+
+
+@pytest.fixture
+def gateway(classroom_game, live):
+    """A loopback gateway with telemetry bound on an ephemeral port."""
+    manager = SessionManager(ServeConfig(
+        n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50,
+    ))
+    server = GatewayServer(manager, classroom_game, config=GatewayConfig(
+        telemetry_port=0,
+        telemetry_sample_interval_s=0.05,
+        trace_sample=1.0,
+    ))
+    with GatewayThread(server) as handle:
+        yield handle
+
+
+def _get(port, path, timeout=10):
+    return urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    )
+
+
+def _get_json(port, path):
+    with _get(port, path) as resp:
+        assert resp.headers["Content-Type"] == "application/json"
+        return json.loads(resp.read())
+
+
+def _run_session(handle, game, player_id):
+    script = cohort_scripts(game, 1, seed=41)[0]
+
+    async def drive():
+        async with GatewayClient(handle.host, handle.port) as client:
+            await client.submit(player_id, script.ops, dt=script.dt)
+            return await client.wait_end(player_id, timeout=30.0)
+
+    return asyncio.run(drive())
+
+
+class TestEndpoints:
+    def test_healthz_reports_serving_state(self, gateway):
+        health = _get_json(gateway.telemetry_port, "/healthz")
+        assert health["status"] == "ok"
+        assert health["shards"] == 2
+        assert health["obs_enabled"] is True
+        assert health["in_flight"] == 0
+
+    def test_metrics_serves_prometheus_text(self, gateway, classroom_game):
+        _run_session(gateway, classroom_game, "tel-metrics#0")
+        with _get(gateway.telemetry_port, "/metrics") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode()
+        assert "# TYPE repro_gateway_sessions_total counter" in body
+        assert "repro_trace_phase_seconds" in body
+
+    def test_trace_timeline_roundtrip(self, gateway, classroom_game):
+        end = _run_session(gateway, classroom_game, "tel-trace#0")
+        trace_id = end["trace"]  # server-side sampling stamped it
+        timeline = _get_json(gateway.telemetry_port, f"/trace/{trace_id}")
+        assert timeline["trace_id"] == trace_id
+        assert timeline["status"] == "ok"
+        phases = [p["phase"] for p in timeline["phases"]]
+        assert phases == [
+            "accept", "queue_wait", "shard_step", "fsync_wait", "flush",
+        ]
+        assert timeline["total_s"] == pytest.approx(
+            sum(p["duration_s"] for p in timeline["phases"]), rel=1e-6
+        )
+        listing = _get_json(gateway.telemetry_port, "/traces")
+        assert trace_id in listing["finished"]
+
+    def test_unknown_trace_is_404(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(gateway.telemetry_port, "/trace/deadbeef00000000")
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["error"] == "unknown trace"
+
+    def test_history_accumulates_ring_samples(self, gateway):
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            samples = _get_json(gateway.telemetry_port, "/history")["samples"]
+            if len(samples) >= 2:
+                break
+            time.sleep(0.05)
+        assert len(samples) >= 2, "sampler task appended no ring history"
+        assert all("t" in s and "values" in s for s in samples)
+
+    def test_unknown_path_is_404(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(gateway.telemetry_port, "/nope")
+        assert err.value.code == 404
+
+    def test_non_get_method_is_405(self, gateway):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{gateway.telemetry_port}/metrics",
+            data=b"x", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 405
+
+    def test_malformed_request_line_is_400(self, gateway):
+        with socket.create_connection(
+            ("127.0.0.1", gateway.telemetry_port), timeout=10
+        ) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_requests_counted_by_route(self, gateway):
+        _get(gateway.telemetry_port, "/healthz").close()
+        _get(gateway.telemetry_port, "/healthz").close()
+        metric = obs.get_registry().get(
+            "repro_gateway_telemetry_requests_total"
+        )
+        assert metric.value(route="healthz") >= 2
+
+
+class TestLifecycle:
+    def test_port_property_requires_listening(self):
+        server = TelemetryServer(gateway=None)
+        with pytest.raises(RuntimeError):
+            server.port
+
+    def test_rejects_bad_sample_interval(self):
+        with pytest.raises(ValueError):
+            TelemetryServer(gateway=None, sample_interval_s=0.0)
+
+    def test_config_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(telemetry_sample_interval_s=0.0)
+
+    def test_config_rejects_bad_trace_sample(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(trace_sample=1.5)
+
+    def test_telemetry_disabled_by_default(self, classroom_game, live):
+        manager = SessionManager(ServeConfig(
+            n_shards=1, tick_interval_s=0.002, max_steps_per_tick=50,
+        ))
+        server = GatewayServer(manager, classroom_game)
+        with GatewayThread(server) as handle:
+            assert handle.telemetry_port is None

@@ -219,6 +219,42 @@ class TestReset:
         assert [s.name for s in obs.get_tracer().finished] == ["fresh"]
         assert captured[-1]["trace_id"] == sp.trace_id
 
+    def test_obs_reset_clears_time_series_ring(self, obs_on):
+        ring = obs.get_ring()
+        ring.sample()
+        ring.sample()
+        assert len(ring) == 2
+        obs.reset()
+        assert len(ring) == 0
+        assert ring.samples() == []
+
+    def test_obs_reset_clears_request_traces(self, obs_on):
+        store = obs.get_trace_store()
+        assert store.start("reset-open", player="p1")
+        assert store.start("reset-done", player="p2")
+        store.mark("reset-done", "accept")
+        store.finish("reset-done")
+        obs.reset()
+        assert store.open_count == 0
+        assert store.finished_count == 0
+        assert store.get("reset-open") is None
+        assert store.get("reset-done") is None
+        # the ids are reusable again after the wipe
+        assert store.start("reset-open")
+        # and the wipe itself counted no orphans
+        orphans = obs.get_registry().get("repro_trace_orphaned_total")
+        assert orphans.total() == 0
+
+    def test_attribution_works_normally_after_interleaved_reset(self, obs_on):
+        store = obs.get_trace_store()
+        store.start("interleaved")
+        obs.reset()
+        store.mark("interleaved", "accept")  # stale id: cheap no-op
+        assert store.finish("interleaved") is None
+        assert store.start("post-reset", player="p")
+        store.mark("post-reset", "flush")
+        assert store.finish("post-reset").status == "ok"
+
 
 class TestFormatEvent:
     def test_format_contains_parts(self, obs_on):

@@ -191,3 +191,50 @@ class TestRegistry:
         assert h["buckets"] == [1.0]
         assert h["series"][0]["counts"] == [1, 0]
         assert h["series"][0]["count"] == 1
+
+
+class TestTimeSeriesRing:
+    def test_sample_appends_and_reduces(self, live):
+        from repro.obs.metrics import TimeSeriesRing
+
+        obs.counter("t_ring_total").inc(3, kind="a")
+        obs.counter("t_ring_total").inc(2, kind="b")
+        obs.histogram("t_ring_seconds", buckets=(1.0,)).observe(0.5)
+        ring = TimeSeriesRing()
+        values = ring.sample(at=100.0)
+        # counters reduce to the sum over labelled series
+        assert values["t_ring_total"] == pytest.approx(5.0)
+        # histograms reduce to their total observation count
+        assert values["t_ring_seconds"] == 1
+        assert len(ring) == 1
+        assert ring.samples()[0]["t"] == 100.0
+
+    def test_capacity_drops_oldest(self, live):
+        from repro.obs.metrics import TimeSeriesRing
+
+        ring = TimeSeriesRing(capacity=2)
+        for t in (1.0, 2.0, 3.0):
+            ring.sample(at=t)
+        assert [s["t"] for s in ring.samples()] == [2.0, 3.0]
+
+    def test_series_fills_missing_with_zero(self, live):
+        from repro.obs.metrics import TimeSeriesRing
+
+        ring = TimeSeriesRing()
+        ring.sample(at=1.0)  # before the metric exists
+        obs.counter("t_ring_late_total").inc(4)
+        ring.sample(at=2.0)
+        assert ring.series("t_ring_late_total") == [(1.0, 0.0), (2.0, 4.0)]
+        assert "t_ring_late_total" in ring.names()
+
+    def test_clear_empties(self, live):
+        ring = obs.get_ring()
+        ring.sample()
+        ring.clear()
+        assert len(ring) == 0
+
+    def test_capacity_must_be_positive(self):
+        from repro.obs.metrics import MetricError, TimeSeriesRing
+
+        with pytest.raises(MetricError):
+            TimeSeriesRing(capacity=0)
