@@ -1,0 +1,143 @@
+"""Disabled-path overhead of the fault-injection hooks.
+
+The faultline package makes the same promise the obs layer does: with
+no plan installed, a hook site is one module-attribute load and a falsy
+branch — the serving, gateway and WAL hot paths must not pay for the
+chaos machinery they are not using.  This bench holds that to numbers,
+with the same generous ceilings as ``bench_obs_overhead`` so shared-CI
+noise cannot manufacture a failure:
+
+* the bare disabled hook (``if faultline.ACTIVE: ...``) stays within
+  the disabled-instrumentation ceiling;
+* an *installed but idle* injector — hit counting under the lock with
+  no trigger match — stays cheap enough for per-frame call sites;
+* a serve burst under an armed-but-never-firing plan still completes
+  everything (the hooks observe, they do not disturb).
+"""
+
+import time
+
+import pytest
+
+from conftest import save_result
+from repro import faultline
+from repro.faultline import FaultPlan, FaultSpec
+from repro.reporting import format_table
+
+#: Same ceiling as the disabled obs sites: one attribute load + branch
+#: (~100 ns) with two orders of magnitude of CI-noise headroom.
+DISABLED_CALL_CEILING_S = 10e-6
+
+#: An installed-but-idle fire(): a lock, a dict bump, a tuple scan.
+#: Far under a WAL write or a frame dispatch, which is all that matters.
+IDLE_FIRE_CEILING_S = 50e-6
+
+REPS = 20_000
+
+
+@pytest.fixture(autouse=True)
+def no_plan():
+    """Start and finish with no injector installed."""
+    faultline.uninstall()
+    yield
+    faultline.uninstall()
+
+
+def _per_call(fn, reps=REPS, repeats=5):
+    """Best-of-N mean seconds per call (best-of defeats scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(reps)
+        best = min(best, time.perf_counter() - t0)
+    return best / reps
+
+
+def _never_firing_plan() -> FaultPlan:
+    """Armed on every site, triggered on a hit no bench will reach."""
+    return FaultPlan(
+        name="bench-idle",
+        specs=tuple(
+            FaultSpec(site, kinds[0], at=10**9)
+            for site, kinds in faultline.SITES.items()
+        ),
+    )
+
+
+def _bench_disabled_hook(reps):
+    # Verbatim shape of every production hook site.
+    for _ in range(reps):
+        if faultline.ACTIVE:
+            faultline.fire("serve.tick")
+
+
+def _bench_idle_fire(reps):
+    for _ in range(reps):
+        if faultline.ACTIVE:
+            faultline.fire("serve.tick")
+
+
+def test_disabled_hook_stays_within_noise(results_dir):
+    assert faultline.ACTIVE is False
+    per_call = _per_call(_bench_disabled_hook)
+    save_result(
+        "faultline_disabled_overhead.txt",
+        format_table(
+            [{"site": "disabled hook", "ns_per_call": f"{per_call * 1e9:.1f}"}],
+            title="Disabled-path faultline overhead (best-of-5)",
+        ),
+    )
+    assert per_call < DISABLED_CALL_CEILING_S, (
+        f"disabled faultline hook costs {per_call * 1e6:.2f} µs/call "
+        f"(ceiling {DISABLED_CALL_CEILING_S * 1e6:.0f} µs) - something "
+        "runs before the ACTIVE check"
+    )
+
+
+def test_installed_idle_fire_is_cheap(results_dir):
+    injector = faultline.install(_never_firing_plan())
+    per_call = _per_call(_bench_idle_fire)
+    hits = injector.hits["serve.tick"]
+    faultline.uninstall()
+    assert hits >= REPS  # the hook really went through the injector
+    assert injector.injected_total == 0
+    save_result(
+        "faultline_idle_overhead.txt",
+        format_table(
+            [{"site": "installed, no trigger",
+              "ns_per_call": f"{per_call * 1e9:.1f}"}],
+            title="Armed-but-idle faultline overhead (best-of-5)",
+        ),
+    )
+    assert per_call < IDLE_FIRE_CEILING_S, (
+        f"armed-but-idle fire() costs {per_call * 1e6:.2f} µs/call "
+        f"(ceiling {IDLE_FIRE_CEILING_S * 1e6:.0f} µs)"
+    )
+
+
+def test_armed_plan_does_not_disturb_a_serve_burst():
+    """Hooks observe; an installed plan that never triggers must leave
+    a serve burst bit-for-bit as successful as an uninstalled one."""
+    from repro.core import fetch_quest_game
+    from repro.serve import LoadGenerator, ServeConfig, SessionManager
+    from repro.students import cohort_scripts
+
+    game = fetch_quest_game(n_quests=2, title="faultline idle").build()
+    scripts = cohort_scripts(game, 6, seed=11)
+    faultline.install(_never_firing_plan())
+    try:
+        with SessionManager(ServeConfig(
+            n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50,
+        )) as manager:
+            report = LoadGenerator(manager, game, scripts).run(
+                24, drain_timeout=30.0
+            )
+    finally:
+        injector = faultline.uninstall()
+    assert report.drained
+    assert report.completed == 24
+    assert report.failed == 0
+    assert injector is not None and injector.injected_total == 0
+    # the hooks really saw the burst go by
+    assert injector.hits.get("serve.tick", 0) > 0
+    assert injector.hits.get("serve.admit", 0) > 0

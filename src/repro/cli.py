@@ -19,6 +19,7 @@ Subcommands::
     python -m repro wal inspect DIR           # scan durable session journals
     python -m repro wal recover DIR           # rebuild committed sessions
     python -m repro wal compact DIR           # drop snapshot-covered segments
+    python -m repro chaos --plan ci-smoke     # fault-injection soak + audit
 
 ``validate`` exits non-zero when the project has errors, so it slots
 into a course-content CI pipeline unchanged.  ``obs`` runs a small
@@ -272,6 +273,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--quests", type=int, default=2,
         help="for 'recover' without --project: quest count of the "
              "built-in game (default 2)",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak with bit-identical recovery audit",
+    )
+    p_chaos.add_argument(
+        "--plan", default="ci-smoke",
+        help="built-in fault plan to run (default ci-smoke; see --list)",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true",
+        help="list the built-in fault plans and exit",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="override the plan's seed (hit schedule is derived from it)",
+    )
+    p_chaos.add_argument(
+        "--sessions", type=int, default=24,
+        help="scripted sessions to offer during the soak (default 24)",
+    )
+    p_chaos.add_argument(
+        "--wait", type=int, default=None,
+        help="ENDs to await before the kill (default: half the sessions)",
+    )
+    p_chaos.add_argument(
+        "--shards", type=int, default=2,
+        help="shard threads backing the soak server (default 2)",
+    )
+    p_chaos.add_argument(
+        "--persist-dir", type=Path, default=None,
+        help="WAL directory (default: a temp dir, removed after the audit)",
+    )
+    p_chaos.add_argument(
+        "--report", type=Path, default=None,
+        help="write the full chaos report (faults fired, recovery "
+             "digests, counters) to this JSON file",
     )
     return parser
 
@@ -1204,6 +1243,77 @@ def _cmd_top(
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+    from .faultline.chaos import run_chaos
+    from .faultline.plan import builtin_plans
+    from .reporting import format_table
+
+    plans = builtin_plans()
+    if args.list:
+        rows = []
+        for name, plan in sorted(plans.items()):
+            rows.append({
+                "plan": name,
+                "faults": len(plan.specs),
+                "sites": " ".join(sorted({s.site for s in plan.specs})),
+                "description": plan.description,
+            })
+        print(format_table(rows, title="Built-in fault plans"))
+        return 0
+    if args.plan not in plans:
+        print(f"unknown plan {args.plan!r}; try --list", file=sys.stderr)
+        return 2
+    if args.sessions < 1 or args.shards < 1:
+        print("error: --sessions and --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.wait is not None and args.wait < 1:
+        print("error: --wait must be >= 1", file=sys.stderr)
+        return 2
+    obs.enable()
+    report = run_chaos(
+        args.plan,
+        seed=args.seed,
+        sessions=args.sessions,
+        wait_for=args.wait,
+        n_shards=args.shards,
+        persist_dir=args.persist_dir,
+    )
+    print(format_table(
+        report.faults,
+        title=f"Fault schedule (plan={report.plan} seed={report.seed})",
+    ))
+    print(
+        f"soak: offered={report.sessions} submitted={report.submitted} "
+        f"completed={report.completed_ends} failed={report.failed_ends} "
+        f"in {report.duration_s:.2f}s"
+    )
+    print(
+        f"recovery: live={report.recovered_live} "
+        f"ended={report.recovered_ended} torn={report.torn_records} "
+        f"orphans={report.orphan_records}"
+    )
+    print(
+        f"audit: digests_checked={report.digests_checked} "
+        f"mismatches={len(report.digest_mismatches)} "
+        f"bit_identical={report.bit_identical} "
+        f"faults_fired={report.injected_total} "
+        f"all_fired={report.all_faults_fired} "
+        f"durability_timeouts={report.durability_timeouts}"
+    )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report: {args.report}")
+    if not report.ok:
+        print("chaos: FAILED (see mismatches/faults above)", file=sys.stderr)
+        return 1
+    print("chaos: OK")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -1226,6 +1336,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "wal":
         return _cmd_wal(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,357 @@
+"""Chaos soak: a full-stack load run under a fault plan, then the audit.
+
+``run_chaos`` is the harness behind ``repro chaos`` and the soak test
+suite.  One run is the whole story the fault-injection subsystem
+exists to tell:
+
+1. **Arm** a compiled plan (site/kind/hit schedule, seeded).
+2. **Soak**: start a persisted :class:`SessionManager` behind a real
+   TCP :class:`GatewayServer`, drive cohort-scripted sessions through a
+   :class:`GatewayClient` that survives the injected disconnects
+   (reconnect + resume, `duplicate` treated as an ack that got lost on
+   the wire), and wait for a fraction of the ENDs — the rest stay
+   mid-flight.
+3. **Kill**: discard-shutdown the gateway, exactly like the existing
+   kill-and-recover tests.  Injected torn writes have already left a
+   disorderly tail on disk.
+4. **Audit**: recover every shard journal and hold the run to the
+   durability contract — every rebuilt session's SHA-256 state digest
+   must equal an independent reference replay of its committed ops,
+   every END digest the client observed must equal a full-script
+   replay, no record may be orphaned, and every armed fault must have
+   fired exactly its scheduled count.
+
+The :class:`ChaosReport` is plain data (JSON-able) so CI can upload it
+as the chaos-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..obs import metrics as _obs
+from ..persist import PersistenceConfig, recover_shard, state_digest
+from ..persist.records import apply_scripted_op
+from ..serve import ServeConfig, SessionManager
+from ..video.player import SimulatedClock
+from . import install, uninstall
+from .plan import CompiledPlan, FaultPlan, builtin_plans
+
+__all__ = ["ChaosReport", "reference_digest", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run proved (or failed to prove)."""
+
+    plan: str
+    seed: int
+    shards: int
+    sessions: int
+    submitted: int
+    submit_failures: int
+    completed_ends: int
+    failed_ends: int
+    recovered_live: int
+    recovered_ended: int
+    torn_records: int
+    orphan_records: int
+    digests_checked: int
+    digest_mismatches: List[str] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    injected_total: int = 0
+    all_faults_fired: bool = False
+    durability_timeouts: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        """Every digest audited matched its reference replay."""
+        return self.digests_checked > 0 and not self.digest_mismatches
+
+    @property
+    def ok(self) -> bool:
+        """The gate ``repro chaos`` exits zero on."""
+        return (
+            self.bit_identical
+            and self.all_faults_fired
+            and self.orphan_records == 0
+            and self.submit_failures == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "shards": self.shards,
+            "sessions": self.sessions,
+            "submitted": self.submitted,
+            "submit_failures": self.submit_failures,
+            "completed_ends": self.completed_ends,
+            "failed_ends": self.failed_ends,
+            "recovered_live": self.recovered_live,
+            "recovered_ended": self.recovered_ended,
+            "torn_records": self.torn_records,
+            "orphan_records": self.orphan_records,
+            "digests_checked": self.digests_checked,
+            "digest_mismatches": list(self.digest_mismatches),
+            "bit_identical": self.bit_identical,
+            "faults": list(self.faults),
+            "injected_total": self.injected_total,
+            "all_faults_fired": self.all_faults_fired,
+            "durability_timeouts": self.durability_timeouts,
+            "ok": self.ok,
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+def reference_digest(game: Any, ops: List[Any], dt: float, upto: int) -> str:
+    """Replay ``ops[:upto]`` on a fresh engine; the bit-identity oracle.
+
+    Same simulated clock and the same shared step function the serving
+    layer and recovery both use — independent of the WAL entirely.
+    """
+    engine = game.new_engine(clock=SimulatedClock(0.0), with_video=False)
+    engine.start()
+    for op in ops[:upto]:
+        apply_scripted_op(engine, op, dt)
+    return state_digest(engine.state)
+
+
+async def _await_end(
+    client: Any, pid: str, timeout_s: float
+) -> Optional[Dict[str, Any]]:
+    """wait_end that rides out one injected disconnect."""
+    for attempt in (0, 1):
+        try:
+            return await client.wait_end(pid, timeout=timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            if attempt:
+                return None
+            try:
+                await client.reconnect()
+            except ConnectionError:
+                return None
+    return None
+
+
+async def _drive(
+    host: str,
+    port: int,
+    assignments: List[Tuple[str, Any]],
+    wait_for: int,
+    timeout_s: float,
+    trace_sample: float,
+) -> Tuple[List[str], int, Dict[str, Optional[str]], int]:
+    """Submit every assignment, await ``wait_for`` ENDs, stay alive
+    through injected drops.  Returns (submitted pids, submit failures,
+    pid -> END digest, failed ENDs)."""
+    from ..gateway.client import (
+        GatewayClient,
+        GatewayError,
+        GatewayRejected,
+    )
+
+    client = GatewayClient(
+        host, port, request_timeout_s=timeout_s, trace_sample=trace_sample,
+    )
+    await client.connect()
+    submitted: List[str] = []
+    submit_failures = 0
+    for pid, script in assignments:
+        ok = False
+        for _attempt in range(4):
+            try:
+                await client.submit(pid, script.ops, dt=script.dt)
+                ok = True
+                break
+            except GatewayRejected:
+                await asyncio.sleep(0.02)
+            except GatewayError as exc:
+                if exc.code == "duplicate":
+                    # the SUBMIT landed; only its ack died with the
+                    # faulted connection
+                    ok = True
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                try:
+                    await client.reconnect()
+                except ConnectionError:
+                    await asyncio.sleep(0.05)
+        if ok:
+            submitted.append(pid)
+        else:
+            submit_failures += 1
+    ends: Dict[str, Optional[str]] = {}
+    failed_ends = 0
+    for pid in submitted:
+        if len(ends) + failed_ends >= wait_for:
+            break
+        end = await _await_end(client, pid, timeout_s)
+        if end is None or end.get("failed"):
+            failed_ends += 1
+        else:
+            ends[pid] = end.get("digest")
+    try:
+        await client.close()
+    except (ConnectionError, OSError):
+        pass
+    return submitted, submit_failures, ends, failed_ends
+
+
+def run_chaos(
+    plan: Union[str, FaultPlan, CompiledPlan],
+    *,
+    seed: Optional[int] = None,
+    sessions: int = 24,
+    wait_for: Optional[int] = None,
+    n_shards: int = 2,
+    persist_dir: Optional[Union[str, Path]] = None,
+    game: Any = None,
+    scripts: Optional[List[Any]] = None,
+    tick_interval_s: float = 0.005,
+    max_steps_per_tick: int = 8,
+    group_window_s: float = 0.004,
+    snapshot_every: int = 0,
+    durable_wait_s: float = 1.0,
+    trace_sample: float = 0.0,
+    timeout_s: float = 60.0,
+) -> ChaosReport:
+    """One soak-kill-recover-audit cycle under a fault plan.
+
+    ``plan`` is a built-in plan name, a :class:`FaultPlan`, or an
+    already-compiled plan.  ``wait_for`` ENDs are awaited before the
+    kill (default: half the sessions), so the rest die mid-flight and
+    recovery has live sessions to rebuild.  With ``persist_dir`` unset
+    the WAL lives in a temp directory that is removed afterwards.
+    """
+    if isinstance(plan, str):
+        plans = builtin_plans()
+        if plan not in plans:
+            raise ValueError(
+                f"unknown plan {plan!r} (built-ins: {sorted(plans)})"
+            )
+        plan = plans[plan]
+    compiled = plan.compile(seed) if isinstance(plan, FaultPlan) else plan
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    wait_for = max(1, sessions // 2) if wait_for is None else wait_for
+
+    from ..core import fetch_quest_game
+    from ..gateway import GatewayServer, GatewayThread
+    from ..students import cohort_scripts
+
+    t0 = perf_counter()
+    if game is None:
+        game = fetch_quest_game(n_quests=2, title="chaos soak").build()
+    if scripts is None:
+        scripts = cohort_scripts(game, min(8, sessions), seed=compiled.seed)
+    assignments = [
+        (f"{scripts[k % len(scripts)].player_id}#c{k}",
+         scripts[k % len(scripts)])
+        for k in range(sessions)
+    ]
+
+    tmp = None
+    if persist_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        persist_dir = tmp.name
+    persistence = PersistenceConfig(
+        directory=persist_dir,
+        group_window_s=group_window_s,
+        snapshot_every=snapshot_every,
+    )
+    manager = SessionManager(ServeConfig(
+        n_shards=n_shards,
+        tick_interval_s=tick_interval_s,
+        max_steps_per_tick=max_steps_per_tick,
+        persistence=persistence,
+        durable_wait_s=durable_wait_s,
+    ))
+    server = GatewayServer(manager, game)
+    timeouts_before = _metric_total("repro_persist_durability_timeout_total")
+
+    injector = install(compiled)
+    try:
+        handle = GatewayThread(server).start()
+        try:
+            submitted, submit_failures, ends, failed_ends = asyncio.run(
+                _drive(handle.host, handle.port, assignments,
+                       wait_for, timeout_s, trace_sample)
+            )
+        finally:
+            # the kill: discard everything still in flight (journals
+            # close cleanly; injected tears already scarred the log)
+            handle.stop(drain=False)
+    finally:
+        uninstall()
+
+    # -- the audit -------------------------------------------------------
+    by_pid = dict(assignments)
+    mismatches: List[str] = []
+    checked = 0
+    recovered_live = recovered_ended = torn = orphans = 0
+    for shard in range(n_shards):
+        directory = persistence.shard_dir(shard)
+        if not directory.is_dir():
+            continue
+        report = recover_shard(
+            directory, game, with_video=False,
+            truncate=True, write_snapshots=False,
+        )
+        recovered_live += len(report.sessions)
+        recovered_ended += report.ended_sessions
+        torn += report.torn_records
+        orphans += report.orphan_records
+        for rec in report.sessions:
+            checked += 1
+            expect = reference_digest(game, rec.ops, rec.dt, rec.cursor)
+            if rec.digest != expect:
+                mismatches.append(rec.player_id)
+    for pid, digest in ends.items():
+        script = by_pid.get(pid)
+        if script is None or digest is None:
+            mismatches.append(pid)
+            continue
+        checked += 1
+        if digest != reference_digest(
+            game, script.ops, script.dt, len(script.ops)
+        ):
+            mismatches.append(pid)
+    if tmp is not None:
+        tmp.cleanup()
+
+    timeouts_after = _metric_total("repro_persist_durability_timeout_total")
+    return ChaosReport(
+        plan=compiled.name,
+        seed=compiled.seed,
+        shards=n_shards,
+        sessions=sessions,
+        submitted=len(submitted),
+        submit_failures=submit_failures,
+        completed_ends=len(ends),
+        failed_ends=failed_ends,
+        recovered_live=recovered_live,
+        recovered_ended=recovered_ended,
+        torn_records=torn,
+        orphan_records=orphans,
+        digests_checked=checked,
+        digest_mismatches=mismatches,
+        faults=injector.report(),
+        injected_total=injector.injected_total,
+        all_faults_fired=injector.all_fired(),
+        durability_timeouts=max(0, timeouts_after - timeouts_before),
+        duration_s=perf_counter() - t0,
+    )
+
+
+def _metric_total(name: str) -> int:
+    metric = _obs.get_registry().get(name)
+    if metric is None:
+        return 0
+    return int(metric.total())

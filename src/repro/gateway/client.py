@@ -232,10 +232,20 @@ class GatewayClient:
                 last_exc = exc
                 await self._teardown()
                 continue
-            if self.heartbeat_s > 0 and self._heartbeat_task is None:
-                self._heartbeat_task = asyncio.get_running_loop().create_task(
-                    self._heartbeat_loop()
-                )
+            if self.heartbeat_s > 0:
+                stale = self._heartbeat_task
+                if stale is not None and stale.done():
+                    # The previous loop died with its connection (e.g.
+                    # its own auto-reconnect exhausted every retry and
+                    # returned).  Clear the corpse, or this — and every
+                    # future — connection would run unheartbeated.
+                    self._heartbeat_task = None
+                if self._heartbeat_task is None:
+                    self._heartbeat_task = (
+                        asyncio.get_running_loop().create_task(
+                            self._heartbeat_loop()
+                        )
+                    )
             return statuses
         raise GatewayClosed(
             f"cannot reach gateway {self.host}:{self.port} after "

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Deque, Dict, List, Optional
 
+from .. import faultline as _fl
 from ..obs import attribution as _attr
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
@@ -409,6 +410,16 @@ class _Connection:
             self._dispatch(ftype, payload)
         return True
 
+    def _live_trace_ids(self) -> List[str]:
+        """Trace ids of the in-flight sessions riding this connection."""
+        out: List[str] = []
+        for pid in self.players:
+            entry = self.server._players.get(pid)
+            if entry is not None and entry.trace_id is not None \
+                    and entry.done_payload is None:
+                out.append(entry.trace_id)
+        return out
+
     async def _serve_frames(self) -> None:
         while not self.closed:
             frames = await self._read_frames(self.config.idle_timeout_s)
@@ -417,6 +428,21 @@ class _Connection:
             for ftype, payload in frames:
                 if self.closed:
                     return
+                if _fl.ACTIVE:
+                    action = _fl.fire(
+                        "gateway.frame", traces=self._live_trace_ids(),
+                        peer=str(self.peer),
+                        frame=FRAME_NAMES.get(ftype, "?"),
+                    )
+                    if action is not None:
+                        if action.kind == "delay" and action.seconds > 0:
+                            await asyncio.sleep(action.seconds)
+                        elif action.kind == "drop":
+                            # the wire died mid-frame-stream: this frame
+                            # (and everything after it) is lost, the
+                            # peer sees an abrupt disconnect
+                            self.abort("fault_injected")
+                            return
                 self._dispatch(ftype, payload)
 
     def _dispatch(self, ftype: int, payload: Dict[str, Any]) -> None:
@@ -544,6 +570,24 @@ class GatewayServer:
         if self._draining:
             writer.close()
             return
+        if _fl.ACTIVE:
+            action = _fl.fire(
+                "gateway.accept",
+                peer=str(writer.get_extra_info("peername")),
+            )
+            if action is not None:
+                if action.kind == "delay" and action.seconds > 0:
+                    await asyncio.sleep(action.seconds)
+                elif action.kind == "partition":
+                    # a network partition: every established connection
+                    # is severed and the new one never gets through
+                    for other in list(self._connections):
+                        other.abort("fault_injected")
+                    writer.close()
+                    return
+                elif action.kind == "drop":
+                    writer.close()
+                    return
         conn = _Connection(self, reader, writer)
         self._connections.append(conn)
         await conn.run()

@@ -43,9 +43,10 @@ import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from time import monotonic, perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from .. import faultline as _fl
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 from ..obs.tracing import span as _span
@@ -228,9 +229,17 @@ def _default_open(path: Path) -> Any:
     return open(path, "ab")
 
 
-def _fsync_file(fh: Any) -> None:
+def _fsync_file(fh: Any, label: str = "0") -> None:
     """fsync a file object; honours an injected ``fsync`` hook."""
     fh.flush()
+    if _fl.ACTIVE:
+        action = _fl.fire("wal.fsync", shard=label)
+        if action is not None:
+            if action.seconds > 0:
+                # a stalling device: the data lands, late
+                sleep(action.seconds)
+            if action.kind == "error":
+                raise OSError("faultline: injected fsync failure")
     fsync = getattr(fh, "fsync", None)
     if fsync is not None:
         fsync()
@@ -320,7 +329,7 @@ class Journal:
         self._segment_has_data = False
         header = encode_frame({"t": "h", "seg": seq, "first": first_lsn})
         self._fh.write(header)
-        _fsync_file(self._fh)
+        _fsync_file(self._fh, self.label)
         self._size = len(header)
         if _obs.enabled():
             _M_BYTES.inc(len(header), shard=self.label)
@@ -361,7 +370,7 @@ class Journal:
                 t0 = perf_counter()
                 try:
                     self._write_batch([(lsn, frame)])
-                    _fsync_file(self._fh)
+                    _fsync_file(self._fh, self.label)
                 except Exception as exc:
                     self._mark_failed(exc)
                     raise PersistError(f"journal failed: {exc!r}") from exc
@@ -417,7 +426,7 @@ class Journal:
                 # write the tail ourselves rather than lose it.
                 try:
                     self._write_batch([(lsn, fr) for lsn, fr, _ in leftovers])
-                    _fsync_file(self._fh)
+                    _fsync_file(self._fh, self.label)
                     with self._cond:
                         self._durable = leftovers[-1][0]
                 except Exception as exc:  # pragma: no cover - disk death
@@ -434,6 +443,31 @@ class Journal:
         _M_FAILURES.inc(shard=self.label)
         _LOG.error("persist.journal_failed", shard=self.label, error=repr(exc))
 
+    def _fault_write(self, frame: bytes) -> None:
+        """Faultline's ``wal.write`` hook: tear the tail, then die.
+
+        A torn write leaves a prefix of the frame on disk (flushed so
+        it is really there for recovery to find) and raises — the
+        journal fails exactly like it does on device death, and the
+        disorderly tail is what recovery must truncate and count.
+        """
+        action = _fl.fire("wal.write", shard=self.label)
+        if action is None:
+            return
+        if action.kind in ("torn_write", "short_write"):
+            if action.kind == "short_write":
+                cut = _FRAME.size  # header only, payload lost
+            else:
+                cut = max(_FRAME.size + 1, int(len(frame) * action.fraction))
+            cut = min(cut, len(frame) - 1)
+            self._fh.write(frame[:cut])
+            self._fh.flush()
+            raise OSError(
+                f"faultline: injected {action.kind} "
+                f"({cut}/{len(frame)} bytes reached the disk)"
+            )
+        raise OSError("faultline: injected write failure")
+
     def _write_batch(self, batch: List[Tuple[int, bytes]]) -> None:
         """Write frames, rotating segments by size; no fsync here."""
         for lsn, frame in batch:
@@ -441,12 +475,14 @@ class Journal:
                 self._segment_has_data
                 and self._size + len(frame) > self.config.segment_max_bytes
             ):
-                _fsync_file(self._fh)
+                _fsync_file(self._fh, self.label)
                 self._fh.close()
                 self._open_segment(self._seq + 1, first_lsn=lsn)
                 if _obs.enabled():
                     _M_ROTATED.inc(shard=self.label)
                     _M_FSYNC.inc(shard=self.label)
+            if _fl.ACTIVE:
+                self._fault_write(frame)
             self._fh.write(frame)
             self._size += len(frame)
             self._segment_has_data = True
@@ -481,7 +517,7 @@ class Journal:
                 with _span("wal.group_commit", shard=self.label,
                            batch=len(batch)):
                     self._write_batch([(lsn, fr) for lsn, fr, _ in batch])
-                    _fsync_file(self._fh)
+                    _fsync_file(self._fh, self.label)
             except Exception as exc:
                 with self._cond:
                     self._mark_failed(exc)

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from time import monotonic, perf_counter, sleep
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from .. import faultline as _fl
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
 from ..obs.attribution import get_store as _trace_store
@@ -105,6 +106,11 @@ _M_STEPS = _obs.counter(
     "repro_serve_steps_total",
     "Session steps executed across all shards, by shard",
 )
+_M_DURABILITY_TIMEOUT = _obs.counter(
+    "repro_persist_durability_timeout_total",
+    "Traced ENDs whose end record missed the durability wait "
+    "(group-commit timeout or journal failure), by shard",
+)
 
 _LOG = _obslog.get_logger("serve")
 
@@ -132,8 +138,14 @@ class ServeConfig:
     #: new sessions started per shard per tick (engine construction is
     #: paid here; bounding it keeps tick latency flat under a burst)
     max_admissions_per_tick: int = 32
-    #: poll interval for drain()/waiters
+    #: retained for compatibility: drain() used to poll at this
+    #: interval; it now waits on a condition variable and wakes the
+    #: moment the last in-flight session closes
     drain_poll_s: float = 0.005
+    #: how long a traced session's END may ride out its end record's
+    #: group commit before the END is reported non-durable (counted in
+    #: repro_persist_durability_timeout_total)
+    durable_wait_s: float = 5.0
     #: durability: when set, every shard owns a write-ahead journal
     #: under ``persistence.shard_dir(i)`` and the manager becomes
     #: crash-recoverable via :meth:`SessionManager.recover`
@@ -152,6 +164,8 @@ class ServeConfig:
             raise ValueError("max_admissions_per_tick must be >= 1")
         if self.drain_poll_s <= 0:
             raise ValueError("drain_poll_s must be positive")
+        if self.durable_wait_s <= 0:
+            raise ValueError("durable_wait_s must be positive")
 
     @property
     def steps_per_second_per_shard(self) -> float:
@@ -310,6 +324,12 @@ class _Shard:
 
     # -- shard thread --------------------------------------------------
     def _admit(self) -> None:
+        if _fl.ACTIVE:
+            action = _fl.fire("serve.admit", shard=self.label)
+            if action is not None and action.kind == "skip":
+                # queue-pressure spike: arrivals keep queueing, nothing
+                # starts this tick
+                return
         for _ in range(self.config.max_admissions_per_tick):
             with self._inbox_lock:
                 if not self._inbox:
@@ -379,8 +399,26 @@ class _Shard:
                             # commit (bounded by the window), so the
                             # fsync_wait phase is measured, not modelled
                             # — and their END implies a durable end
-                            # record.
-                            self._journal.wait_durable(end_lsn, timeout=5.0)
+                            # record.  A wait that comes back False
+                            # (flusher timeout or journal failure)
+                            # means that implication is broken: say so
+                            # instead of reporting a silently
+                            # non-durable END.
+                            durable = self._journal.wait_durable(
+                                end_lsn, timeout=self.config.durable_wait_s
+                            )
+                            if not durable:
+                                _M_DURABILITY_TIMEOUT.inc(shard=self.label)
+                                _LOG.warning(
+                                    "persist.durability_timeout",
+                                    shard=self.index,
+                                    player=session.player_id,
+                                    lsn=end_lsn,
+                                    waited_s=self.config.durable_wait_s,
+                                )
+                                _trace_store().annotate(
+                                    trace_id, durable=False
+                                )
                         _trace_store().mark(trace_id, "fsync_wait")
                 elif trace_id is not None:
                     # no journal: a zero-width mark keeps the phase
@@ -426,6 +464,13 @@ class _Shard:
                     self._discard_backlog()
                     break
                 t0 = perf_counter()
+                if _fl.ACTIVE:
+                    action = _fl.fire("serve.tick", shard=self.label)
+                    if action is not None and action.seconds > 0:
+                        # a stalled shard thread: the stall lands inside
+                        # the tick's busy time, so it shows up in the
+                        # repro_serve_tick_seconds histogram
+                        sleep(action.seconds)
                 self._admit()
                 self._step_batch()
                 busy = perf_counter() - t0
@@ -438,10 +483,16 @@ class _Shard:
                     break
                 remaining = interval - busy
                 if remaining > 0:
-                    # Plain sleep, not Event.wait: a stop request must
-                    # still let the current backlog drain, so nothing to
-                    # wake for.
-                    sleep(remaining)
+                    if self._stop.is_set():
+                        # Already stopping: keep the paced sleep so the
+                        # remaining backlog drains at tick rate instead
+                        # of a busy spin.
+                        sleep(remaining)
+                    else:
+                        # Idle pacing doubles as the stop wakeup: a
+                        # stop (or discard) request interrupts the wait
+                        # instead of riding out the rest of the tick.
+                        self._stop.wait(remaining)
         finally:
             # Flush-on-exit: close() drains the group-commit queue and
             # fsyncs, so shutdown(drain=True) — which joins this thread
@@ -463,6 +514,9 @@ class SessionManager:
             _Shard(i, self.config, self) for i in range(self.config.n_shards)
         ]
         self._lock = threading.Lock()
+        #: signalled when _inflight drops to zero; drain() waits on it
+        #: instead of polling
+        self._idle = threading.Condition(self._lock)
         self._inflight = 0
         self._rejected = 0
         self._accepting = False
@@ -571,6 +625,8 @@ class SessionManager:
     def _session_closed(self) -> None:
         with self._lock:
             self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
 
     # ------------------------------------------------------------------
     @property
@@ -615,17 +671,24 @@ class SessionManager:
 
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Stop admissions; wait for in-flight work. True when empty."""
-        with self._lock:
-            self._accepting = False
+        """Stop admissions; wait for in-flight work. True when empty.
+
+        Event-driven: the wait wakes the instant the last in-flight
+        session closes (each close notifies the condition once the
+        count hits zero), not on the next tick of a poll loop.
+        """
         deadline = None if timeout is None else monotonic() + timeout
-        while True:
-            with self._lock:
-                if self._inflight == 0:
-                    return True
-            if deadline is not None and monotonic() >= deadline:
-                return False
-            sleep(self.config.drain_poll_s)
+        with self._idle:
+            self._accepting = False
+            while self._inflight > 0:
+                if deadline is None:
+                    self._idle.wait()
+                else:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._idle.wait(remaining)
+            return True
 
     def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
         """Stop the shards (optionally draining first); idempotent.

@@ -208,3 +208,88 @@ class TestHeartbeat:
             asyncio.run(drive())
         after = sum(s.count for _k, s in metric.series())
         assert after > before, "heartbeat loop recorded no PING round trips"
+
+
+class TestHeartbeatLifecycle:
+    """The heartbeat task must not outlive its usefulness: a loop that
+    died with its connection is a corpse, and ``connect()`` must clear
+    it so the next connection gets a fresh one (regression: a dead task
+    used to satisfy the ``is None`` check forever, leaving every later
+    connection unheartbeated)."""
+
+    def test_dead_heartbeat_task_is_replaced_on_reconnect(
+        self, classroom_game, live
+    ):
+        from repro.gateway.protocol import HELLO, encode_frame
+
+        with GatewayThread(_slow_gateway(classroom_game)) as handle:
+            async def drive():
+                async def dark_server(reader, writer):
+                    # answer the handshake, then never speak again
+                    await reader.read(65536)
+                    writer.write(
+                        encode_frame(HELLO, {"seq": 1, "resumed": {}})
+                    )
+                    await writer.drain()
+                    await reader.read(65536)
+
+                dark = await asyncio.start_server(
+                    dark_server, "127.0.0.1", 0
+                )
+                dark_port = dark.sockets[0].getsockname()[1]
+                net = {"dark": True, "down": False}
+
+                async def connector(host, port):
+                    if net["down"]:
+                        raise ConnectionRefusedError("network down")
+                    target = dark_port if net["dark"] else handle.port
+                    return await asyncio.open_connection("127.0.0.1", target)
+
+                client = GatewayClient(
+                    handle.host, handle.port,
+                    heartbeat_s=0.03, idle_timeout_s=0.05,
+                    retries=0, auto_reconnect=True, connector=connector,
+                )
+                await client.connect()
+                first = client._heartbeat_task
+                assert first is not None and not first.done()
+                # the server goes silent and the network dies with it:
+                # the loop detects idleness, fails its own reconnect,
+                # and returns — a natural death, no cancellation
+                net["down"] = True
+                await asyncio.wait_for(first, timeout=10.0)
+                assert client._heartbeat_task is first  # the corpse stays
+                # the network heals, pointing at the real gateway now
+                net.update(down=False, dark=False)
+                await client.reconnect()
+                second = client._heartbeat_task
+                assert second is not None
+                assert second is not first, (
+                    "reconnect left the dead heartbeat task installed"
+                )
+                assert not second.done()
+                rtt = await client.ping()
+                assert rtt >= 0.0
+                await client.close()
+                dark.close()
+                await dark.wait_closed()
+
+            asyncio.run(drive())
+
+    def test_live_heartbeat_task_is_not_duplicated(
+        self, classroom_game, live
+    ):
+        with GatewayThread(_slow_gateway(classroom_game)) as handle:
+            async def drive():
+                client = GatewayClient(
+                    handle.host, handle.port,
+                    heartbeat_s=0.05, idle_timeout_s=5.0,
+                )
+                await client.connect()
+                first = client._heartbeat_task
+                await client.reconnect()
+                assert client._heartbeat_task is first
+                assert not first.done()
+                await client.close()
+
+            asyncio.run(drive())

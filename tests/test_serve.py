@@ -1,6 +1,7 @@
 """Tests for the sharded serving layer (repro.serve)."""
 
 import threading
+from time import perf_counter
 
 import pytest
 
@@ -252,3 +253,62 @@ class TestServeMetrics:
         for label in ("0", "1"):
             assert _value("repro_serve_active_sessions", shard=label) == 0
             assert _value("repro_serve_queue_depth", shard=label) == 0
+
+
+class TestEventDrivenDrain:
+    """drain() waits on a condition variable now, not a poll loop —
+    same observable behavior (the burst/backpressure/timeout tests
+    above all still pass), but completion wakes it immediately."""
+
+    def test_drain_returns_without_waiting_a_poll_interval(
+        self, classroom_game, scripts
+    ):
+        # With the old implementation this config forced drain() to
+        # sleep drain_poll_s between checks; event-driven drain must
+        # return as soon as the last session closes.
+        cfg = ServeConfig(n_shards=2, tick_interval_s=0.002,
+                          max_steps_per_tick=50, drain_poll_s=30.0)
+        factory = session_factory_for_script(classroom_game, scripts[0])
+        manager = SessionManager(cfg).start()
+        try:
+            for k in range(6):
+                assert manager.submit(f"cv-{k}", factory)
+            t0 = perf_counter()
+            assert manager.drain(timeout=25.0)
+            elapsed = perf_counter() - t0
+        finally:
+            manager.shutdown(drain=False)
+        assert elapsed < 20.0, (
+            f"drain took {elapsed:.1f}s — still polling at drain_poll_s?"
+        )
+        assert manager.in_flight == 0
+
+    def test_drain_timeout_is_still_honored(self, classroom_game, scripts):
+        # One op per 0.2s tick: the sessions cannot finish in 0.2s, so
+        # a short drain must report failure (and promptly).
+        cfg = ServeConfig(n_shards=1, tick_interval_s=0.2,
+                          max_steps_per_tick=1, drain_poll_s=30.0)
+        factory = session_factory_for_script(classroom_game, scripts[0])
+        manager = SessionManager(cfg).start()
+        try:
+            for k in range(4):
+                manager.submit(f"slow-{k}", factory)
+            t0 = perf_counter()
+            drained = manager.drain(timeout=0.3)
+            elapsed = perf_counter() - t0
+        finally:
+            manager.shutdown(drain=False)
+        assert not drained
+        assert 0.25 <= elapsed < 5.0
+
+    def test_drain_with_nothing_in_flight_is_immediate(self):
+        manager = SessionManager(ServeConfig(
+            n_shards=1, drain_poll_s=30.0
+        )).start()
+        try:
+            t0 = perf_counter()
+            assert manager.drain(timeout=10.0)
+            elapsed = perf_counter() - t0
+        finally:
+            manager.shutdown(drain=False)
+        assert elapsed < 1.0
