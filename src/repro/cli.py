@@ -312,6 +312,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full chaos report (faults fired, recovery "
              "digests, counters) to this JSON file",
     )
+
+    p_repl = sub.add_parser(
+        "repl",
+        help="WAL-shipping replication: ship a journal, inspect it, "
+             "promote a standby",
+    )
+    p_repl.add_argument(
+        "action", choices=("serve", "status", "promote"),
+        help="serve: ship this persistence root to standbys over TCP; "
+             "status: per-shard epoch/tip summary of a root; promote: "
+             "offline failover — fence epochs and adopt the journals",
+    )
+    p_repl.add_argument(
+        "directory", type=Path,
+        help="persistence root (contains shard-*/ journal directories)",
+    )
+    p_repl.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: inferred from the shard-* dirs)",
+    )
+    p_repl.add_argument(
+        "--host", default="127.0.0.1",
+        help="for 'serve': listen address (default 127.0.0.1)",
+    )
+    p_repl.add_argument(
+        "--port", type=int, default=0,
+        help="for 'serve': listen port (default: ephemeral, printed)",
+    )
+    p_repl.add_argument(
+        "--duration", type=float, default=None,
+        help="for 'serve': stop after this many seconds "
+             "(default: run until Ctrl-C)",
+    )
+    p_repl.add_argument(
+        "--project", type=Path, default=None,
+        help="for 'promote': the game project the sessions were playing "
+             "— enables the post-promotion digest audit",
+    )
+    p_repl.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of tables",
+    )
     return parser
 
 
@@ -1273,6 +1315,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("error: --wait must be >= 1", file=sys.stderr)
         return 2
     obs.enable()
+    if any(spec.site.startswith("repl.") for spec in plans[args.plan].specs):
+        # plans that fault the shipping link need the whole
+        # primary/standby/promote cycle, not the single-node soak
+        return _chaos_repl(args)
     report = run_chaos(
         args.plan,
         seed=args.seed,
@@ -1314,6 +1360,148 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_repl(args: argparse.Namespace) -> int:
+    import json
+
+    from .replicate import run_repl_chaos
+    from .reporting import format_table
+
+    kill_after = (
+        args.wait / args.sessions if args.wait is not None else 0.5
+    )
+    report = run_repl_chaos(
+        args.plan,
+        seed=args.seed,
+        sessions=args.sessions,
+        n_shards=args.shards,
+        primary_dir=args.persist_dir,
+        kill_after_fraction=kill_after,
+    )
+    print(format_table(
+        report.faults,
+        title=f"Fault schedule (plan={report.plan} seed={report.seed})",
+    ))
+    print(
+        f"soak: offered={report.sessions} submitted={report.submitted} "
+        f"completed_before_kill={report.completed_before_kill} "
+        f"in {report.duration_s:.2f}s"
+    )
+    print(
+        f"failover: caught_up={report.caught_up} "
+        f"detected={report.promote_detected} "
+        f"epochs={report.promoted_epochs} "
+        f"truncated_bytes={report.truncated_bytes}"
+    )
+    print(
+        f"audit: primary_records={report.primary_records} "
+        f"replica_records={report.replica_records} "
+        f"lost={report.lost_records} "
+        f"digests_checked={report.digests_checked} "
+        f"mismatches={len(report.digest_mismatches)} "
+        f"resumed={report.resumed_completed}/{report.resumed_live} "
+        f"all_fired={report.all_faults_fired}"
+    )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report: {args.report}")
+    if not report.ok:
+        print("chaos: FAILED (see audit above)", file=sys.stderr)
+        return 1
+    print("chaos: OK")
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    import json
+    from time import sleep as _sleep
+
+    from . import obs
+    from .reporting import format_table
+
+    directory: Path = args.directory
+    shard_dirs = sorted(
+        entry for entry in directory.iterdir()
+        if entry.is_dir() and entry.name.startswith("shard-")
+    ) if directory.is_dir() else []
+    n_shards = args.shards if args.shards is not None else len(shard_dirs)
+
+    if args.action == "serve":
+        if n_shards < 1:
+            print(f"error: no shard-* journals under {directory} "
+                  "(pass --shards to serve an empty root)", file=sys.stderr)
+            return 2
+        from .persist import PersistenceConfig
+        from .replicate import ReplicationSource
+
+        obs.enable()
+        source = ReplicationSource(
+            PersistenceConfig(directory=directory), n_shards,
+            host=args.host, port=args.port,
+        ).start()
+        print(f"replication source: shipping {n_shards} shard(s) of "
+              f"{directory} on {source.host}:{source.port}")
+        try:
+            if args.duration is not None:
+                _sleep(args.duration)
+            else:  # pragma: no cover - interactive
+                while True:
+                    _sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            source.stop()
+        return 0
+
+    if args.action == "status":
+        from .persist import scan_journal
+        from .replicate import read_epoch
+
+        rows = []
+        for index, shard_dir in enumerate(shard_dirs):
+            scan = scan_journal(shard_dir, truncate=False)
+            rows.append({
+                "shard": index,
+                "dir": shard_dir.name,
+                "epoch": read_epoch(shard_dir),
+                "segments": scan.segments,
+                "records": len(scan.records),
+                "tip_lsn": scan.tip_lsn,
+                "torn": scan.torn_records,
+            })
+        if args.json:
+            print(json.dumps({"root": str(directory), "shards": rows},
+                             indent=2, sort_keys=True))
+        else:
+            print(format_table(rows, title=f"Replication status: {directory}"))
+        return 0
+
+    # promote
+    if not shard_dirs:
+        print(f"error: no shard-* journals under {directory}",
+              file=sys.stderr)
+        return 2
+    from .replicate import promote_directory
+
+    game = None
+    if args.project is not None:
+        from .core import load_project
+
+        game = load_project(args.project).compile()
+    report = promote_directory(directory, game=game)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_table(report.shards,
+                           title=f"Promoted: {directory}"))
+        if report.digests:
+            print(f"audit: {len(report.digests)} live session(s) "
+                  "recovered from the promoted log")
+        print(f"promotion took {report.duration_s:.3f}s; the root is now "
+              "a primary persistence directory")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -1340,6 +1528,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "wal":
         return _cmd_wal(args)
+    if args.command == "repl":
+        return _cmd_repl(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -26,6 +26,10 @@ Sites and the fault kinds they accept:
 ``serve.tick``          ``stall`` a shard thread mid-tick
 ``serve.admit``         ``skip`` one tick's admissions (queue-pressure
                         spike: arrivals keep queueing, nothing starts)
+``repl.link``           ``drop`` (sever one standby's shipping
+                        connection) / ``delay`` a shipped batch /
+                        ``partition`` (sever every shipping connection
+                        at once)
 ======================  ==================================================
 
 Hit counting is global per site (not per shard/connection) and lives in
@@ -56,6 +60,7 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "wal.fsync": ("stall", "error"),
     "serve.tick": ("stall",),
     "serve.admit": ("skip",),
+    "repl.link": ("drop", "delay", "partition"),
 }
 
 
@@ -211,6 +216,18 @@ def builtin_plans() -> Dict[str, FaultPlan]:
                         "SUBMIT stream",
             specs=(
                 FaultSpec("gateway.frame", "drop", at=None, window=(3, 8)),
+            ),
+        ),
+        FaultPlan(
+            name="repl-kill-primary",
+            description="the shipping link jitters (one delayed batch, "
+                        "one severed connection forcing a reconnect), "
+                        "then the primary is killed and the standby "
+                        "promoted — the replication chaos scenario",
+            specs=(
+                FaultSpec("repl.link", "delay", at=None, window=(2, 6),
+                          seconds=0.02),
+                FaultSpec("repl.link", "drop", at=None, window=(8, 16)),
             ),
         ),
         FaultPlan(

@@ -40,6 +40,7 @@ from .protocol import (
     HELLO,
     INPUT,
     PING,
+    QUERY,
     STATE,
     SUBMIT,
     FrameDecoder,
@@ -457,6 +458,19 @@ class GatewayClient:
         return await self._request(INPUT, {
             "player": player_id, "op": op_to_dict(op),
         }, timeout=timeout)
+
+    async def query(
+        self, player_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Read-only session status lookup (protocol v3).
+
+        Against a read-replica gateway this answers from the standby's
+        lag-bounded view (raising :class:`GatewayError` with code
+        ``replica_lagging`` when the replica is too far behind);
+        against a primary it reports live/done status.
+        """
+        return await self._request(QUERY, {"player": player_id},
+                                   timeout=timeout)
 
     async def ping(self, timeout: Optional[float] = None) -> float:
         """Round-trip one PING; returns (and records) the RTT seconds."""

@@ -39,6 +39,10 @@ Frame types (client → server unless noted):
 ``PING``
     Heartbeat; the receiving side echoes the frame back unchanged, so
     round-trip time is measurable from either end.
+``QUERY`` (v3+)
+    Read-only lookup of one player's session status; answered with
+    STATE (live/done/replica view) or ERROR.  On a read-replica
+    gateway this is the *only* accepted session verb.
 
 A decoder never guesses across corruption: any header/CRC/JSON fault
 raises :class:`ProtocolError` and the connection must be torn down —
@@ -55,7 +59,10 @@ for resumed sessions), SUBMIT and INPUT (``trace``) may carry a
 request-trace id which the server threads through the shard and WAL
 layers and echoes on STATE/END — see :mod:`repro.obs.attribution`.
 Unknown payload keys were always ignored, so the field is also
-harmless to v1 peers.
+harmless to v1 peers.  Version 3 adds the ``QUERY`` frame: a read-only
+lookup of one player's session state, answered with STATE or ERROR —
+the read path a lag-aware replica gateway serves
+(:mod:`repro.replicate`).
 """
 
 from __future__ import annotations
@@ -80,6 +87,7 @@ __all__ = [
     "PING",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "QUERY",
     "STATE",
     "SUBMIT",
     "SUPPORTED_VERSIONS",
@@ -88,9 +96,10 @@ __all__ = [
     "negotiate_version",
 ]
 
-#: the newest protocol this build speaks (v2 = optional trace context);
-#: every frame header carries the sender's version in byte 0
-PROTOCOL_VERSION = 2
+#: the newest protocol this build speaks (v2 = optional trace context,
+#: v3 = QUERY read path for replicas); every frame header carries the
+#: sender's version in byte 0
+PROTOCOL_VERSION = 3
 
 #: the oldest version still accepted on the wire
 MIN_PROTOCOL_VERSION = 1
@@ -129,6 +138,7 @@ STATE = 4
 END = 5
 ERROR = 6
 PING = 7
+QUERY = 8
 
 FRAME_NAMES: Dict[int, str] = {
     HELLO: "hello",
@@ -138,6 +148,7 @@ FRAME_NAMES: Dict[int, str] = {
     END: "end",
     ERROR: "error",
     PING: "ping",
+    QUERY: "query",
 }
 FRAME_TYPES = frozenset(FRAME_NAMES)
 
@@ -158,15 +169,24 @@ def encode_frame(
     ftype: int,
     payload: Dict[str, Any],
     version: int = PROTOCOL_VERSION,
+    frame_types: "frozenset[int]" = FRAME_TYPES,
+    versions: "frozenset[int]" = SUPPORTED_VERSIONS,
 ) -> bytes:
-    """Frame one payload dict; raises :class:`ProtocolError` on misuse."""
-    if ftype not in FRAME_TYPES:
+    """Frame one payload dict; raises :class:`ProtocolError` on misuse.
+
+    ``frame_types``/``versions`` default to the gateway's vocabulary;
+    the replication protocol passes its own (same framing, different
+    frame-type and version sets).
+    """
+    if ftype not in frame_types:
         raise ProtocolError(f"unknown frame type {ftype}")
-    if version not in SUPPORTED_VERSIONS:
+    if version not in versions:
         raise VersionMismatch(f"cannot encode protocol version {version}")
     body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
-        raise FrameTooLarge(f"{FRAME_NAMES[ftype]} payload is {len(body)} bytes")
+        raise FrameTooLarge(
+            f"{FRAME_NAMES.get(ftype, ftype)} payload is {len(body)} bytes"
+        )
     head = struct.pack("<BBII", version, ftype, len(body), zlib.crc32(body))
     return head + struct.pack("<I", zlib.crc32(head)) + body
 
@@ -181,11 +201,24 @@ class FrameDecoder:
     find the next frame boundary.
     """
 
-    __slots__ = ("_buf", "max_frame_bytes", "_poisoned", "last_version")
+    __slots__ = (
+        "_buf", "max_frame_bytes", "_poisoned", "last_version",
+        "frame_types", "versions",
+    )
 
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        frame_types: "frozenset[int]" = FRAME_TYPES,
+        versions: "frozenset[int]" = SUPPORTED_VERSIONS,
+    ) -> None:
         self._buf = bytearray()
         self.max_frame_bytes = max_frame_bytes
+        #: accepted frame types / version bytes — the gateway's by
+        #: default; the replication protocol reuses this decoder with
+        #: its own sets (same framing, different vocabulary)
+        self.frame_types = frame_types
+        self.versions = versions
         self._poisoned = False
         #: version byte of the most recent accepted frame (None before
         #: the first) — what the server negotiates against at HELLO
@@ -206,13 +239,13 @@ class FrameDecoder:
             version, ftype, length, pay_crc, head_crc = HEADER.unpack_from(self._buf)
             if zlib.crc32(bytes(self._buf[: HEADER.size - 4])) != head_crc:
                 self._fail("corrupt frame header (CRC mismatch)")
-            if version not in SUPPORTED_VERSIONS:
+            if version not in self.versions:
                 self._fail(
                     f"protocol version {version}, supported "
-                    f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}",
+                    f"{sorted(self.versions)}",
                     VersionMismatch,
                 )
-            if ftype not in FRAME_TYPES:
+            if ftype not in self.frame_types:
                 self._fail(f"unknown frame type {ftype}")
             if length > self.max_frame_bytes:
                 self._fail(

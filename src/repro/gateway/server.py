@@ -56,6 +56,7 @@ from .protocol import (
     INPUT,
     PING,
     PROTOCOL_VERSION,
+    QUERY,
     STATE,
     SUBMIT,
     FrameDecoder,
@@ -454,6 +455,8 @@ class _Connection:
             self.server._handle_submit(self, payload)
         elif ftype == INPUT:
             self.server._handle_input(self, payload)
+        elif ftype == QUERY:
+            self.server._handle_query(self, payload)
         elif ftype == HELLO:
             resumed = self.server._attach_players(
                 self, payload.get("resume") or [],
@@ -494,11 +497,18 @@ class GatewayServer:
         game: Any,
         config: Optional[GatewayConfig] = None,
         with_video: bool = False,
+        read_replica: Optional[Any] = None,
     ) -> None:
         self.manager = manager
         self.game = game
         self.config = config or GatewayConfig()
         self.with_video = with_video
+        #: a :class:`repro.replicate.StandbyReplica` (or anything with
+        #: its ``query``/``status`` shape).  When set, this gateway is
+        #: a *read replica*: SUBMIT/INPUT are rejected with a
+        #: ``read_only`` error and QUERY answers from the replica's
+        #: lag-bounded view instead of the live player table.
+        self.read_replica = read_replica
         self._players: Dict[str, _PlayerEntry] = {}
         self._finished: "OrderedDict[str, None]" = OrderedDict()
         self._connections: List[_Connection] = []
@@ -692,6 +702,10 @@ class GatewayServer:
         if not pid or not isinstance(pid, str):
             conn.send_error("bad_submit", "missing player id", seq=seq)
             return
+        if self.read_replica is not None:
+            conn.send_error("read_only", "this gateway serves a standby "
+                            "replica; submit to the primary", seq=seq)
+            return
         if self._draining:
             conn.send_error("draining", "gateway is shutting down", seq=seq)
             return
@@ -771,6 +785,10 @@ class GatewayServer:
     def _handle_input(self, conn: _Connection, payload: Dict[str, Any]) -> None:
         seq = payload.get("seq")
         pid = payload.get("player")
+        if self.read_replica is not None:
+            conn.send_error("read_only", "this gateway serves a standby "
+                            "replica; send input to the primary", seq=seq)
+            return
         entry = self._players.get(pid) if isinstance(pid, str) else None
         if entry is None:
             conn.send_error("unknown_player", f"no session {pid!r}", seq=seq)
@@ -797,6 +815,50 @@ class GatewayServer:
                             "does not accept live input", seq=seq)
             return
         conn.send(STATE, {"player": pid, "status": "queued", "seq": seq})
+
+    def _handle_query(self, conn: _Connection, payload: Dict[str, Any]) -> None:
+        """Read-only session status (protocol v3).
+
+        On a read-replica gateway the answer comes from the standby's
+        lag-bounded view; on a primary it reflects the live player
+        table — either way QUERY never mutates anything.
+        """
+        seq = payload.get("seq")
+        pid = payload.get("player")
+        if not pid or not isinstance(pid, str):
+            conn.send_error("bad_query", "missing player id", seq=seq)
+            return
+        if self.read_replica is not None:
+            from ..replicate import ReplicaLagging
+
+            try:
+                view = self.read_replica.query(pid)
+            except ReplicaLagging as exc:
+                conn.send_error("replica_lagging", str(exc), seq=seq)
+                return
+            except KeyError:
+                conn.send_error("unknown_player", f"no session {pid!r}", seq=seq)
+                return
+            view = dict(view)
+            view["seq"] = seq
+            conn.send(STATE, view)
+            return
+        entry = self._players.get(pid)
+        if entry is None:
+            conn.send_error("unknown_player", f"no session {pid!r}", seq=seq)
+            return
+        if entry.done_payload is not None:
+            ack = {
+                "player": pid, "status": "done", "seq": seq,
+                "digest": entry.done_payload.get("digest"),
+                "outcome": entry.done_payload.get("outcome"),
+            }
+        else:
+            ack = {
+                "player": pid, "status": "live", "seq": seq,
+                "shard": self.manager.shard_for(pid),
+            }
+        conn.send(STATE, ack)
 
     # -- completion bridge ---------------------------------------------
     def _on_session_done(self, session: ServedSession) -> None:

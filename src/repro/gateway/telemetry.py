@@ -202,7 +202,7 @@ class TelemetryServer:
     def _health(self) -> Dict[str, Any]:
         gw = self.gateway
         manager = gw.manager
-        return {
+        health = {
             "status": "draining" if gw._draining else "ok",
             "shards": manager.config.n_shards,
             "connections": len(gw._connections),
@@ -213,3 +213,13 @@ class TelemetryServer:
             "open_traces": get_store().open_count,
             "ring_samples": len(_obs.get_ring()),
         }
+        replica = getattr(gw, "read_replica", None)
+        if replica is not None:
+            # read-replica gateway: surface per-shard shipping lag so a
+            # scraper can tell "healthy standby" from "falling behind"
+            try:
+                health["replication"] = replica.status()
+                health["status"] = "replica"
+            except Exception:  # pragma: no cover - replica mid-teardown
+                health["replication"] = {"error": "unavailable"}
+        return health

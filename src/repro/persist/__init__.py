@@ -29,8 +29,10 @@ in ``examples/slo.toml``.
 
 from .records import (
     PersistError,
+    WalLayoutError,
     apply_scripted_op,
     end_record,
+    fence_record,
     input_record,
     op_from_dict,
     op_to_dict,
@@ -41,6 +43,8 @@ from .recovery import (
     RecoveredSession,
     ScanReport,
     ShardRecovery,
+    ensure_wal_layout,
+    rebuild_engine,
     recover_shard,
     scan_journal,
 )
@@ -67,16 +71,20 @@ __all__ = [
     "ScanReport",
     "ShardRecovery",
     "SnapshotStore",
+    "WalLayoutError",
     "apply_scripted_op",
     "compact_segments",
     "compaction_watermark",
     "encode_frame",
     "end_record",
+    "ensure_wal_layout",
+    "fence_record",
     "input_record",
     "list_segments",
     "op_from_dict",
     "op_to_dict",
     "read_segment",
+    "rebuild_engine",
     "recover_shard",
     "scan_journal",
     "segment_first_lsn",

@@ -40,10 +40,13 @@ from ..runtime.state import GameState
 __all__ = [
     "PersistError",
     "REC_END",
+    "REC_FENCE",
     "REC_INPUT",
     "REC_START",
+    "WalLayoutError",
     "apply_scripted_op",
     "end_record",
+    "fence_record",
     "input_record",
     "op_from_dict",
     "op_to_dict",
@@ -56,10 +59,23 @@ __all__ = [
 REC_START = "start"
 REC_INPUT = "input"
 REC_END = "end"
+#: epoch fence: everything after this record belongs to a new primary
+#: (appended by replication failover; carries no session id on purpose)
+REC_FENCE = "fence"
 
 
 class PersistError(RuntimeError):
     """Raised on invalid persistence operations or unreadable journals."""
+
+
+class WalLayoutError(PersistError):
+    """A directory offered as a WAL is not one.
+
+    Raised *before* any scan or replay when a journal directory exists
+    but holds a foreign or empty layout (no ``wal-*.log`` segments, or a
+    persistence root with no ``shard-*`` directories) — the caller
+    almost certainly pointed recovery at the wrong path, and a clear
+    error beats failing deep inside the record fold."""
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +142,14 @@ def input_record(player_id: str, op: Any) -> Dict[str, Any]:
 
 def end_record(player_id: str, outcome: Optional[str]) -> Dict[str, Any]:
     return {"t": REC_END, "sid": player_id, "out": outcome}
+
+
+def fence_record(epoch: int) -> Dict[str, Any]:
+    """Epoch fence appended at promotion: records after it were written
+    by the new primary; an old primary at a lower epoch is rejected."""
+    if epoch < 1:
+        raise PersistError("epoch must be >= 1")
+    return {"t": REC_FENCE, "epoch": int(epoch)}
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs import logging as _obslog
 from ..obs import metrics as _obs
@@ -39,20 +39,24 @@ from ..runtime.state import GameState
 from ..video.player import SimulatedClock
 from .records import (
     REC_END,
+    REC_FENCE,
     REC_INPUT,
     REC_START,
+    WalLayoutError,
     apply_scripted_op,
     op_from_dict,
     ops_from_dicts,
     state_digest,
 )
-from .snapshot import SnapshotStore, snapshot_dir_for
+from .snapshot import SNAPSHOT_DIRNAME, SnapshotStore, snapshot_dir_for
 from .wal import _M_TORN, list_segments, read_segment
 
 __all__ = [
     "RecoveredSession",
     "ScanReport",
     "ShardRecovery",
+    "ensure_wal_layout",
+    "rebuild_engine",
     "recover_shard",
     "scan_journal",
 ]
@@ -71,6 +75,42 @@ _M_RECOVERED = _obs.counter(
 )
 
 _LOG = _obslog.get_logger("persist")
+
+#: non-segment entries a healthy shard journal directory may contain
+_KNOWN_SIDECARS = frozenset({SNAPSHOT_DIRNAME, "EPOCH"})
+
+
+def ensure_wal_layout(directory: Union[str, Path]) -> None:
+    """Fail fast when ``directory`` exists but is not a shard journal.
+
+    A real shard journal always holds at least one ``wal-*.log``
+    segment (the journal writes segment 1 the moment it opens, and
+    compaction never deletes the active segment).  A directory that
+    exists with no segments is therefore either empty (wrong path,
+    nothing was ever journalled there) or foreign (somebody else's
+    files) — both raise :class:`WalLayoutError` with the offending
+    entries named, instead of an empty-looking recovery or a failure
+    deep inside the record fold.  A directory that does not exist is
+    fine: that is the fresh-start case recovery already handles.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    if list_segments(directory):
+        return
+    foreign = sorted(
+        entry.name for entry in directory.iterdir()
+        if entry.name not in _KNOWN_SIDECARS
+    )
+    if foreign:
+        raise WalLayoutError(
+            f"{directory} is not a WAL directory: no wal-*.log segments, "
+            f"found foreign entries {foreign[:5]}"
+        )
+    raise WalLayoutError(
+        f"{directory} exists but holds no WAL segments (empty layout); "
+        "refusing to recover from the wrong directory"
+    )
 
 
 @dataclass(slots=True)
@@ -197,6 +237,10 @@ def _fold_records(
     orphans = 0
     for record in records:
         kind = record.get("t")
+        if kind == REC_FENCE:
+            # an epoch fence from replication failover: shard-wide
+            # metadata, deliberately session-less — not an orphan
+            continue
         sid = record.get("sid")
         lsn = int(record.get("n", 0))
         if sid is None:
@@ -228,22 +272,44 @@ def _fold_records(
     return table, orphans
 
 
-def _rebuild_engine(game: Any, entry: _Rebuild, with_video: bool) -> Any:
-    """Fresh engine restored to the snapshot state, log replayed on top."""
-    state = GameState.from_dict(entry.state) if entry.state is not None else None
-    clock = SimulatedClock(start=state.play_time if state is not None else 0.0)
+def rebuild_engine(
+    game: Any,
+    state: Optional[Dict[str, Any]] = None,
+    replay: Sequence[Dict[str, Any]] = (),
+    dt: float = 0.25,
+    with_video: bool = False,
+) -> Any:
+    """Fresh engine restored to ``state``, ``replay`` op dicts on top.
+
+    This is the single definition of "rebuild a session from durable
+    parts" shared by crash recovery and the replication applier: a
+    simulated clock rewound to the saved play time, snapshot state
+    installed, then each serialised op pushed through
+    :func:`apply_scripted_op` — so any rebuilt engine is bit-identical
+    to the primary that wrote the log.
+    """
+    gs = GameState.from_dict(state) if state is not None else None
+    clock = SimulatedClock(start=gs.play_time if gs is not None else 0.0)
     engine = game.new_engine(clock=clock, with_video=with_video)
     engine.start()
-    if state is not None:
-        engine.state = state
+    if gs is not None:
+        engine.state = gs
         if engine.player is not None:
-            sc = engine.scenarios[state.current_scenario]
+            sc = engine.scenarios[gs.current_scenario]
             engine.player.loop_segment = sc.loop
             engine.player.play(sc.segment_ref)
         engine.compositor.invalidate()
-    for op_dict in entry.replay:
-        apply_scripted_op(engine, op_from_dict(op_dict), entry.dt)
+    for op_dict in replay:
+        apply_scripted_op(engine, op_from_dict(op_dict), dt)
     return engine
+
+
+def _rebuild_engine(game: Any, entry: _Rebuild, with_video: bool) -> Any:
+    """Fresh engine restored to the snapshot state, log replayed on top."""
+    return rebuild_engine(
+        game, state=entry.state, replay=entry.replay,
+        dt=entry.dt, with_video=with_video,
+    )
 
 
 def recover_shard(
@@ -263,6 +329,7 @@ def recover_shard(
     """
     t0 = perf_counter()
     directory = Path(directory)
+    ensure_wal_layout(directory)
     scan = scan_journal(directory, truncate=truncate)
     store = SnapshotStore(snapshot_dir_for(directory))
     snapshots, rejected = store.load_all()

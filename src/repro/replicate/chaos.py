@@ -1,0 +1,362 @@
+"""Kill-the-primary chaos: replicate under faults, promote, audit.
+
+``run_repl_chaos`` is the harness behind ``repro chaos repl-kill-primary``
+and the failover soak tests.  One run tells the whole replication
+story end to end:
+
+1. **Arm** a compiled fault plan targeting the ``repl.link`` site
+   (delayed batches, severed shipping connections).
+2. **Soak**: a persisted :class:`SessionManager` drives cohort-scripted
+   sessions while a :class:`ReplicationSource` ships its WAL to a
+   :class:`StandbyReplica`, reconnect-resuming through every injected
+   link fault.
+3. **Kill**: once a fraction of the sessions has finished, the primary
+   is discard-shutdown — mid-flight sessions die exactly as in the
+   persist chaos harness.  The standby catches up to the primary's
+   durable tips, then the source goes away and heartbeats stop.
+4. **Promote**: the :class:`Promoter` notices the silence, fences the
+   epoch, truncates any un-committed tail and adopts the log.
+5. **Audit** the durability contract across the failover:
+
+   * *zero lost durable inputs* — every record in the primary's journal
+     is present in the promoted standby's journal, shard by shard;
+   * *bit-identity* — every mirrored session's state digest equals an
+     independent reference replay of its applied ops, and the digests
+     recovery computes from the promoted log agree with the standby's
+     in-memory mirror;
+   * *service resumes* — a fresh manager recovers from the promoted
+     directory and drains the surviving sessions to completion;
+   * *the plan fired* — every armed fault injected its scheduled count.
+
+The :class:`ReplChaosReport` is plain data (JSON-able) for the CI
+replication-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic, perf_counter, sleep
+from typing import Any, Dict, List, Optional, Union
+
+from ..faultline import install, uninstall
+from ..faultline.chaos import reference_digest
+from ..faultline.plan import CompiledPlan, FaultPlan, builtin_plans
+from ..persist import PersistenceConfig, scan_journal, state_digest
+from ..persist.records import REC_FENCE, ops_from_dicts
+from ..serve import ServeConfig, SessionManager
+from ..serve.session import session_factory_for_script
+from .promote import Promoter
+from .replica import StandbyReplica
+from .source import ReplicationSource
+
+__all__ = ["ReplChaosReport", "run_repl_chaos"]
+
+
+@dataclass
+class ReplChaosReport:
+    """Everything one replication chaos run proved (or failed to)."""
+
+    plan: str
+    seed: int
+    shards: int
+    sessions: int
+    submitted: int
+    completed_before_kill: int
+    primary_records: int
+    replica_records: int
+    lost_records: int
+    caught_up: bool
+    promote_detected: bool
+    promoted_epochs: Dict[int, int] = field(default_factory=dict)
+    truncated_bytes: int = 0
+    digests_checked: int = 0
+    digest_mismatches: List[str] = field(default_factory=list)
+    resumed_live: int = 0
+    resumed_completed: int = 0
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    injected_total: int = 0
+    all_faults_fired: bool = False
+    duration_s: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        """Every digest audited matched its reference replay."""
+        return self.digests_checked > 0 and not self.digest_mismatches
+
+    @property
+    def ok(self) -> bool:
+        """The gate the failover tests and CI smoke assert on."""
+        return (
+            self.lost_records == 0
+            and self.caught_up
+            and self.promote_detected
+            and self.bit_identical
+            and self.all_faults_fired
+            and self.resumed_live == self.resumed_completed
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "shards": self.shards,
+            "sessions": self.sessions,
+            "submitted": self.submitted,
+            "completed_before_kill": self.completed_before_kill,
+            "primary_records": self.primary_records,
+            "replica_records": self.replica_records,
+            "lost_records": self.lost_records,
+            "caught_up": self.caught_up,
+            "promote_detected": self.promote_detected,
+            "promoted_epochs": {
+                str(k): v for k, v in self.promoted_epochs.items()
+            },
+            "truncated_bytes": self.truncated_bytes,
+            "digests_checked": self.digests_checked,
+            "digest_mismatches": list(self.digest_mismatches),
+            "bit_identical": self.bit_identical,
+            "resumed_live": self.resumed_live,
+            "resumed_completed": self.resumed_completed,
+            "faults": list(self.faults),
+            "injected_total": self.injected_total,
+            "all_faults_fired": self.all_faults_fired,
+            "ok": self.ok,
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+def _journal_record_keys(directory: Path) -> List[str]:
+    """Canonical keys for every payload record in one shard journal.
+
+    Epoch fences are administrative (promotion writes them on the
+    standby only) and excluded, so primary and promoted logs compare
+    on payload alone.
+    """
+    report = scan_journal(directory, truncate=False)
+    return [
+        json.dumps(record, sort_keys=True)
+        for record in report.records
+        if record.get("t") != REC_FENCE
+    ]
+
+
+def run_repl_chaos(
+    plan: Union[str, FaultPlan, CompiledPlan] = "repl-kill-primary",
+    *,
+    seed: Optional[int] = None,
+    sessions: int = 16,
+    n_shards: int = 2,
+    primary_dir: Optional[Union[str, Path]] = None,
+    standby_dir: Optional[Union[str, Path]] = None,
+    game: Any = None,
+    scripts: Optional[List[Any]] = None,
+    tick_interval_s: float = 0.005,
+    max_steps_per_tick: int = 8,
+    group_window_s: float = 0.004,
+    kill_after_fraction: float = 0.5,
+    heartbeat_timeout_s: float = 0.3,
+    timeout_s: float = 60.0,
+) -> ReplChaosReport:
+    """One soak-kill-promote-audit cycle for the replication stack.
+
+    ``kill_after_fraction`` of the sessions must END before the primary
+    dies; the rest are mid-flight and survive only through the standby.
+    With the directories unset, both logs live in temp directories
+    removed afterwards.  Snapshots and compaction are off on purpose:
+    the record-set equality audit is then exact (every durable record
+    is still on disk on both sides).
+    """
+    if isinstance(plan, str):
+        plans = builtin_plans()
+        if plan not in plans:
+            raise ValueError(
+                f"unknown plan {plan!r} (built-ins: {sorted(plans)})"
+            )
+        plan = plans[plan]
+    compiled = plan.compile(seed) if isinstance(plan, FaultPlan) else plan
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+
+    from ..core import fetch_quest_game
+    from ..students import cohort_scripts
+
+    t0 = perf_counter()
+    if game is None:
+        game = fetch_quest_game(n_quests=2, title="repl chaos soak").build()
+    if scripts is None:
+        scripts = cohort_scripts(game, min(8, sessions), seed=compiled.seed)
+    assignments = [
+        (f"{scripts[k % len(scripts)].player_id}#r{k}",
+         scripts[k % len(scripts)])
+        for k in range(sessions)
+    ]
+
+    tmp_primary = tmp_standby = None
+    if primary_dir is None:
+        tmp_primary = tempfile.TemporaryDirectory(prefix="repro-repl-p-")
+        primary_dir = tmp_primary.name
+    if standby_dir is None:
+        tmp_standby = tempfile.TemporaryDirectory(prefix="repro-repl-s-")
+        standby_dir = tmp_standby.name
+    persistence = PersistenceConfig(
+        directory=primary_dir,
+        group_window_s=group_window_s,
+        snapshot_every=0,
+        compact=False,
+    )
+    manager = SessionManager(ServeConfig(
+        n_shards=n_shards,
+        tick_interval_s=tick_interval_s,
+        max_steps_per_tick=max_steps_per_tick,
+        persistence=persistence,
+        durable_wait_s=1.0,
+    ))
+
+    kill_target = max(1, int(sessions * kill_after_fraction))
+    deadline = monotonic() + timeout_s
+    injector = install(compiled)
+    standby: Optional[StandbyReplica] = None
+    promote_report = None
+    caught_up = False
+    promote_detected = False
+    try:
+        # small batches on purpose: each APPEND is one ``repl.link``
+        # fault-site hit, and the plan's hit schedule must be reachable
+        # within a short soak
+        with ReplicationSource(
+            persistence, n_shards,
+            batch_max_records=4, poll_interval_s=0.01, heartbeat_s=0.05,
+        ) as source:
+            source.attach(manager)
+            manager.start()
+            standby = StandbyReplica(
+                standby_dir, game, n_shards,
+                source.host, source.port,
+                # reads are not under test here: never refuse on lag
+                max_read_lag_records=1 << 30,
+                reconnect_backoff_s=0.02,
+            ).start()
+            submitted = 0
+            for pid, script in assignments:
+                if manager.submit(
+                    pid, session_factory_for_script(game, script)
+                ):
+                    submitted += 1
+            while (manager.completed_sessions < kill_target
+                   and monotonic() < deadline):
+                sleep(0.01)
+            completed_before_kill = manager.completed_sessions
+
+            # the kill: discard everything still mid-flight (journals
+            # close cleanly; the disk holds every durable record)
+            manager.shutdown(drain=False)
+
+            tips = {
+                shard: scan_journal(
+                    persistence.shard_dir(shard), truncate=False
+                ).tip_lsn
+                for shard in range(n_shards)
+                if persistence.shard_dir(shard).is_dir()
+            }
+            caught_up = standby.wait_caught_up(
+                tips, timeout_s=max(1.0, deadline - monotonic())
+            )
+        # source stopped: heartbeats are now silent
+        promoter = Promoter(standby, heartbeat_timeout_s=heartbeat_timeout_s)
+        promote_detected = promoter.wait_for_failure(
+            timeout_s=max(1.0, heartbeat_timeout_s * 20)
+        )
+        promote_report = promoter.promote(game=game)
+    finally:
+        uninstall()
+        if standby is not None:
+            standby.stop()
+        manager.shutdown(drain=False)  # idempotent: no-op after the kill
+
+    # -- the audit -------------------------------------------------------
+    by_pid = dict(assignments)
+    mismatches: List[str] = []
+    checked = 0
+    primary_records = replica_records = lost = 0
+    standby_root = Path(standby_dir)
+    for shard in range(n_shards):
+        p_dir = persistence.shard_dir(shard)
+        s_dir = standby_root / f"shard-{shard:02d}"
+        p_keys = _journal_record_keys(p_dir) if p_dir.is_dir() else []
+        s_keys = _journal_record_keys(s_dir) if s_dir.is_dir() else []
+        primary_records += len(p_keys)
+        replica_records += len(s_keys)
+        missing = set(p_keys) - set(s_keys)
+        lost += len(missing)
+
+    # bit-identity: every mirrored session vs an independent replay
+    replica_digests: Dict[str, str] = {}
+    for shard_state in standby.shard_states():
+        for sid, sess in shard_state.sessions.items():
+            checked += 1
+            actual = state_digest(sess.engine.state)
+            replica_digests[sid] = actual
+            script = by_pid.get(sid)
+            ops = (
+                ops_from_dicts(sess.ops) if sess.ops
+                else (script.ops if script else [])
+            )
+            if actual != reference_digest(game, ops, sess.dt, sess.cursor):
+                mismatches.append(sid)
+    # and the promoted log recovers to the very same states
+    for sid, digest in promote_report.digests.items():
+        checked += 1
+        if replica_digests.get(sid) != digest:
+            mismatches.append(f"recover:{sid}")
+
+    # service resumes from the promoted directory
+    resume_manager = SessionManager(ServeConfig(
+        n_shards=n_shards,
+        tick_interval_s=tick_interval_s,
+        max_steps_per_tick=max_steps_per_tick,
+        persistence=PersistenceConfig(
+            directory=standby_dir, group_window_s=group_window_s,
+            snapshot_every=0, compact=False,
+        ),
+        durable_wait_s=1.0,
+    ))
+    reports = resume_manager.recover(game)
+    resumed_live = sum(len(r.sessions) for r in reports)
+    resume_manager.start()
+    resume_manager.drain(timeout=max(1.0, deadline - monotonic()))
+    resumed_completed = resume_manager.completed_sessions
+    resume_manager.shutdown(drain=False)
+
+    if tmp_primary is not None:
+        tmp_primary.cleanup()
+    if tmp_standby is not None:
+        tmp_standby.cleanup()
+
+    return ReplChaosReport(
+        plan=compiled.name,
+        seed=compiled.seed,
+        shards=n_shards,
+        sessions=sessions,
+        submitted=submitted,
+        completed_before_kill=completed_before_kill,
+        primary_records=primary_records,
+        replica_records=replica_records,
+        lost_records=lost,
+        caught_up=caught_up,
+        promote_detected=promote_detected,
+        promoted_epochs=promote_report.epochs,
+        truncated_bytes=sum(
+            row["truncated_bytes"] for row in promote_report.shards
+        ),
+        digests_checked=checked,
+        digest_mismatches=mismatches,
+        resumed_live=resumed_live,
+        resumed_completed=resumed_completed,
+        faults=injector.report(),
+        injected_total=injector.injected_total,
+        all_faults_fired=injector.all_fired(),
+        duration_s=perf_counter() - t0,
+    )

@@ -49,6 +49,7 @@ import threading
 import zlib
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from time import monotonic, perf_counter, sleep
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -62,6 +63,7 @@ from ..persist import (
     PersistError,
     ShardRecovery,
     SnapshotStore,
+    WalLayoutError,
     compact_segments,
     compaction_watermark,
     end_record,
@@ -271,11 +273,22 @@ class _Shard:
         if self._journal is None:
             return None
         try:
-            return self._journal.append(record)
+            lsn = self._journal.append(record)
         except PersistError:
             self._journal = None
             _LOG.error("persist.journal_lost", shard=self.index)
             return None
+        hook = self._manager._repl_hook
+        if hook is not None:
+            # replication wakeup: tell the shipping source new log
+            # exists.  Best-effort by design — the hook only nudges a
+            # tailer that would find the records on its next pass
+            # anyway, so a broken hook must not take the shard down.
+            try:
+                hook(self.index, lsn)
+            except Exception:
+                _LOG.warning("repl.hook_failed", shard=self.index)
+        return lsn
 
     def _maybe_snapshot(self, session: ServedSession, lsn: int) -> None:
         """Snapshot a session every ``snapshot_every`` logged inputs and
@@ -522,6 +535,22 @@ class SessionManager:
         self._accepting = False
         self._started = False
         self._stopped = False
+        #: optional ``(shard_index, lsn)`` callback fired after every
+        #: successful journal append (see :meth:`set_replication_hook`)
+        self._repl_hook: Optional[Callable[[int, int], None]] = None
+
+    def set_replication_hook(
+        self, hook: Optional[Callable[[int, int], None]]
+    ) -> None:
+        """Install a ``(shard_index, lsn)`` callback fired on the shard
+        thread after every successful journal append.
+
+        The replication source uses it to wake its per-shard tailers the
+        moment new log exists instead of polling.  The callback must be
+        cheap and non-blocking (it runs inside the shard tick); pass
+        ``None`` to uninstall.  Zero cost when unset.
+        """
+        self._repl_hook = hook
 
     # ------------------------------------------------------------------
     def start(self) -> "SessionManager":
@@ -571,6 +600,22 @@ class SessionManager:
             raise RuntimeError("recover() needs ServeConfig.persistence")
         if self._started:
             raise RuntimeError("recover() must run before start()")
+        root = Path(self.config.persistence.directory)
+        if root.is_dir():
+            entries = list(root.iterdir())
+            has_shards = any(
+                e.is_dir() and e.name.startswith("shard-") for e in entries
+            )
+            if entries and not has_shards:
+                # A populated directory with no shard-* journals is not
+                # a persistence root the serving layer ever wrote —
+                # refuse loudly rather than "recovering" zero sessions
+                # from somebody else's files.
+                names = sorted(e.name for e in entries)
+                raise WalLayoutError(
+                    f"{root} is not a persistence root: no shard-* "
+                    f"journal directories, found {names[:5]}"
+                )
         reports: List[ShardRecovery] = []
         for shard in self._shards:
             directory = self.config.persistence.shard_dir(shard.index)

@@ -152,12 +152,12 @@ class TestDecoder:
 
 
 class TestVersioning:
-    """v2 negotiation: old peers keep working, unknown versions do not."""
+    """Version negotiation: old peers keep working, unknown versions do not."""
 
     def test_supported_window(self):
         assert MIN_PROTOCOL_VERSION == 1
-        assert PROTOCOL_VERSION == 2
-        assert SUPPORTED_VERSIONS == frozenset({1, 2})
+        assert PROTOCOL_VERSION == 3
+        assert SUPPORTED_VERSIONS == frozenset({1, 2, 3})
 
     def test_decoder_accepts_every_supported_version(self):
         for version in sorted(SUPPORTED_VERSIONS):

@@ -1,0 +1,107 @@
+"""Regression tests: recovery refuses foreign or empty WAL layouts.
+
+A typo'd ``--persist-dir`` used to "recover" zero sessions silently
+(or blow up deep inside the record fold).  ``ensure_wal_layout`` and
+the manager-level root check now fail fast with a typed error naming
+the offending entries.
+"""
+
+import time
+
+import pytest
+
+from repro.gateway import GatewayConfig, GatewayServer
+from repro.persist import (
+    Journal,
+    PersistenceConfig,
+    WalLayoutError,
+    ensure_wal_layout,
+    recover_shard,
+)
+from repro.persist.records import start_record
+from repro.persist.snapshot import SNAPSHOT_DIRNAME
+from repro.replicate import write_epoch
+from repro.serve import ServeConfig, SessionManager, session_factory_for_script
+from repro.students import cohort_scripts
+
+
+class TestEnsureWalLayout:
+    def test_missing_directory_is_fine(self, tmp_path):
+        ensure_wal_layout(tmp_path / "never-created")  # fresh start
+
+    def test_directory_with_segments_is_fine(self, tmp_path):
+        journal = Journal(tmp_path, PersistenceConfig(directory=tmp_path))
+        journal.append(start_record("p", 0.1, []))
+        journal.close()
+        ensure_wal_layout(tmp_path)
+
+    def test_foreign_entries_raise_and_are_named(self, tmp_path):
+        (tmp_path / "thesis.docx").write_text("not a wal")
+        (tmp_path / "photos").mkdir()
+        with pytest.raises(WalLayoutError, match=r"thesis\.docx"):
+            ensure_wal_layout(tmp_path)
+
+    def test_empty_existing_directory_raises(self, tmp_path):
+        with pytest.raises(WalLayoutError, match="empty layout"):
+            ensure_wal_layout(tmp_path)
+
+    def test_sidecars_without_segments_still_raise(self, tmp_path):
+        # snapshots/ and EPOCH are ours, but a journal always has at
+        # least one segment — sidecars alone mean the log went missing
+        (tmp_path / SNAPSHOT_DIRNAME).mkdir()
+        write_epoch(tmp_path, 3)
+        with pytest.raises(WalLayoutError, match="no WAL segments"):
+            ensure_wal_layout(tmp_path)
+
+    def test_recover_shard_refuses_foreign_dir(self, tmp_path,
+                                               classroom_game):
+        (tmp_path / "README.txt").write_text("someone else's files")
+        with pytest.raises(WalLayoutError, match="foreign entries"):
+            recover_shard(tmp_path, classroom_game)
+
+
+class TestManagerRootValidation:
+    def _config(self, root):
+        return ServeConfig(
+            n_shards=2, tick_interval_s=0.002, max_steps_per_tick=50,
+            persistence=PersistenceConfig(directory=root),
+        )
+
+    def test_foreign_root_raises(self, tmp_path, classroom_game):
+        (tmp_path / "models").mkdir()
+        (tmp_path / "train.log").write_text("loss: 0.02")
+        manager = SessionManager(self._config(tmp_path))
+        with pytest.raises(WalLayoutError,
+                           match="is not a persistence root"):
+            manager.recover(classroom_game)
+
+    def test_gateway_recover_propagates(self, tmp_path, classroom_game):
+        (tmp_path / "notes.md").write_text("# todo")
+        manager = SessionManager(self._config(tmp_path))
+        gw = GatewayServer(manager, classroom_game,
+                           GatewayConfig(port=0, telemetry_port=None))
+        with pytest.raises(WalLayoutError,
+                           match="is not a persistence root"):
+            gw.recover()
+
+    def test_valid_root_still_recovers(self, tmp_path, classroom_game):
+        # write a real root, crash it, recover: the check must not get
+        # in the way of the path it guards
+        scripts = cohort_scripts(classroom_game, 2, seed=3)
+        manager = SessionManager(self._config(tmp_path))
+        manager.start()
+        for script in scripts:
+            assert manager.submit(
+                script.player_id,
+                session_factory_for_script(classroom_game, script),
+            )
+        deadline = time.monotonic() + 10
+        while (manager.completed_sessions < len(scripts)
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        manager.shutdown(drain=True)
+
+        fresh = SessionManager(self._config(tmp_path))
+        reports = fresh.recover(classroom_game)  # must not raise
+        assert len(reports) == 2
+        fresh.shutdown(drain=False)

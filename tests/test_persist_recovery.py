@@ -8,6 +8,7 @@ from repro.persist import (
     Journal,
     PersistenceConfig,
     SnapshotStore,
+    WalLayoutError,
     compact_segments,
     compaction_watermark,
     input_record,
@@ -245,6 +246,11 @@ class TestRecovery:
             classroom_game, script, len(script.ops)
         )
 
-    def test_empty_journal_dir(self, tmp_path, classroom_game):
-        report = recover_shard(tmp_path, classroom_game)
+    def test_empty_journal_dir_is_refused(self, tmp_path, classroom_game):
+        # an existing-but-empty directory is a layout error (wrong
+        # path, most likely), not a zero-session recovery; the genuine
+        # fresh start is a directory that does not exist yet
+        with pytest.raises(WalLayoutError, match="empty layout"):
+            recover_shard(tmp_path, classroom_game)
+        report = recover_shard(tmp_path / "fresh", classroom_game)
         assert report.sessions == [] and report.ended_sessions == 0
