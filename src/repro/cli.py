@@ -354,6 +354,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print machine-readable JSON instead of tables",
     )
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="placement-aware cluster: supervise a node set, inspect or "
+             "rebalance its placement map",
+    )
+    p_cluster.add_argument(
+        "action", choices=("serve", "status", "rebalance"),
+        help="serve: run a primary plus standby set in this process; "
+             "status: print a root's placement map; rebalance: re-plan "
+             "the standby subsets and bump the map version",
+    )
+    p_cluster.add_argument(
+        "directory", type=Path,
+        help="cluster root (holds PLACEMENT.json and the per-node "
+             "persistence directories)",
+    )
+    p_cluster.add_argument(
+        "--shards", type=int, default=2,
+        help="for 'serve': shard count of the new cluster (default 2)",
+    )
+    p_cluster.add_argument(
+        "--standbys", type=int, default=3,
+        help="for 'serve': standby node count (default 3)",
+    )
+    p_cluster.add_argument(
+        "--replicas-per-shard", type=int, default=None,
+        help="standbys subscribed per shard (serve/rebalance; "
+             "default: every standby)",
+    )
+    p_cluster.add_argument(
+        "--quorum", type=int, default=0,
+        help="for 'serve': standby acks a traced commit must collect "
+             "before wait_durable resolves (default 0: local-only)",
+    )
+    p_cluster.add_argument(
+        "--duration", type=float, default=None,
+        help="for 'serve': stop after this many seconds "
+             "(default: run until Ctrl-C)",
+    )
+    p_cluster.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of tables",
+    )
     return parser
 
 
@@ -1315,6 +1359,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("error: --wait must be >= 1", file=sys.stderr)
         return 2
     obs.enable()
+    if args.plan == "repl-quorum-partition":
+        # the quorum plan soaks a whole placement-mapped cluster
+        # (several standbys, quorum commit, routed failover)
+        return _chaos_cluster(args)
     if any(spec.site.startswith("repl.") for spec in plans[args.plan].specs):
         # plans that fault the shipping link need the whole
         # primary/standby/promote cycle, not the single-node soak
@@ -1409,6 +1457,176 @@ def _chaos_repl(args: argparse.Namespace) -> int:
         print("chaos: FAILED (see audit above)", file=sys.stderr)
         return 1
     print("chaos: OK")
+    return 0
+
+
+def _chaos_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import run_cluster_chaos
+    from .reporting import format_table
+
+    kill_after = (
+        args.wait / args.sessions if args.wait is not None else 0.25
+    )
+    report = run_cluster_chaos(
+        args.plan,
+        seed=args.seed,
+        sessions=args.sessions,
+        n_shards=args.shards,
+        kill_standby_after_fraction=kill_after,
+    )
+    print(format_table(
+        report.faults,
+        title=f"Fault schedule (plan={report.plan} seed={report.seed})",
+    ))
+    print(
+        f"soak: offered={report.sessions} submitted={report.submitted} "
+        f"quorum={report.quorum}/{report.standbys} "
+        f"standby_killed={report.standby_killed} "
+        f"promoted={report.promoted} in {report.duration_s:.2f}s"
+    )
+    print(
+        f"failover: caught_up={report.caught_up} "
+        f"epochs={report.promoted_epochs} "
+        f"placement_version={report.placement_version} "
+        f"routed_queries={report.queries_ok}/{report.queries_total} "
+        f"post_failover_submit_ok={report.post_failover_submit_ok}"
+    )
+    print(
+        f"audit: primary_records={report.primary_records} "
+        f"survivor_records={report.survivor_records} "
+        f"lost={report.lost_records} "
+        f"digests_checked={report.digests_checked} "
+        f"mismatches={len(report.digest_mismatches)} "
+        f"quorum_timeouts={report.quorum_timeouts} "
+        f"all_fired={report.all_faults_fired}"
+    )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report: {args.report}")
+    if not report.ok:
+        print("chaos: FAILED (see audit above)", file=sys.stderr)
+        return 1
+    print("chaos: OK")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+    from time import sleep as _sleep
+
+    from . import obs
+    from .reporting import format_table
+
+    directory: Path = args.directory
+
+    if args.action == "serve":
+        from .cluster import ClusterSupervisor
+        from .core import fetch_quest_game
+
+        if args.shards < 1 or args.standbys < 1:
+            print("error: --shards and --standbys must be >= 1",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= args.quorum <= args.standbys:
+            print("error: --quorum must be within [0, --standbys]",
+                  file=sys.stderr)
+            return 2
+        obs.enable()
+        game = fetch_quest_game(n_quests=2, title="Cluster Demo").build()
+        supervisor = ClusterSupervisor(
+            game,
+            n_shards=args.shards,
+            n_standbys=args.standbys,
+            replicas_per_shard=args.replicas_per_shard,
+            quorum=args.quorum,
+            root=directory,
+        ).start()
+        print(f"cluster: primary {supervisor.placement.primary_address()} "
+              f"shipping {args.shards} shard(s) to {args.standbys} "
+              f"standby(s), "
+              f"quorum={args.quorum}; placement saved under {directory}")
+        try:
+            if args.duration is not None:
+                _sleep(args.duration)
+            else:  # pragma: no cover - interactive
+                while True:
+                    _sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            supervisor.stop()
+        return 0
+
+    from .cluster import PlacementMap
+
+    try:
+        pmap = PlacementMap.load(directory)
+    except FileNotFoundError:
+        print(f"error: no PLACEMENT.json under {directory} "
+              "(run 'repro cluster serve' first)", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        doc = pmap.to_dict()
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(format_table(
+            [{
+                "shard": a["shard"], "primary": a["primary"],
+                "standbys": " ".join(a["standbys"]) or "-",
+                "epoch": a["epoch"],
+            } for a in doc["assignments"]],
+            title=f"Placement v{doc['version']}: {directory}",
+        ))
+        print(format_table(
+            [{
+                "node": n["node_id"], "kind": n["kind"],
+                "address": f"{n['host']}:{n['port']}" if n["host"] else "-",
+            } for n in doc["nodes"]],
+            title="Nodes",
+        ))
+        return 0
+
+    # rebalance: re-deal the standby subsets round-robin, keeping every
+    # primary and epoch where it is (epochs only move via promotion)
+    pool = sorted(
+        node_id for node_id, node in pmap.nodes().items()
+        if node.kind == "standby"
+    )
+    if not pool:
+        print("error: the map has no standby nodes to deal",
+              file=sys.stderr)
+        return 2
+    want = (
+        len(pool) if args.replicas_per_shard is None
+        else min(args.replicas_per_shard, len(pool))
+    )
+    rows = []
+    for shard in range(pmap.n_shards):
+        entry = pmap.assignment(shard)
+        subset = tuple(
+            pool[(shard + k) % len(pool)] for k in range(want)
+        )
+        pmap.assign(shard, entry.primary, subset, epoch=entry.epoch)
+        rows.append({
+            "shard": shard, "primary": entry.primary,
+            "was": " ".join(entry.standbys) or "-",
+            "now": " ".join(subset),
+            "epoch": entry.epoch,
+        })
+    path = pmap.save(directory)
+    if args.json:
+        print(json.dumps(pmap.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            rows, title=f"Rebalanced -> v{pmap.version}: {path}",
+        ))
+        print("note: a running supervisor re-reads the map on restart; "
+              "live re-subscription is the next roadmap item")
     return 0
 
 
@@ -1530,6 +1748,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_wal(args)
     if args.command == "repl":
         return _cmd_repl(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,411 @@
+"""Quorum chaos: kill a quorum member mid-burst, then the primary.
+
+``run_cluster_chaos`` is the harness behind ``repro chaos
+repl-quorum-partition`` and the cluster soak test.  One run drives the
+whole quorum-commit story end to end:
+
+1. **Arm** a fault plan against the ``repl.link`` site (a delayed
+   batch, a severed shipping connection) and launch a
+   :class:`~repro.cluster.supervisor.ClusterSupervisor`: one primary,
+   N standbys each subscribed to their placement-map subset, quorum
+   commit requiring K durable mirrors per client-acked END.
+2. **Soak**: traced sessions submit through the placement-routed
+   gateway; every END blocks in ``wait_durable`` until K standbys have
+   acked its LSN.
+3. **Kill a quorum member** once a fraction of the burst completed.
+   Quorum for every later END must ride the survivors — the burst
+   keeps completing, with zero durability timeouts.
+4. **Kill the primary**, let the survivors catch up to its durable
+   tips, promote the furthest-ahead one.  The placement map advances
+   (higher epoch, bumped version) and a fresh manager recovers from
+   the promoted log.
+5. **Audit**:
+
+   * *quorum never lied* — no durability wait timed out, and every
+     record in the dead primary's journal is present in **every**
+     surviving quorum member's journal (not just K of them);
+   * *bit-identity* — survivor session digests equal an independent
+     reference replay, and the digests recovery computes from the
+     promoted log agree with the promoted survivor's mirror;
+   * *reads survive the failover* — a placement-routed QUERY for every
+     finished session answers from a surviving node, post-failover,
+     with no reconfiguration;
+   * *writes fail over* — one post-promotion submit routes to the new
+     primary and completes;
+   * *the plan fired* — every armed fault injected its scheduled count.
+
+The :class:`ClusterChaosReport` is plain data (JSON-able) for the CI
+cluster-smoke artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import monotonic, perf_counter, sleep
+from typing import Any, Dict, List, Optional, Union
+
+from ..faultline import install, uninstall
+from ..faultline.chaos import reference_digest
+from ..faultline.plan import CompiledPlan, FaultPlan, builtin_plans
+from ..obs import metrics as _obs
+from ..persist import state_digest
+from ..persist.records import ops_from_dicts
+from ..replicate.chaos import _journal_record_keys
+from ..serve.session import session_factory_for_script
+from .supervisor import ClusterSupervisor, traced_factory
+
+__all__ = ["ClusterChaosReport", "run_cluster_chaos"]
+
+_TIMEOUT_COUNTERS = (
+    "repro_persist_durability_timeout_total",
+    "repro_quorum_timeouts_total",
+)
+
+
+def _timeout_totals() -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for name in _TIMEOUT_COUNTERS:
+        metric = _obs.REGISTRY.get(name)
+        out[name] = metric.total() if metric is not None else 0.0
+    return out
+
+
+@dataclass
+class ClusterChaosReport:
+    """Everything one quorum chaos run proved (or failed to)."""
+
+    plan: str
+    seed: int
+    shards: int
+    standbys: int
+    quorum: int
+    sessions: int
+    submitted: int
+    completed_before_standby_kill: int
+    completed_before_primary_kill: int
+    standby_killed: str
+    promoted: str
+    primary_records: int
+    survivor_records: Dict[str, int] = field(default_factory=dict)
+    lost_records: int = 0
+    caught_up: bool = False
+    durability_timeouts: float = 0.0
+    quorum_timeouts: float = 0.0
+    promoted_epochs: Dict[int, int] = field(default_factory=dict)
+    placement_version: int = 0
+    digests_checked: int = 0
+    digest_mismatches: List[str] = field(default_factory=list)
+    queries_total: int = 0
+    queries_ok: int = 0
+    post_failover_submit_ok: bool = False
+    resumed_live: int = 0
+    resumed_completed: int = 0
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    injected_total: int = 0
+    all_faults_fired: bool = False
+    duration_s: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        return self.digests_checked > 0 and not self.digest_mismatches
+
+    @property
+    def ok(self) -> bool:
+        """The gate the cluster soak test and CI smoke assert on."""
+        return (
+            self.lost_records == 0
+            and self.caught_up
+            and self.durability_timeouts == 0
+            and self.quorum_timeouts == 0
+            and self.bit_identical
+            and self.queries_ok == self.queries_total
+            and self.queries_total > 0
+            and self.post_failover_submit_ok
+            and self.resumed_live == self.resumed_completed
+            and self.all_faults_fired
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "shards": self.shards,
+            "standbys": self.standbys,
+            "quorum": self.quorum,
+            "sessions": self.sessions,
+            "submitted": self.submitted,
+            "completed_before_standby_kill":
+                self.completed_before_standby_kill,
+            "completed_before_primary_kill":
+                self.completed_before_primary_kill,
+            "standby_killed": self.standby_killed,
+            "promoted": self.promoted,
+            "primary_records": self.primary_records,
+            "survivor_records": dict(self.survivor_records),
+            "lost_records": self.lost_records,
+            "caught_up": self.caught_up,
+            "durability_timeouts": self.durability_timeouts,
+            "quorum_timeouts": self.quorum_timeouts,
+            "promoted_epochs": {
+                str(k): v for k, v in self.promoted_epochs.items()
+            },
+            "placement_version": self.placement_version,
+            "digests_checked": self.digests_checked,
+            "digest_mismatches": list(self.digest_mismatches),
+            "bit_identical": self.bit_identical,
+            "queries_total": self.queries_total,
+            "queries_ok": self.queries_ok,
+            "post_failover_submit_ok": self.post_failover_submit_ok,
+            "resumed_live": self.resumed_live,
+            "resumed_completed": self.resumed_completed,
+            "faults": list(self.faults),
+            "injected_total": self.injected_total,
+            "all_faults_fired": self.all_faults_fired,
+            "ok": self.ok,
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+def run_cluster_chaos(
+    plan: Union[str, FaultPlan, CompiledPlan] = "repl-quorum-partition",
+    *,
+    seed: Optional[int] = None,
+    sessions: int = 12,
+    n_shards: int = 2,
+    n_standbys: int = 3,
+    quorum: int = 2,
+    game: Any = None,
+    scripts: Optional[List[Any]] = None,
+    kill_standby_after_fraction: float = 0.25,
+    heartbeat_timeout_s: float = 0.3,
+    timeout_s: float = 60.0,
+) -> ClusterChaosReport:
+    """One soak / kill-a-member / kill-the-primary / audit cycle.
+
+    ``kill_standby_after_fraction`` of the burst must complete before a
+    quorum member dies; the rest of the burst completes on the
+    survivors alone.  Snapshots and compaction stay off so the journal
+    record-set audits are exact.  Metrics recording is forced on for
+    the run (and restored after): zero observed durability/quorum
+    timeouts is part of the contract under audit.
+    """
+    if isinstance(plan, str):
+        plans = builtin_plans()
+        if plan not in plans:
+            raise ValueError(
+                f"unknown plan {plan!r} (built-ins: {sorted(plans)})"
+            )
+        plan = plans[plan]
+    compiled = plan.compile(seed) if isinstance(plan, FaultPlan) else plan
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    if not 1 <= quorum < n_standbys:
+        raise ValueError(
+            "need 1 <= quorum < n_standbys (a member dies mid-run)"
+        )
+
+    from ..core import fetch_quest_game
+    from ..students import cohort_scripts
+
+    t0 = perf_counter()
+    if game is None:
+        game = fetch_quest_game(n_quests=2, title="cluster chaos soak").build()
+    if scripts is None:
+        scripts = cohort_scripts(game, min(8, sessions), seed=compiled.seed)
+    assignments = [
+        (f"{scripts[k % len(scripts)].player_id}#c{k}",
+         scripts[k % len(scripts)])
+        for k in range(sessions)
+    ]
+
+    was_enabled = _obs.enabled()
+    _obs.set_enabled(True)
+    timeouts_before = _timeout_totals()
+    deadline = monotonic() + timeout_s
+    injector = install(compiled)
+    victim = f"standby-{n_standbys}"
+    supervisor = ClusterSupervisor(
+        game,
+        n_shards=n_shards,
+        n_standbys=n_standbys,
+        quorum=quorum,
+        tick_interval_s=0.005,
+        max_steps_per_tick=8,
+        group_window_s=0.004,
+        batch_max_records=4,
+        poll_interval_s=0.01,
+        heartbeat_s=0.05,
+    )
+    try:
+        supervisor.start()
+        assert supervisor.manager is not None
+        assert supervisor.placement is not None
+        manager = supervisor.manager
+
+        submitted = 0
+        for pid, script in assignments:
+            factory = traced_factory(
+                session_factory_for_script(game, script)
+            )
+            if supervisor.submit(pid, factory):
+                submitted += 1
+
+        kill_target = max(1, int(sessions * kill_standby_after_fraction))
+        while (manager.completed_sessions < kill_target
+               and monotonic() < deadline):
+            sleep(0.01)
+        completed_before_standby_kill = manager.completed_sessions
+        # the mid-burst member kill: quorum must ride the survivors now
+        supervisor.kill_standby(victim)
+
+        while (manager.completed_sessions < submitted
+               and monotonic() < deadline):
+            sleep(0.01)
+        completed_before_primary_kill = manager.completed_sessions
+
+        supervisor.kill_primary()
+        caught_up = supervisor.wait_caught_up(
+            timeout_s=max(1.0, deadline - monotonic())
+        )
+
+        survivors = [
+            nid for nid, replica in supervisor.standbys.items()
+            if nid != victim
+        ]
+        # promote whichever survivor is furthest ahead
+        promoted = max(
+            survivors,
+            key=lambda nid: sum(
+                st.commit_lsn
+                for st in supervisor.standbys[nid].shard_states()
+            ),
+        )
+        promote_report = supervisor.promote(
+            promoted,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            recover=True,
+        )
+    finally:
+        uninstall()
+
+    # -- the audit -------------------------------------------------------
+    try:
+        assert supervisor.persistence is not None
+        assert supervisor.placement is not None
+        by_pid = dict(assignments)
+        mismatches: List[str] = []
+        checked = 0
+
+        primary_records = 0
+        survivor_records: Dict[str, int] = {}
+        lost = 0
+        for shard in range(n_shards):
+            p_dir = supervisor.persistence.shard_dir(shard)
+            p_keys = _journal_record_keys(p_dir) if p_dir.is_dir() else []
+            primary_records += len(p_keys)
+            for nid in survivors:
+                s_dir = (supervisor.standbys[nid].directory
+                         / f"shard-{shard:02d}")
+                s_keys = (_journal_record_keys(s_dir)
+                          if s_dir.is_dir() else [])
+                survivor_records[nid] = (
+                    survivor_records.get(nid, 0) + len(s_keys)
+                )
+                # the quorum claim, member by member: nothing the dead
+                # primary made durable is missing from ANY survivor
+                lost += len(set(p_keys) - set(s_keys))
+
+        # bit-identity: every surviving mirror vs an independent replay
+        survivor_digests: Dict[str, Dict[str, str]] = {}
+        for nid in survivors:
+            digests: Dict[str, str] = {}
+            for shard_state in supervisor.standbys[nid].shard_states():
+                for sid, sess in shard_state.sessions.items():
+                    checked += 1
+                    actual = state_digest(sess.engine.state)
+                    digests[sid] = actual
+                    script = by_pid.get(sid)
+                    ops = (
+                        ops_from_dicts(sess.ops) if sess.ops
+                        else (script.ops if script else [])
+                    )
+                    if actual != reference_digest(
+                        game, ops, sess.dt, sess.cursor
+                    ):
+                        mismatches.append(f"{nid}:{sid}")
+            survivor_digests[nid] = digests
+        # and the promoted log recovers to the promoted mirror's states
+        for sid, digest in promote_report.digests.items():
+            checked += 1
+            if survivor_digests.get(promoted, {}).get(sid) != digest:
+                mismatches.append(f"recover:{sid}")
+
+        # reads after the failover: placement-routed, zero reconfig
+        queries_total = queries_ok = 0
+        for pid, _script in assignments:
+            queries_total += 1
+            try:
+                view = supervisor.query(pid)
+            except KeyError:
+                continue
+            if view.get("node") in survivors or view.get("node") == victim:
+                queries_ok += 1
+
+        # writes after the failover: the map's epoch advance reroutes
+        # the submit to the promoted node's recovered manager
+        post_pid = f"{assignments[0][1].player_id}#post"
+        post_ok = supervisor.submit(
+            post_pid, session_factory_for_script(game, assignments[0][1])
+        )
+        new_manager = supervisor.manager
+        assert new_manager is not None
+        # drain everything the promoted manager recovered + the new one
+        new_manager.drain(timeout=max(1.0, deadline - monotonic()))
+        resumed_completed = new_manager.completed_sessions
+        resumed_live = supervisor.recovered_live + (1 if post_ok else 0)
+        post_failover_submit_ok = bool(post_ok) and resumed_completed >= 1
+
+        timeouts_after = _timeout_totals()
+        version = supervisor.placement.version
+    finally:
+        supervisor.stop()
+        _obs.set_enabled(was_enabled)
+
+    return ClusterChaosReport(
+        plan=compiled.name,
+        seed=compiled.seed,
+        shards=n_shards,
+        standbys=n_standbys,
+        quorum=quorum,
+        sessions=sessions,
+        submitted=submitted,
+        completed_before_standby_kill=completed_before_standby_kill,
+        completed_before_primary_kill=completed_before_primary_kill,
+        standby_killed=victim,
+        promoted=promoted,
+        primary_records=primary_records,
+        survivor_records=survivor_records,
+        lost_records=lost,
+        caught_up=caught_up,
+        durability_timeouts=(
+            timeouts_after[_TIMEOUT_COUNTERS[0]]
+            - timeouts_before[_TIMEOUT_COUNTERS[0]]
+        ),
+        quorum_timeouts=(
+            timeouts_after[_TIMEOUT_COUNTERS[1]]
+            - timeouts_before[_TIMEOUT_COUNTERS[1]]
+        ),
+        promoted_epochs=promote_report.epochs,
+        placement_version=version,
+        digests_checked=checked,
+        digest_mismatches=mismatches,
+        queries_total=queries_total,
+        queries_ok=queries_ok,
+        post_failover_submit_ok=post_failover_submit_ok,
+        resumed_live=resumed_live,
+        resumed_completed=resumed_completed,
+        faults=injector.report(),
+        injected_total=injector.injected_total,
+        all_faults_fired=injector.all_fired(),
+        duration_s=perf_counter() - t0,
+    )

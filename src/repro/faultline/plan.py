@@ -231,6 +231,19 @@ def builtin_plans() -> Dict[str, FaultPlan]:
             ),
         ),
         FaultPlan(
+            name="repl-quorum-partition",
+            description="quorum commit under a jittery shipping link: "
+                        "one delayed batch, then one standby's shipping "
+                        "connection severed mid-burst — the cluster "
+                        "chaos scenario (the harness also hard-kills a "
+                        "quorum member and then the primary)",
+            specs=(
+                FaultSpec("repl.link", "delay", at=None, window=(2, 6),
+                          seconds=0.02),
+                FaultSpec("repl.link", "drop", at=None, window=(10, 20)),
+            ),
+        ),
+        FaultPlan(
             name="ci-smoke",
             description="one fault per site, all reachable in a short "
                         "soak: the CI chaos-smoke plan",

@@ -265,12 +265,20 @@ class _Connection:
         _M_FRAMES.inc(direction="out", type=FRAME_NAMES[ftype])
         return True
 
-    def send_error(self, code: str, detail: str = "", seq: Optional[int] = None) -> None:
+    def send_error(
+        self,
+        code: str,
+        detail: str = "",
+        seq: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         payload: Dict[str, Any] = {"code": code}
         if detail:
             payload["detail"] = detail
         if seq is not None:
             payload["seq"] = seq
+        if extra:
+            payload.update(extra)
         self.send(ERROR, payload)
 
     async def _write_loop(self) -> None:
@@ -480,6 +488,14 @@ class _Connection:
             )
 
 
+#: the single source of the standby-gateway write-refusal text; the
+#: placement map (when one is attached) appends the current primary's
+#: address so clients can re-route instead of guessing
+READ_ONLY_DETAIL = (
+    "this gateway serves a standby replica; writes go to the primary"
+)
+
+
 class GatewayServer:
     """The asyncio front-end; owns the listener and the player table.
 
@@ -498,6 +514,7 @@ class GatewayServer:
         config: Optional[GatewayConfig] = None,
         with_video: bool = False,
         read_replica: Optional[Any] = None,
+        placement: Optional[Any] = None,
     ) -> None:
         self.manager = manager
         self.game = game
@@ -509,6 +526,10 @@ class GatewayServer:
         #: ``read_only`` error and QUERY answers from the replica's
         #: lag-bounded view instead of the live player table.
         self.read_replica = read_replica
+        #: a :class:`repro.cluster.PlacementMap` (or anything with its
+        #: ``primary_address`` shape); lets read-only refusals name the
+        #: current primary so clients can re-route
+        self.placement = placement
         self._players: Dict[str, _PlayerEntry] = {}
         self._finished: "OrderedDict[str, None]" = OrderedDict()
         self._connections: List[_Connection] = []
@@ -696,6 +717,18 @@ class GatewayServer:
         if entry is not None and entry.done_payload is not None:
             conn.send(END, entry.done_payload)
 
+    def _read_only_detail(self) -> str:
+        """The write-refusal text, naming the primary when it's known."""
+        detail = READ_ONLY_DETAIL
+        if self.placement is not None:
+            try:
+                addr = self.placement.primary_address()
+            except Exception:
+                addr = None
+            if addr:
+                detail += f" (current primary: {addr})"
+        return detail
+
     def _handle_submit(self, conn: _Connection, payload: Dict[str, Any]) -> None:
         seq = payload.get("seq")
         pid = payload.get("player")
@@ -703,8 +736,7 @@ class GatewayServer:
             conn.send_error("bad_submit", "missing player id", seq=seq)
             return
         if self.read_replica is not None:
-            conn.send_error("read_only", "this gateway serves a standby "
-                            "replica; submit to the primary", seq=seq)
+            conn.send_error("read_only", self._read_only_detail(), seq=seq)
             return
         if self._draining:
             conn.send_error("draining", "gateway is shutting down", seq=seq)
@@ -786,8 +818,7 @@ class GatewayServer:
         seq = payload.get("seq")
         pid = payload.get("player")
         if self.read_replica is not None:
-            conn.send_error("read_only", "this gateway serves a standby "
-                            "replica; send input to the primary", seq=seq)
+            conn.send_error("read_only", self._read_only_detail(), seq=seq)
             return
         entry = self._players.get(pid) if isinstance(pid, str) else None
         if entry is None:
@@ -834,7 +865,15 @@ class GatewayServer:
             try:
                 view = self.read_replica.query(pid)
             except ReplicaLagging as exc:
-                conn.send_error("replica_lagging", str(exc), seq=seq)
+                # lag_ticks + shard ride the ERROR frame so a load
+                # balancer can back off proportionally, not blindly
+                conn.send_error(
+                    "replica_lagging", str(exc), seq=seq,
+                    extra={
+                        "lag_ticks": getattr(exc, "lag_ticks", None),
+                        "shard": getattr(exc, "shard", None),
+                    },
+                )
                 return
             except KeyError:
                 conn.send_error("unknown_player", f"no session {pid!r}", seq=seq)

@@ -7,7 +7,10 @@ logs (:mod:`repro.persist`) into a primary/standby pair:
   primary's :class:`~repro.serve.manager.SessionManager`, tails each
   shard journal with the same CRC32 frame scan recovery uses, and
   ships records over a length-prefixed TCP stream (HANDSHAKE /
-  APPEND / COMMIT / HEARTBEAT — :mod:`repro.replicate.protocol`);
+  APPEND / COMMIT / HEARTBEAT / ACK —
+  :mod:`repro.replicate.protocol`), keeping a per-shard ack ledger of
+  each standby's durable watermark so quorum commit
+  (``PersistenceConfig.quorum_standbys``) can gate ``wait_durable``;
 * :class:`~repro.replicate.replica.StandbyReplica` mirrors the log
   durably and applies committed records through the shared
   :func:`~repro.persist.records.apply_scripted_op` semantics, so its
@@ -34,6 +37,7 @@ from .promote import (
     write_epoch,
 )
 from .protocol import (
+    R_ACK,
     R_APPEND,
     R_COMMIT,
     R_ERROR,
@@ -48,6 +52,7 @@ from .source import ReplicationSource
 __all__ = [
     "Promoter",
     "PromotionReport",
+    "R_ACK",
     "R_APPEND",
     "R_COMMIT",
     "R_ERROR",

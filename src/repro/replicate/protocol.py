@@ -28,6 +28,18 @@ class, parametrized; the conversation is different:
 ``ERROR``
     Either direction; ``code="fenced"`` means the peer's epoch proves
     this primary has been deposed and must stop shipping.
+``ACK``
+    Standby → source: the COMMIT watermark the standby has durably
+    mirrored (fsynced into its own log).  The source folds acks into
+    its per-shard quorum ledger; with quorum commit enabled
+    (``PersistenceConfig.quorum_standbys``) the primary's
+    ``Journal.wait_durable`` resolves only once enough standbys have
+    acked the LSN.
+
+The handshake also carries the standby's full **shard-subscription
+set** (``subs``): a standby may follow a subset of the primary's
+shards, so several standbys can split one keyspace between them (the
+placement map in :mod:`repro.cluster` decides who owns what).
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from ..gateway.protocol import (
 __all__ = [
     "REPL_VERSION",
     "REPL_VERSIONS",
+    "R_ACK",
     "R_APPEND",
     "R_COMMIT",
     "R_ERROR",
@@ -65,6 +78,7 @@ R_APPEND = 2
 R_COMMIT = 3
 R_HEARTBEAT = 4
 R_ERROR = 5
+R_ACK = 6
 
 R_FRAME_NAMES: Dict[int, str] = {
     R_HANDSHAKE: "handshake",
@@ -72,6 +86,7 @@ R_FRAME_NAMES: Dict[int, str] = {
     R_COMMIT: "commit",
     R_HEARTBEAT: "heartbeat",
     R_ERROR: "error",
+    R_ACK: "ack",
 }
 R_FRAME_TYPES = frozenset(R_FRAME_NAMES)
 

@@ -59,6 +59,7 @@ from ..persist.wal import encode_frame as wal_encode_frame, segment_path
 from ..serve.manager import shard_for
 from .promote import read_epoch
 from .protocol import (
+    R_ACK,
     R_APPEND,
     R_COMMIT,
     R_ERROR,
@@ -111,7 +112,21 @@ _LOG = _obslog.get_logger("replicate")
 
 
 class ReplicaLagging(ReplicationError):
-    """A read was refused because the shard's lag exceeds the bound."""
+    """A read was refused because the shard's lag exceeds the bound.
+
+    Carries how far behind the refusal was (``lag_ticks``, measured in
+    WAL records — the replica's clock) and the owning ``shard``, so a
+    router or load balancer can back off proportionally instead of
+    treating every refusal the same.
+    """
+
+    def __init__(self, shard: int, lag_ticks: int, bound: int) -> None:
+        self.shard = shard
+        self.lag_ticks = lag_ticks
+        self.bound = bound
+        super().__init__(
+            f"shard {shard} lags {lag_ticks} records (> bound {bound})"
+        )
 
 
 class _ReplicaLog:
@@ -234,7 +249,14 @@ class _StandbyShard:
 
 
 class StandbyReplica:
-    """A warm standby following one primary's every shard."""
+    """A warm standby following one primary — all shards or a subset.
+
+    ``shards`` (default: every shard) is the subscription set: the
+    standby opens one shipping connection per subscribed shard and
+    advertises the full set in each handshake, so several standbys can
+    split one primary's keyspace between them (the placement map in
+    :mod:`repro.cluster` hands out the subsets).
+    """
 
     def __init__(
         self,
@@ -244,6 +266,7 @@ class StandbyReplica:
         host: str,
         port: int,
         *,
+        shards: Optional[List[int]] = None,
         max_read_lag_records: int = 64,
         reconnect_backoff_s: float = 0.05,
         connect_timeout_s: float = 2.0,
@@ -254,15 +277,24 @@ class StandbyReplica:
         self.n_shards = n_shards
         self.host = host
         self.port = port
+        if shards is None:
+            self.shards = list(range(n_shards))
+        else:
+            self.shards = sorted({int(s) for s in shards})
+            bad = [s for s in self.shards if not 0 <= s < n_shards]
+            if bad:
+                raise ValueError(f"subscribed shards out of range: {bad}")
+            if not self.shards:
+                raise ValueError("subscription set must not be empty")
         self.max_read_lag_records = max_read_lag_records
         self.reconnect_backoff_s = reconnect_backoff_s
         self.connect_timeout_s = connect_timeout_s
         self.client_name = client_name
         self._stop = threading.Event()
-        self._shards = [
-            _StandbyShard(i, self.directory / f"shard-{i:02d}")
-            for i in range(n_shards)
-        ]
+        self._shards = {
+            i: _StandbyShard(i, self.directory / f"shard-{i:02d}")
+            for i in self.shards
+        }
         self._started = False
 
     # -- lifecycle -----------------------------------------------------
@@ -270,30 +302,42 @@ class StandbyReplica:
         if self._started:
             raise RuntimeError("replica already started")
         self._started = True
-        for st in self._shards:
+        for st in self._shards.values():
             st.thread = threading.Thread(
                 target=self._run_shard, args=(st,),
                 name=f"repro-repl-standby-{st.index}", daemon=True,
             )
             st.thread.start()
         _LOG.info("repl.standby_started", dir=str(self.directory),
-                  source=f"{self.host}:{self.port}", shards=self.n_shards)
+                  source=f"{self.host}:{self.port}", shards=self.shards)
         return self
 
     def stop(self) -> None:
         self._stop.set()
-        for st in self._shards:
+        for st in self._shards.values():
             sock = st.sock
             if sock is not None:
+                # shutdown before close: close() alone does not wake a
+                # thread blocked in recv() on this socket, shutdown()
+                # does (the follower sees EOF and exits promptly)
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 try:
                     sock.close()
                 except OSError:
                     pass
-        for st in self._shards:
+        for st in self._shards.values():
             if st.thread is not None:
                 st.thread.join(timeout=5.0)
             if st.log is not None:
                 st.log.close()
+
+    @property
+    def alive(self) -> bool:
+        """Started and not stopped — the placement router's health bit."""
+        return self._started and not self._stop.is_set()
 
     def __enter__(self) -> "StandbyReplica":
         return self.start()
@@ -304,7 +348,7 @@ class StandbyReplica:
     # -- introspection (any thread) ------------------------------------
     def shard_states(self) -> List[_StandbyShard]:
         """The per-shard states (the promotion path walks these)."""
-        return list(self._shards)
+        return [self._shards[i] for i in sorted(self._shards)]
 
     def heartbeat_age(self) -> float:
         """Seconds since the freshest shard heard from the primary.
@@ -314,7 +358,7 @@ class StandbyReplica:
         """
         ages = [
             monotonic() - st.last_heartbeat
-            for st in self._shards
+            for st in self._shards.values()
             if st.last_heartbeat is not None
         ]
         return min(ages) if ages else float("inf")
@@ -323,9 +367,11 @@ class StandbyReplica:
         return self._shards[shard].lag
 
     def caught_up(self, tips: Dict[int, int]) -> bool:
-        """Has every shard applied at least its target tip?"""
+        """Has every subscribed shard applied at least its target tip?"""
         return all(
-            self._shards[i].applied_lsn >= tip for i, tip in tips.items()
+            self._shards[i].applied_lsn >= tip
+            for i, tip in tips.items()
+            if i in self._shards
         )
 
     def wait_caught_up(
@@ -343,7 +389,7 @@ class StandbyReplica:
     def status(self) -> Dict[str, Any]:
         """Per-shard replication health (telemetry / CLI / tests)."""
         shards = []
-        for st in self._shards:
+        for st in self.shard_states():
             with st.lock:
                 shards.append({
                     "shard": st.index,
@@ -367,13 +413,14 @@ class StandbyReplica:
             "directory": str(self.directory),
             "source": f"{self.host}:{self.port}",
             "max_read_lag_records": self.max_read_lag_records,
+            "subscribed": list(self.shards),
             "shards": shards,
         }
 
     def digests(self) -> Dict[str, str]:
         """SHA-256 state digest of every mirrored session."""
         out: Dict[str, str] = {}
-        for st in self._shards:
+        for st in self._shards.values():
             with st.lock:
                 for sid, sess in st.sessions.items():
                     out[sid] = state_digest(sess.engine.state)
@@ -384,18 +431,19 @@ class StandbyReplica:
 
         Raises :class:`ReplicaLagging` when the owning shard is behind
         by more than ``max_read_lag_records``; raises ``KeyError`` for
-        a player the replica has never seen.
+        a player the replica has never seen — including one whose
+        owning shard is outside this standby's subscription set.
         """
         shard = shard_for(player_id, self.n_shards)
-        st = self._shards[shard]
+        st = self._shards.get(shard)
+        if st is None:
+            _M_QUERIES.inc(result="unsubscribed")
+            raise KeyError(player_id)
         with st.lock:
             lag = st.lag
             if lag > self.max_read_lag_records:
                 _M_QUERIES.inc(result="lagging")
-                raise ReplicaLagging(
-                    f"shard {shard} lags {lag} records "
-                    f"(> bound {self.max_read_lag_records})"
-                )
+                raise ReplicaLagging(shard, lag, self.max_read_lag_records)
             sess = st.sessions.get(player_id)
             if sess is None:
                 _M_QUERIES.inc(result="unknown")
@@ -431,6 +479,9 @@ class StandbyReplica:
                 _M_LINK_ERR.inc(shard=st.label)
                 continue
             sock.settimeout(None)
+            # acks are tiny and latency-critical (quorum commit waits
+            # on them); don't let Nagle batch them behind delayed ACKs
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             st.sock = sock
             st.connected = True
             try:
@@ -460,6 +511,7 @@ class StandbyReplica:
             "epoch": st.epoch,
             "start": st.applied_lsn + 1,
             "client": self.client_name,
+            "subs": list(self.shards),
         }))
         while not self._stop.is_set():
             data = sock.recv(65536)
@@ -520,6 +572,23 @@ class StandbyReplica:
                 # the stream
                 st.applied_lsn = start - 1
                 st.commit_lsn = max(st.commit_lsn, st.applied_lsn)
+        # baseline ack: everything up to the commit watermark is
+        # already durable here (mirrored before the link last died)
+        self._send_ack(st)
+
+    def _send_ack(self, st: _StandbyShard) -> None:
+        """Report the durably mirrored watermark back to the source."""
+        sock = st.sock
+        if sock is None:
+            return
+        try:
+            sock.sendall(encode(R_ACK, {
+                "shard": st.index,
+                "lsn": st.commit_lsn,
+                "client": self.client_name,
+            }))
+        except OSError:
+            pass  # link died mid-ack: reconnect re-acks the watermark
 
     def _install_snapshots(
         self, st: _StandbyShard, docs: List[Dict[str, Any]]
@@ -584,6 +653,9 @@ class StandbyReplica:
                     _M_APPLY.observe(perf_counter() - t0)
                     _M_APPLIED.inc(len(ready), shard=st.label)
             st.sample_lag()
+        # the mirror is fsynced up to the watermark: tell the source,
+        # so quorum-gated primaries can resolve their wait_durable
+        self._send_ack(st)
 
     def _apply_record(
         self, st: _StandbyShard, record: Dict[str, Any]

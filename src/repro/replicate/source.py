@@ -47,6 +47,8 @@ from ..persist.wal import (
 )
 from .promote import read_epoch
 from .protocol import (
+    ProtocolError,
+    R_ACK,
     R_APPEND,
     R_COMMIT,
     R_ERROR,
@@ -74,6 +76,10 @@ _M_FENCED = _obs.counter(
 _M_SNAP_BOOT = _obs.counter(
     "repro_repl_snapshot_bootstraps_total",
     "Standby handshakes answered with a snapshot bootstrap",
+)
+_M_ACKS = _obs.counter(
+    "repro_quorum_acks_total",
+    "Durable-mirror ACKs received from standbys, by shard",
 )
 
 _LOG = _obslog.get_logger("replicate")
@@ -206,6 +212,11 @@ class ReplicationSource:
         self._stop = threading.Event()
         #: per-shard wakeups, fired by the serve layer's append hook
         self._wakeups = [threading.Event() for _ in range(n_shards)]
+        #: quorum ledger: shard -> {standby client -> highest acked LSN}
+        self._acks: Dict[int, Dict[str, int]] = {}
+        self._ack_cond = threading.Condition()
+        #: standby client -> the shard-subscription set it handshook
+        self._subs: Dict[str, List[int]] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ReplicationSource":
@@ -227,7 +238,15 @@ class ReplicationSource:
         self._stop.set()
         for event in self._wakeups:
             event.set()
+        with self._ack_cond:
+            self._ack_cond.notify_all()  # release quorum waiters
         if self._sock is not None:
+            # shutdown wakes a blocked accept() (close alone leaves the
+            # accept thread pinned on the old listener)
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._sock.close()
             except OSError:
@@ -251,14 +270,96 @@ class ReplicationSource:
             self._wakeups[shard].set()
 
     def attach(self, manager: Any) -> None:
-        """Wire :meth:`notify` into a :class:`SessionManager`."""
+        """Wire :meth:`notify` into a :class:`SessionManager`.
+
+        With ``PersistenceConfig.quorum_standbys > 0`` this also
+        installs :meth:`wait_quorum` as the manager's quorum-commit
+        barrier, so every shard journal's ``wait_durable`` blocks on
+        the ack ledger.  Call before ``manager.start()`` — journals arm
+        the barrier when they open on the shard threads.
+        """
         manager.set_replication_hook(self.notify)
+        if self.persistence.quorum_standbys > 0:
+            setter = getattr(manager, "set_quorum_barrier", None)
+            if setter is not None:
+                setter(self.wait_quorum)
+
+    # -- quorum ledger (any thread) ------------------------------------
+    def record_ack(self, shard: int, client: str, lsn: int) -> None:
+        """Fold one standby's durable-mirror watermark into the ledger."""
+        with self._ack_cond:
+            shard_acks = self._acks.setdefault(shard, {})
+            if lsn > shard_acks.get(client, 0):
+                shard_acks[client] = lsn
+                self._ack_cond.notify_all()
+        if _obs.enabled():
+            _M_ACKS.inc(shard=str(shard))
+
+    def acked_count(self, shard: int, lsn: int) -> int:
+        """How many standbys have durably mirrored ``lsn`` on ``shard``."""
+        with self._ack_cond:
+            return sum(
+                1 for acked in self._acks.get(shard, {}).values()
+                if acked >= lsn
+            )
+
+    def quorum_lsn(self, shard: int, require: int) -> int:
+        """Highest LSN acked by at least ``require`` standbys (0 if none)."""
+        with self._ack_cond:
+            acked = sorted(self._acks.get(shard, {}).values(), reverse=True)
+        if require <= 0 or len(acked) < require:
+            return 0
+        return acked[require - 1]
+
+    def wait_quorum(
+        self,
+        shard: int,
+        lsn: int,
+        require: int,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Block until ``require`` standbys acked ``lsn`` (the barrier).
+
+        Signature matches ``SessionManager.set_quorum_barrier``.  A
+        standby that died keeps its old acks — they were durable — but
+        stops advancing, so quorum for new LSNs rides the survivors.
+        """
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._ack_cond:
+            while True:
+                count = sum(
+                    1 for acked in self._acks.get(shard, {}).values()
+                    if acked >= lsn
+                )
+                if count >= require:
+                    return True
+                if self._stop.is_set():
+                    return False
+                if deadline is None:
+                    self._ack_cond.wait(0.1)
+                else:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._ack_cond.wait(min(remaining, 0.1))
+
+    def subscriptions(self) -> Dict[str, List[int]]:
+        """Standby client -> the shard-subscription set it handshook."""
+        with self._ack_cond:
+            return {name: list(subs) for name, subs in self._subs.items()}
 
     # -- internals -----------------------------------------------------
     def _sever_all(self) -> None:
         with self._conns_lock:
             conns, self._conns = self._conns, []
         for conn in conns:
+            # shutdown first: it wakes any thread blocked in recv()
+            # (our ack readers, the peer's follower); close() alone
+            # does not
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 conn.close()
             except OSError:
@@ -271,6 +372,11 @@ class ReplicationSource:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return  # listener closed
+            # the link interleaves big APPENDs with tiny COMMIT/ACK
+            # frames; Nagle would hold the small ones behind the
+            # peer's delayed ACK (~40ms), which quorum commit eats
+            # on every traced END
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._conns_lock:
                 self._conns.append(conn)
             thread = threading.Thread(
@@ -307,10 +413,37 @@ class ReplicationSource:
                     "detail": f"shard {shard} out of range",
                 }))
                 return
-            self._ship_shard(conn, shard, payload)
+            client = str(payload.get("client") or "")
+            if not client:
+                try:
+                    host, port = conn.getpeername()[:2]
+                    client = f"peer-{host}:{port}"
+                except OSError:
+                    client = "peer-unknown"
+            subs = payload.get("subs")
+            if subs is not None:
+                subs = sorted({int(s) for s in subs})
+                if shard not in subs:
+                    conn.sendall(encode(R_ERROR, {
+                        "code": "bad_subscription",
+                        "detail": f"shard {shard} not in subscription "
+                                  f"set {subs}",
+                    }))
+                    return
+            with self._ack_cond:
+                self._subs[client] = subs if subs is not None else list(
+                    range(self.n_shards)
+                )
+            self._ship_shard(conn, shard, payload, client, decoder)
         except (ConnectionError, OSError, ValueError):
             pass
         finally:
+            # shutdown wakes the ack reader's pinned recv and pushes a
+            # FIN to the peer even while that recv holds a reference
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 conn.close()
             except OSError:
@@ -319,8 +452,40 @@ class ReplicationSource:
                 if conn in self._conns:
                     self._conns.remove(conn)
 
+    def _ack_loop(
+        self, conn: socket.socket, decoder: Any, shard: int, client: str
+    ) -> None:
+        """Drain standby ACK frames off a shipping connection.
+
+        Runs on its own thread so the ship loop never blocks on reads:
+        the moment a standby fsyncs a COMMIT its ack lands in the
+        ledger and any quorum-gated ``wait_durable`` wakes.
+        """
+        try:
+            while not self._stop.is_set():
+                for ftype, payload in self._recv_frames(conn, decoder):
+                    if ftype != R_ACK:
+                        continue
+                    try:
+                        lsn = int(payload["lsn"])
+                        ack_shard = int(payload.get("shard", shard))
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    self.record_ack(
+                        ack_shard,
+                        str(payload.get("client") or client),
+                        lsn,
+                    )
+        except (ConnectionError, OSError, ProtocolError, ValueError):
+            pass  # link died: the follower reconnects and re-acks
+
     def _ship_shard(
-        self, conn: socket.socket, shard: int, handshake: Dict[str, Any]
+        self,
+        conn: socket.socket,
+        shard: int,
+        handshake: Dict[str, Any],
+        client: str = "",
+        decoder: Any = None,
     ) -> None:
         directory = self.persistence.shard_dir(shard)
         epoch = read_epoch(directory)
@@ -354,6 +519,12 @@ class ReplicationSource:
         reply["start"] = start
         reply["tip"] = self._tip_hint(directory)
         conn.sendall(encode(R_HANDSHAKE, reply))
+        if decoder is not None:
+            ack_thread = threading.Thread(
+                target=self._ack_loop, args=(conn, decoder, shard, client),
+                name=f"repro-repl-ack-{shard}", daemon=True,
+            )
+            ack_thread.start()
 
         label = str(shard)
         wakeup = self._wakeups[shard]
@@ -397,8 +568,15 @@ class ReplicationSource:
             _LOG.warning("repl.link_partitioned", shard=label)
             self._sever_all()
             return True
-        # drop: this shipping connection dies mid-stream
+        # drop: this shipping connection dies mid-stream.  shutdown()
+        # before close(): the ack-reader thread's blocked recv pins the
+        # kernel socket, so close() alone would never send FIN and the
+        # standby would wait on a half-dead link forever
         _LOG.warning("repl.link_dropped", shard=label)
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             conn.close()
         except OSError:

@@ -255,6 +255,14 @@ class _Shard:
         try:
             self._journal = Journal(directory, persistence, label=self.label)
             self._snapshots = SnapshotStore(snapshot_dir_for(directory))
+            barrier = self._manager._quorum_barrier
+            if persistence.quorum_standbys > 0 and barrier is not None:
+                require = persistence.quorum_standbys
+                shard = self.index
+                self._journal.set_quorum(
+                    require,
+                    lambda lsn, timeout: barrier(shard, lsn, require, timeout),
+                )
         except Exception:
             self._journal = None
             self._snapshots = None
@@ -538,6 +546,10 @@ class SessionManager:
         #: optional ``(shard_index, lsn)`` callback fired after every
         #: successful journal append (see :meth:`set_replication_hook`)
         self._repl_hook: Optional[Callable[[int, int], None]] = None
+        #: optional quorum-commit barrier (see :meth:`set_quorum_barrier`)
+        self._quorum_barrier: Optional[
+            Callable[[int, int, int, Optional[float]], bool]
+        ] = None
 
     def set_replication_hook(
         self, hook: Optional[Callable[[int, int], None]]
@@ -551,6 +563,22 @@ class SessionManager:
         ``None`` to uninstall.  Zero cost when unset.
         """
         self._repl_hook = hook
+
+    def set_quorum_barrier(
+        self,
+        barrier: Optional[Callable[[int, int, int, Optional[float]], bool]],
+    ) -> None:
+        """Install the quorum-commit barrier,
+        ``(shard, lsn, require, timeout) -> bool``.
+
+        With ``PersistenceConfig.quorum_standbys > 0`` each shard
+        journal consults it from ``wait_durable`` once a record is
+        locally durable: True means ``require`` standbys have mirrored
+        ``lsn``.  The replication source installs its ack ledger here
+        (:meth:`ReplicationSource.attach`).  Must be set before
+        :meth:`start` — shard journals arm themselves when they open.
+        """
+        self._quorum_barrier = barrier
 
     # ------------------------------------------------------------------
     def start(self) -> "SessionManager":

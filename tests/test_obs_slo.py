@@ -251,6 +251,22 @@ class TestRuleFiles:
         kinds = {r.kind for r in rules}
         assert "p95" in kinds and "ratio" in kinds
 
+    def test_example_rules_cover_cluster_quorum(self):
+        """The cluster rules exist, target the right series, and are
+        allow_empty (the series only exist while a cluster runs)."""
+        rules = parse_slo_file(EXAMPLES_SLO)
+        cluster = [
+            r for r in rules
+            if (r.metric or "").startswith(("repro_quorum_",
+                                            "repro_placement_"))
+        ]
+        assert len(cluster) >= 3
+        assert all(r.allow_empty for r in cluster)
+        metrics = {r.metric for r in cluster}
+        assert "repro_quorum_timeouts_total" in metrics
+        assert "repro_quorum_wait_seconds" in metrics
+        assert "repro_placement_reads_total" in metrics
+
 
 class TestCliGate:
     """`repro obs check` exits 0 on pass, 1 on breach, 2 on usage errors."""

@@ -511,3 +511,64 @@ class TestGatewayReadReplica:
         assert view["digest"] == reference_digest(
             classroom_game, script.ops, script.dt, len(script.ops),
         )
+
+
+class TestSnapshotOnlyDirectory:
+    """_first_available_lsn / _tip_hint where compaction left no segments.
+
+    A shard directory holding only a snapshot (every WAL segment
+    compacted away) is the post-compaction bootstrap edge: a connecting
+    standby must be offered the snapshots, and the handshake hints must
+    not invent history that is no longer on disk.
+    """
+
+    def _snapshot_only_dir(self, tmp_path):
+        from repro.persist.snapshot import SnapshotStore, snapshot_dir_for
+
+        shard_dir = tmp_path / "shard-00"
+        shard_dir.mkdir()
+        SnapshotStore(snapshot_dir_for(shard_dir)).write(
+            "snap-only#1", dt=0.1, ops=[], cursor=0,
+            state={"phase": "done"}, lsn=7,
+        )
+        return shard_dir
+
+    def test_empty_directory_hints(self, tmp_path):
+        empty = tmp_path / "shard-01"
+        empty.mkdir()
+        assert ReplicationSource._first_available_lsn(empty) == 1
+        assert ReplicationSource._tip_hint(empty) == 0
+
+    def test_snapshot_only_first_available_lsn_is_one(self, tmp_path):
+        shard_dir = self._snapshot_only_dir(tmp_path)
+        # no segments on disk: every shippable LSN starts from 1, so
+        # any standby `start` request triggers the snapshot bootstrap
+        # (start < first is impossible; equality means "nothing to
+        # tail yet")
+        assert ReplicationSource._first_available_lsn(shard_dir) == 1
+
+    def test_snapshot_only_tip_hint_is_zero(self, tmp_path):
+        shard_dir = self._snapshot_only_dir(tmp_path)
+        # the hint must not count snapshotted history as shippable tip
+        assert ReplicationSource._tip_hint(shard_dir) == 0
+
+    def test_hints_after_compaction_follow_surviving_segment(
+        self, tmp_path
+    ):
+        from repro.persist.wal import Journal, list_segments
+
+        shard_dir = self._snapshot_only_dir(tmp_path)
+        journal = Journal(shard_dir)
+        for k in range(3):
+            journal.append({"t": "INPUT", "sid": "s", "k": k})
+        journal.close()
+        segments = list_segments(shard_dir)
+        assert segments, "journal never produced a segment"
+        assert ReplicationSource._first_available_lsn(shard_dir) == 1
+        # simulate compaction dropping the only segment again: the
+        # hints must fall back to the snapshot-only answers, not keep
+        # reporting the dead segment's range
+        for _, path in segments:
+            path.unlink()
+        assert ReplicationSource._first_available_lsn(shard_dir) == 1
+        assert ReplicationSource._tip_hint(shard_dir) == 0
